@@ -1,0 +1,71 @@
+//! Design-choice ablations promised in DESIGN.md §7, run as Criterion
+//! comparisons over the *simulated* training step:
+//!
+//! - split-boundary choice (`Aligned` / `Lower` / `Upper` / `Mid`) on a
+//!   chain model (they differ only in padding placement, so step time
+//!   should be indistinguishable — a regression tripwire);
+//! - patch-grid size (1×1 … 3×3): more patches ⇒ more kernel launches ⇒
+//!   measurable per-step overhead, the Figure 10 throughput cost;
+//! - number of memory streams in the planner.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use scnn_bench::memsys::MemsysSetup;
+use scnn_core::{plan_split, SplitChoice, SplitConfig};
+use scnn_gpusim::CostModel;
+use scnn_hmms::{plan_hmms, PlannerOptions};
+use scnn_models::{vgg19, ModelOptions};
+
+fn bench_ablation(c: &mut Criterion) {
+    let model = CostModel::default();
+    let desc = vgg19(&ModelOptions::imagenet());
+    let mut g = c.benchmark_group("ablation");
+    g.sample_size(10);
+
+    for choice in [
+        SplitChoice::Aligned,
+        SplitChoice::Lower,
+        SplitChoice::Upper,
+        SplitChoice::Mid,
+    ] {
+        let cfg = SplitConfig {
+            choice,
+            ..SplitConfig::new(0.5, 2, 2)
+        };
+        g.bench_function(format!("boundary_choice/{choice:?}"), |b| {
+            let plan = plan_split(&desc, &cfg).unwrap();
+            let s = MemsysSetup::split(&desc, &plan, 32, &model);
+            let p = s.plan("hmms");
+            b.iter(|| s.simulate(&p))
+        });
+    }
+
+    for (label, nh, nw) in [("1x1", 1, 1), ("2x2", 2, 2), ("3x3", 3, 3)] {
+        g.bench_function(format!("patch_grid/{label}"), |b| {
+            let plan = plan_split(&desc, &SplitConfig::new(0.5, nh, nw)).unwrap();
+            let s = MemsysSetup::split(&desc, &plan, 32, &model);
+            let p = s.plan("hmms");
+            b.iter(|| s.simulate(&p))
+        });
+    }
+
+    for streams in [1usize, 2, 4] {
+        g.bench_function(format!("mem_streams/{streams}"), |b| {
+            let s = MemsysSetup::unsplit(&desc, 32, &model);
+            let p = plan_hmms(
+                &s.graph,
+                &s.tape,
+                &s.tso,
+                &s.profile,
+                PlannerOptions {
+                    offload_cap: 1.0,
+                    mem_streams: streams,
+                },
+            );
+            b.iter(|| s.simulate(&p))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

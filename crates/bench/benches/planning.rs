@@ -1,0 +1,53 @@
+//! Criterion benchmarks for the offline planning pipeline: the cost the
+//! paper's system pays once per model before training starts.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use scnn_bench::memsys::MemsysSetup;
+use scnn_core::{lower_unsplit, plan_split, SplitConfig};
+use scnn_gpusim::{profile_graph, CostModel};
+use scnn_graph::Tape;
+use scnn_hmms::{plan_hmms, plan_layout, plan_vdnn, PlannerOptions, TsoAssignment, TsoOptions};
+use scnn_models::{resnet50, vgg19, ModelOptions};
+
+fn bench_planning(c: &mut Criterion) {
+    let model = CostModel::default();
+    let mut g = c.benchmark_group("planning");
+    g.sample_size(10);
+
+    for (name, desc) in [
+        ("vgg19", vgg19(&ModelOptions::imagenet())),
+        ("resnet50", resnet50(&ModelOptions::imagenet())),
+    ] {
+        g.bench_function(format!("lower_unsplit/{name}"), |b| {
+            b.iter(|| lower_unsplit(&desc, 64))
+        });
+        g.bench_function(format!("plan_split/{name}"), |b| {
+            b.iter(|| plan_split(&desc, &SplitConfig::new(0.75, 2, 2)).unwrap())
+        });
+
+        let graph = lower_unsplit(&desc, 64);
+        let profile = profile_graph(&graph, &model);
+        let tape = Tape::new(&graph);
+        let tso = TsoAssignment::new(&graph, &profile.workspace_bytes, TsoOptions::default());
+        let opts = PlannerOptions::default();
+        g.bench_function(format!("plan_hmms/{name}"), |b| {
+            b.iter(|| plan_hmms(&graph, &tape, &tso, &profile, opts))
+        });
+        g.bench_function(format!("plan_vdnn/{name}"), |b| {
+            b.iter(|| plan_vdnn(&graph, &tape, &tso, &profile, opts))
+        });
+        let plan = plan_hmms(&graph, &tape, &tso, &profile, opts);
+        g.bench_function(format!("first_fit_layout/{name}"), |b| {
+            b.iter(|| plan_layout(&graph, &plan, &tso))
+        });
+        g.bench_function(format!("simulate_step/{name}"), |b| {
+            let s = MemsysSetup::unsplit(&desc, 64, &model);
+            let p = s.plan("hmms");
+            b.iter(|| s.simulate(&p))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_planning);
+criterion_main!(benches);

@@ -1,0 +1,89 @@
+//! Minimal command-line handling shared by the experiment binaries.
+
+use std::collections::HashMap;
+
+/// Parsed `--key value` arguments with typed accessors.
+///
+/// # Example
+///
+/// ```
+/// use scnn_bench::Args;
+///
+/// let a = Args::parse_from(["--scale", "0.25", "--epochs", "3"].iter().map(|s| s.to_string()));
+/// assert_eq!(a.f64("scale", 1.0), 0.25);
+/// assert_eq!(a.usize("epochs", 8), 3);
+/// assert_eq!(a.usize("batch", 16), 16);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Args {
+    values: HashMap<String, String>,
+}
+
+impl Args {
+    /// Parses the process arguments.
+    pub fn parse() -> Self {
+        Args::parse_from(std::env::args().skip(1))
+    }
+
+    /// Parses an explicit iterator (for tests).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a flag without a value or an argument without `--`.
+    pub fn parse_from(args: impl Iterator<Item = String>) -> Self {
+        let mut values = HashMap::new();
+        let mut it = args;
+        while let Some(k) = it.next() {
+            let key = k
+                .strip_prefix("--")
+                .unwrap_or_else(|| panic!("expected --flag, got {k}"))
+                .to_string();
+            let v = it.next().unwrap_or_else(|| panic!("flag --{key} needs a value"));
+            values.insert(key, v);
+        }
+        Args { values }
+    }
+
+    /// Float flag with default.
+    pub fn f64(&self, key: &str, default: f64) -> f64 {
+        self.values
+            .get(key)
+            .map(|v| v.parse().unwrap_or_else(|_| panic!("--{key} must be a number")))
+            .unwrap_or(default)
+    }
+
+    /// Integer flag with default.
+    pub fn usize(&self, key: &str, default: usize) -> usize {
+        self.values
+            .get(key)
+            .map(|v| v.parse().unwrap_or_else(|_| panic!("--{key} must be an integer")))
+            .unwrap_or(default)
+    }
+
+    /// Seed flag with default.
+    pub fn u64(&self, key: &str, default: u64) -> u64 {
+        self.values
+            .get(key)
+            .map(|v| v.parse().unwrap_or_else(|_| panic!("--{key} must be an integer")))
+            .unwrap_or(default)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_apply() {
+        let a = Args::parse_from(std::iter::empty());
+        assert_eq!(a.f64("x", 2.5), 2.5);
+        assert_eq!(a.usize("y", 7), 7);
+        assert_eq!(a.u64("seed", 42), 42);
+    }
+
+    #[test]
+    #[should_panic(expected = "needs a value")]
+    fn missing_value_panics() {
+        Args::parse_from(["--flag".to_string()].into_iter());
+    }
+}

@@ -1,0 +1,40 @@
+//! Figure 1: generated vs offload-able data for VGG-19 (a) and
+//! ResNet-18 (b).
+//!
+//! For every forward operation: the intermediate bytes it generates that
+//! backward will re-read, and the bytes NVLink (34.1 GB/s) could move
+//! during its execution — plus both cumulative curves. The paper's
+//! findings: VGG-19's cumulative offload-able size eventually exceeds its
+//! cumulative generated size (fully offload-able), ResNet-18 reaches only
+//! ≈55 %, and memory-bound layers (pooling, batch-norm) almost never have
+//! enough time to offload their inputs.
+//!
+//! ```text
+//! cargo run --release -p scnn-bench --bin fig1 [--batch 64]
+//! ```
+
+use scnn_bench::memsys::MemsysSetup;
+use scnn_bench::Args;
+use scnn_gpusim::{offload_analysis, CostModel};
+use scnn_models::{resnet18, vgg19, ModelOptions};
+
+fn main() {
+    let args = Args::parse();
+    let batch = args.usize("batch", 64);
+    let model = CostModel::default();
+
+    for (tag, desc) in [
+        ("(a) VGG-19", vgg19(&ModelOptions::imagenet())),
+        ("(b) ResNet-18", resnet18(&ModelOptions::imagenet())),
+    ] {
+        let s = MemsysSetup::unsplit(&desc, batch, &model);
+        let a = offload_analysis(&s.graph, &s.tape, &s.tso, &s.profile);
+        println!("# Figure 1 {tag}, batch {batch}, NVLink 34.1 GB/s");
+        print!("{}", a.render_table());
+        println!(
+            "=> offload-able fraction: {:.1}% ({} memory-bound layers)\n",
+            a.offloadable_fraction() * 100.0,
+            a.memory_bound_layers().len()
+        );
+    }
+}

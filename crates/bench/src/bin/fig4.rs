@@ -1,0 +1,64 @@
+//! Figure 4: effect of splitting depth on test error.
+//!
+//! VGG-19 and ResNet-18 (CIFAR variants, width-scaled proxies) split into
+//! four equal spatial patches (2×2) at depths ≈ {0, 12.5, 25, 37.5, 50} %.
+//! The paper's finding: test error degrades approximately linearly with
+//! splitting depth.
+//!
+//! ```text
+//! cargo run --release -p scnn-bench --bin fig4 [--scale 0.125] [--epochs 10]
+//! ```
+
+use scnn_bench::proxy::{run_proxy, ProxyConfig, SplitMode};
+use scnn_bench::Args;
+use scnn_core::SplitConfig;
+use scnn_data::SyntheticSpec;
+use scnn_models::{resnet18, vgg19_bn, ModelOptions};
+
+fn main() {
+    let args = Args::parse();
+    let scale = args.f64("scale", 0.125);
+    let epochs = args.usize("epochs", 10);
+    let seed = args.u64("seed", 17);
+    let seeds = args.usize("seeds", 3);
+
+    let opts = ModelOptions::cifar().with_width(scale);
+    let depths = [0.0, 0.125, 0.25, 0.375, 0.5];
+
+    println!("# Figure 4: test error vs splitting depth (4 patches, 2x2)");
+    println!("# proxy scale {scale}, {epochs} epochs, synthetic CIFAR-like data");
+    println!("{:<10} {:>9} {:>9} {:>10}", "model", "depth", "actual", "test_err");
+    for (name, desc, lr) in [
+        ("vgg19", vgg19_bn(&opts), 0.02f32),
+        ("resnet18", resnet18(&opts), 0.05),
+    ] {
+        for &depth in &depths {
+            let mode = if depth == 0.0 {
+                SplitMode::None
+            } else {
+                SplitMode::Deterministic(SplitConfig::new(depth, 2, 2))
+            };
+            let mut errs = Vec::new();
+            let mut actual = 0.0;
+            for s in 0..seeds as u64 {
+                let mut cfg =
+                    ProxyConfig::new(desc.clone(), mode.clone(), SyntheticSpec::cifar_like(seed + s));
+                cfg.epochs = epochs;
+                cfg.seed = seed + s;
+                cfg.lr = lr;
+                let r = run_proxy(&cfg);
+                actual = r.actual_depth;
+                errs.push(r.final_error);
+            }
+            let mean = errs.iter().sum::<f32>() / errs.len() as f32;
+            println!(
+                "{:<10} {:>8.1}% {:>8.1}% {:>9.1}%   (seeds: {})",
+                name,
+                depth * 100.0,
+                actual * 100.0,
+                mean * 100.0,
+                errs.iter().map(|e| format!("{:.0}", e * 100.0)).collect::<Vec<_>>().join("/")
+            );
+        }
+    }
+}

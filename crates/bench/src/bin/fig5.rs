@@ -1,0 +1,65 @@
+//! Figure 5: effect of the number of splits on test error.
+//!
+//! VGG-19 and ResNet-18 CIFAR proxies with ≈25 % of convolutions split
+//! into {1, 2, 3, 4, 6, 9} spatial patches. The paper's findings: accuracy
+//! degrades slowly with the number of splits, and ResNet-18 is less
+//! sensitive than VGG-19.
+//!
+//! ```text
+//! cargo run --release -p scnn-bench --bin fig5 [--scale 0.125] [--epochs 10]
+//! ```
+
+use scnn_bench::proxy::{run_proxy, ProxyConfig, SplitMode};
+use scnn_bench::Args;
+use scnn_core::SplitConfig;
+use scnn_data::SyntheticSpec;
+use scnn_models::{resnet18, vgg19_bn, ModelOptions};
+
+fn main() {
+    let args = Args::parse();
+    let scale = args.f64("scale", 0.125);
+    let epochs = args.usize("epochs", 10);
+    let seed = args.u64("seed", 17);
+    let seeds = args.usize("seeds", 3);
+    let depth = args.f64("depth", 0.25);
+
+    let opts = ModelOptions::cifar().with_width(scale);
+    // N patches realized as (rows, cols) grids.
+    let grids: [(usize, usize, usize); 6] =
+        [(1, 1, 1), (2, 1, 2), (3, 1, 3), (4, 2, 2), (6, 2, 3), (9, 3, 3)];
+
+    println!("# Figure 5: test error vs number of splits (depth ~{:.0}%)", depth * 100.0);
+    println!("{:<10} {:>7} {:>6} {:>10}", "model", "splits", "grid", "test_err");
+    for (name, desc, lr) in [
+        ("vgg19", vgg19_bn(&opts), 0.02f32),
+        ("resnet18", resnet18(&opts), 0.05),
+    ] {
+        for &(n, nh, nw) in &grids {
+            let mode = if n == 1 {
+                // A 1x1 "split" is the unmodified network.
+                SplitMode::None
+            } else {
+                SplitMode::Deterministic(SplitConfig::new(depth, nh, nw))
+            };
+            let mut errs = Vec::new();
+            for s in 0..seeds as u64 {
+                let mut cfg =
+                    ProxyConfig::new(desc.clone(), mode.clone(), SyntheticSpec::cifar_like(seed + s));
+                cfg.epochs = epochs;
+                cfg.seed = seed + s;
+                cfg.lr = lr;
+                errs.push(run_proxy(&cfg).final_error);
+            }
+            let mean = errs.iter().sum::<f32>() / errs.len() as f32;
+            println!(
+                "{:<10} {:>7} {:>4}x{} {:>9.1}%   (seeds: {})",
+                name,
+                n,
+                nh,
+                nw,
+                mean * 100.0,
+                errs.iter().map(|e| format!("{:.0}", e * 100.0)).collect::<Vec<_>>().join("/")
+            );
+        }
+    }
+}

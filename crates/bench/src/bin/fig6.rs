@@ -1,0 +1,59 @@
+//! Figure 6: effect of stochastic splitting on test error.
+//!
+//! VGG-19 (50 % of convs split) and ResNet-18 (≈50 %) into four patches:
+//! baseline vs deterministic Split-CNN vs Stochastic Split-CNN (ω = 0.2,
+//! untuned, per §3.3). Stochastic models are *evaluated on the unsplit
+//! network*. The paper's finding: SSCNN is competitive with — and often
+//! beats — the baseline.
+//!
+//! ```text
+//! cargo run --release -p scnn-bench --bin fig6 [--scale 0.125] [--epochs 10]
+//! ```
+
+use scnn_bench::proxy::{run_proxy, ProxyConfig, SplitMode};
+use scnn_bench::Args;
+use scnn_core::SplitConfig;
+use scnn_data::SyntheticSpec;
+use scnn_models::{resnet18, vgg19_bn, ModelOptions};
+
+fn main() {
+    let args = Args::parse();
+    let scale = args.f64("scale", 0.125);
+    let epochs = args.usize("epochs", 10);
+    let seed = args.u64("seed", 17);
+    let depth = args.f64("depth", 0.5);
+
+    let opts = ModelOptions::cifar().with_width(scale);
+    println!("# Figure 6: stochastic splitting (depth {:.0}%, 4 patches, omega 0.2)", depth * 100.0);
+    for (name, desc, lr) in [
+        ("vgg19", vgg19_bn(&opts), 0.02f32),
+        ("resnet18", resnet18(&opts), 0.05),
+    ] {
+        let modes: [(&str, SplitMode); 3] = [
+            ("baseline", SplitMode::None),
+            ("scnn", SplitMode::Deterministic(SplitConfig::new(depth, 2, 2))),
+            (
+                "sscnn",
+                SplitMode::Stochastic {
+                    cfg: SplitConfig::new(depth, 2, 2),
+                    omega: 0.2,
+                },
+            ),
+        ];
+        println!("\n## {name}");
+        println!("{:<9} test error per epoch (%)", "variant");
+        for (label, mode) in modes {
+            let mut cfg = ProxyConfig::new(desc.clone(), mode, SyntheticSpec::cifar_like(seed));
+            cfg.epochs = epochs;
+            cfg.seed = seed;
+            cfg.lr = lr;
+            let r = run_proxy(&cfg);
+            let curve: Vec<String> = r
+                .history
+                .iter()
+                .map(|(_, e, _)| format!("{:5.1}", e * 100.0))
+                .collect();
+            println!("{:<9} {}  -> final {:.1}%", label, curve.join(" "), r.final_error * 100.0);
+        }
+    }
+}

@@ -1,0 +1,43 @@
+//! Figure 9: nvprof-style profiling timelines for VGG-19 under the three
+//! offload-scheduling methods.
+//!
+//! Renders the simulator's compute/memory-stream traces as ASCII Gantt
+//! charts (and optionally CSV). The paper's visual: the baseline is a
+//! solid compute bar; the layer-wise plan shows compute gaps at every
+//! eager synchronization; HMMS keeps compute solid while transfers spread
+//! across the memory streams.
+//!
+//! ```text
+//! cargo run --release -p scnn-bench --bin fig9 [--batch 64] [--width 100] [--csv 1]
+//! ```
+
+use scnn_bench::memsys::MemsysSetup;
+use scnn_bench::Args;
+use scnn_gpusim::CostModel;
+use scnn_models::{vgg19, ModelOptions};
+
+fn main() {
+    let args = Args::parse();
+    let batch = args.usize("batch", 64);
+    let width = args.usize("width", 100);
+    let csv = args.usize("csv", 0) != 0;
+
+    let desc = vgg19(&ModelOptions::imagenet());
+    let s = MemsysSetup::unsplit(&desc, batch, &CostModel::default());
+
+    println!("# Figure 9: VGG-19 stream timelines (batch {batch})");
+    for plan_name in ["baseline", "vdnn", "hmms"] {
+        let plan = s.plan(plan_name);
+        let r = s.simulate(&plan);
+        println!(
+            "\n## {plan_name}: total {:.1} ms, compute {:.1} ms, stall {:.1} ms",
+            r.total_time * 1e3,
+            r.compute_time * 1e3,
+            r.stall_time * 1e3
+        );
+        print!("{}", r.timeline.render_ascii(width));
+        if csv {
+            print!("{}", r.timeline.to_csv());
+        }
+    }
+}

@@ -1,0 +1,106 @@
+//! Table 1: classification accuracy of Split-CNN.
+//!
+//! Four architecture/dataset pairs at the paper's split configurations
+//! (all with 4 patches):
+//!
+//! | arch      | dataset  | depth  |
+//! |-----------|----------|--------|
+//! | AlexNet   | ImageNet | 60 %   |
+//! | ResNet-50 | ImageNet | 81.2 % |
+//! | VGG-19    | CIFAR    | 50 %   |
+//! | ResNet-18 | CIFAR    | 50 %   |
+//!
+//! reporting baseline, SCNN and SSCNN accuracy. The paper's finding: SCNN
+//! loses ≤ ~2 % accuracy; SSCNN recovers it and sometimes beats baseline.
+//!
+//! ```text
+//! cargo run --release -p scnn-bench --bin table1 [--scale 0.125] [--epochs 10]
+//! ```
+
+use scnn_bench::proxy::{run_proxy, ProxyConfig, SplitMode};
+use scnn_bench::Args;
+use scnn_core::{ModelDesc, SplitConfig};
+use scnn_data::SyntheticSpec;
+use scnn_models::{alexnet, resnet18, resnet50, vgg19_bn, ModelOptions};
+
+fn main() {
+    let args = Args::parse();
+    let scale = args.f64("scale", 0.125);
+    let epochs = args.usize("epochs", 10);
+    let seed = args.u64("seed", 17);
+
+    let cifar = ModelOptions::cifar().with_width(scale);
+    let inet = ModelOptions::imagenet()
+        .with_input(64)
+        .with_classes(20)
+        .with_width(scale);
+
+    struct Row {
+        name: &'static str,
+        dataset: &'static str,
+        desc: ModelDesc,
+        depth: f64,
+        lr: f32,
+        spec: SyntheticSpec,
+    }
+    let rows = [
+        Row {
+            name: "AlexNet",
+            dataset: "ImageNet*",
+            desc: alexnet(&inet.with_width(scale.max(0.25))),
+            depth: 0.60,
+            lr: 0.003,
+            spec: SyntheticSpec::imagenet_like(seed),
+        },
+        Row {
+            name: "ResNet50",
+            dataset: "ImageNet*",
+            desc: resnet50(&inet),
+            depth: 0.812,
+            lr: 0.05,
+            spec: SyntheticSpec::imagenet_like(seed),
+        },
+        Row {
+            name: "VGG19",
+            dataset: "CIFAR*",
+            desc: vgg19_bn(&cifar),
+            depth: 0.50,
+            lr: 0.02,
+            spec: SyntheticSpec::cifar_like(seed),
+        },
+        Row {
+            name: "ResNet18",
+            dataset: "CIFAR*",
+            desc: resnet18(&cifar),
+            depth: 0.50,
+            lr: 0.05,
+            spec: SyntheticSpec::cifar_like(seed),
+        },
+    ];
+
+    println!("# Table 1: classification accuracy of Split-CNN (4 patches)");
+    println!("# * synthetic stand-in datasets; accuracies are proxy-scale, compare trends");
+    println!(
+        "{:<10} {:<10} {:>7} {:>10} {:>10} {:>10}",
+        "arch", "dataset", "depth", "baseline", "scnn", "sscnn"
+    );
+    for row in rows {
+        let run = |mode: SplitMode| {
+            let mut cfg = ProxyConfig::new(row.desc.clone(), mode, row.spec);
+            cfg.epochs = epochs;
+            cfg.seed = seed;
+            cfg.lr = row.lr;
+            100.0 * (1.0 - run_proxy(&cfg).final_error)
+        };
+        let base = run(SplitMode::None);
+        let scnn = run(SplitMode::Deterministic(SplitConfig::new(row.depth, 2, 2)));
+        let sscnn = run(SplitMode::Stochastic {
+            cfg: SplitConfig::new(row.depth, 2, 2),
+            omega: 0.2,
+        });
+        println!(
+            "{:<10} {:<10} {:>6.1}% {:>9.1}% {:>9.1}% {:>9.1}%",
+            row.name, row.dataset, row.depth * 100.0, base, scnn, sscnn
+        );
+    }
+}

@@ -1,0 +1,120 @@
+//! Memory-system experiment helpers (Figures 1, 8, 9, 10).
+
+use scnn_core::{lower_unsplit, ModelDesc, SplitPlan};
+use scnn_gpusim::{profile_graph, simulate, CostModel, SimResult};
+use scnn_graph::{Graph, Tape};
+use scnn_hmms::{
+    plan_hmms, plan_no_offload, plan_vdnn, theoretical_offload_fraction, MemoryPlan,
+    PlannerOptions, Profile, TsoAssignment, TsoOptions,
+};
+
+/// Everything the memory-system experiments need for one graph.
+pub struct MemsysSetup {
+    /// The lowered graph.
+    pub graph: Graph,
+    /// Its serialized tape.
+    pub tape: Tape,
+    /// TSO assignment (both §4.2 optimizations on).
+    pub tso: TsoAssignment,
+    /// The synthesized profile.
+    pub profile: Profile,
+}
+
+impl MemsysSetup {
+    /// Builds the setup for an unsplit model at a batch size.
+    pub fn unsplit(desc: &ModelDesc, batch: usize, model: &CostModel) -> Self {
+        MemsysSetup::from_graph(lower_unsplit(desc, batch), model)
+    }
+
+    /// Builds the setup for a Split-CNN variant.
+    pub fn split(desc: &ModelDesc, plan: &SplitPlan, batch: usize, model: &CostModel) -> Self {
+        MemsysSetup::from_graph(plan.lower(desc, batch), model)
+    }
+
+    /// Builds the setup from an already-lowered graph.
+    pub fn from_graph(graph: Graph, model: &CostModel) -> Self {
+        let profile = profile_graph(&graph, model);
+        let tape = Tape::new(&graph);
+        let tso = TsoAssignment::new(&graph, &profile.workspace_bytes, TsoOptions::default());
+        MemsysSetup {
+            graph,
+            tape,
+            tso,
+            profile,
+        }
+    }
+
+    /// The §6.2 theoretical offload cap for this graph.
+    pub fn offload_cap(&self) -> f64 {
+        theoretical_offload_fraction(&self.graph, &self.tape, &self.tso, &self.profile)
+    }
+
+    /// Builds one of the three §6.2 plans: `"baseline"`, `"vdnn"` or
+    /// `"hmms"`, capping offloads at the theoretical limit.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown plan name.
+    pub fn plan(&self, which: &str) -> MemoryPlan {
+        let opts = PlannerOptions {
+            offload_cap: self.offload_cap(),
+            mem_streams: 2,
+        };
+        match which {
+            "baseline" => plan_no_offload(&self.graph, &self.tape, &self.tso, &self.profile),
+            "vdnn" => plan_vdnn(&self.graph, &self.tape, &self.tso, &self.profile, opts),
+            "hmms" => plan_hmms(&self.graph, &self.tape, &self.tso, &self.profile, opts),
+            other => panic!("unknown plan {other}"),
+        }
+    }
+
+    /// Simulates a plan.
+    pub fn simulate(&self, plan: &MemoryPlan) -> SimResult {
+        simulate(&self.graph, &self.tape, &self.tso, plan, &self.profile)
+    }
+
+    /// Simulates all three §6.2 plans, returning
+    /// `(baseline, vdnn, hmms)`.
+    pub fn three_way(&self) -> (SimResult, SimResult, SimResult) {
+        (
+            self.simulate(&self.plan("baseline")),
+            self.simulate(&self.plan("vdnn")),
+            self.simulate(&self.plan("hmms")),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scnn_models::{resnet18, vgg19, ModelOptions};
+
+    #[test]
+    fn vgg_cap_is_full_resnet_is_partial() {
+        let model = CostModel::default();
+        let vgg = MemsysSetup::unsplit(&vgg19(&ModelOptions::imagenet()), 16, &model);
+        let rn = MemsysSetup::unsplit(&resnet18(&ModelOptions::imagenet()), 16, &model);
+        assert_eq!(vgg.offload_cap(), 1.0, "VGG-19 should be fully offload-able");
+        let cap = rn.offload_cap();
+        assert!(
+            (0.4..0.85).contains(&cap),
+            "ResNet-18 cap {cap} outside the paper's regime"
+        );
+    }
+
+    #[test]
+    fn three_way_ordering_holds() {
+        // The Figure 8 ordering: baseline <= hmms <= vdnn in step time.
+        let model = CostModel::default();
+        let s = MemsysSetup::unsplit(&resnet18(&ModelOptions::cifar()), 32, &model);
+        let (base, vdnn, hmms) = s.three_way();
+        assert!(hmms.total_time >= base.total_time - 1e-12);
+        assert!(
+            vdnn.total_time >= hmms.total_time - 1e-12,
+            "vdnn {} vs hmms {}",
+            vdnn.total_time,
+            hmms.total_time
+        );
+        assert_eq!(vdnn.offloaded_bytes, hmms.offloaded_bytes);
+    }
+}

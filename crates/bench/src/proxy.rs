@@ -1,0 +1,197 @@
+//! Proxy training runs for the §5 accuracy experiments (Figures 4–7,
+//! Table 1).
+//!
+//! The paper trains full-width models for hundreds of GPU-epochs; the
+//! proxy keeps the architecture topology and split points but shrinks
+//! channel widths and sample counts so a configuration trains on a CPU in
+//! about a minute (see DESIGN.md's substitution table).
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use scnn_core::{
+    lower_unsplit, plan_split, plan_split_stochastic, ModelDesc, SplitConfig,
+};
+use scnn_data::{SyntheticDataset, SyntheticSpec};
+use scnn_nn::{evaluate, train_epoch, BnState, MultiStepLr, ParamStore, Sgd};
+
+/// How the proxy network is split during training.
+#[derive(Clone, Debug)]
+pub enum SplitMode {
+    /// Plain CNN baseline.
+    None,
+    /// Deterministic Split-CNN: one even split scheme for the whole run;
+    /// evaluation uses the *split* network.
+    Deterministic(SplitConfig),
+    /// Stochastic Split-CNN (§3.3): a fresh random scheme per mini-batch;
+    /// evaluation uses the *unsplit* network (§5.2.3).
+    Stochastic {
+        /// Split geometry.
+        cfg: SplitConfig,
+        /// Wiggle room ω.
+        omega: f32,
+    },
+}
+
+/// One proxy training configuration.
+#[derive(Clone, Debug)]
+pub struct ProxyConfig {
+    /// The (already width-scaled) architecture.
+    pub desc: ModelDesc,
+    /// Split mode.
+    pub mode: SplitMode,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch: usize,
+    /// Batches per epoch.
+    pub train_batches: usize,
+    /// Batches in the test set.
+    pub test_batches: usize,
+    /// Base learning rate (decays ×0.1 at 50 % and 80 % of training, the
+    /// paper's schedule shape).
+    pub lr: f32,
+    /// Random seed (weights, data order, stochastic splits).
+    pub seed: u64,
+    /// Dataset spec.
+    pub dataset: SyntheticSpec,
+}
+
+impl ProxyConfig {
+    /// Sensible CIFAR-proxy defaults for a given model and mode.
+    pub fn new(desc: ModelDesc, mode: SplitMode, dataset: SyntheticSpec) -> Self {
+        ProxyConfig {
+            desc,
+            mode,
+            epochs: 10,
+            batch: 16,
+            train_batches: 20,
+            test_batches: 6,
+            lr: 0.02,
+            seed: 17,
+            dataset,
+        }
+    }
+}
+
+/// Outcome of one proxy run.
+#[derive(Clone, Debug)]
+pub struct ProxyResult {
+    /// Test error after the final epoch (evaluated per the mode's rule).
+    pub final_error: f32,
+    /// `(epoch, test error, train loss)` per epoch.
+    pub history: Vec<(usize, f32, f32)>,
+    /// Realized splitting depth (0 for the baseline).
+    pub actual_depth: f64,
+}
+
+/// Trains one configuration and reports its error trajectory.
+///
+/// # Panics
+///
+/// Panics if a requested split cannot be planned for the model.
+pub fn run_proxy(cfg: &ProxyConfig) -> ProxyResult {
+    let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
+    let data = SyntheticDataset::new(cfg.dataset);
+    let (train, test) = data.train_test(cfg.train_batches, cfg.test_batches, cfg.batch);
+
+    let base = lower_unsplit(&cfg.desc, cfg.batch);
+    let mut params = ParamStore::init(&base, &mut rng);
+    let mut bn = BnState::new();
+    let mut opt = Sgd::new(&params, cfg.lr, 0.9, 1e-4);
+    let sched = MultiStepLr::new(
+        cfg.lr,
+        &[cfg.epochs / 2, cfg.epochs * 4 / 5],
+        0.1,
+    );
+
+    // Resolve the training-graph provider and the evaluation graph.
+    let (det_graph, actual_depth) = match &cfg.mode {
+        SplitMode::None => (None, 0.0),
+        SplitMode::Deterministic(sc) => {
+            let plan = plan_split(&cfg.desc, sc)
+                .unwrap_or_else(|e| panic!("{}: cannot plan split: {e}", cfg.desc.name));
+            let depth = plan.actual_depth();
+            (Some(plan.lower(&cfg.desc, cfg.batch)), depth)
+        }
+        SplitMode::Stochastic { cfg: sc, .. } => {
+            let plan = plan_split(&cfg.desc, sc)
+                .unwrap_or_else(|e| panic!("{}: cannot plan split: {e}", cfg.desc.name));
+            (None, plan.actual_depth())
+        }
+    };
+    let eval_graph = match &cfg.mode {
+        SplitMode::Deterministic(_) => det_graph.clone().expect("deterministic graph"),
+        _ => base.clone(),
+    };
+
+    let mut split_rng = ChaCha8Rng::seed_from_u64(cfg.seed ^ 0xD15C0);
+    let mut history = Vec::with_capacity(cfg.epochs);
+    for epoch in 0..cfg.epochs {
+        opt.set_lr(sched.lr_at(epoch));
+        let mut provider = |_: usize| match &cfg.mode {
+            SplitMode::None => base.clone(),
+            SplitMode::Deterministic(_) => det_graph.clone().expect("deterministic graph"),
+            SplitMode::Stochastic { cfg: sc, omega } => {
+                plan_split_stochastic(&cfg.desc, sc, *omega, &mut split_rng)
+                    .expect("stochastic plan")
+                    .lower(&cfg.desc, cfg.batch)
+            }
+        };
+        let stats = train_epoch(&mut provider, &mut params, &mut bn, &mut opt, &train, &mut rng);
+        let err = evaluate(&eval_graph, &mut params, &mut bn, &test, &mut rng);
+        history.push((epoch, err, stats.loss));
+    }
+
+    ProxyResult {
+        final_error: history.last().map(|h| h.1).unwrap_or(1.0),
+        history,
+        actual_depth,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scnn_core::ModelDesc;
+
+    fn quick(mode: SplitMode) -> ProxyResult {
+        let mut cfg = ProxyConfig::new(
+            ModelDesc::tiny_cnn(4),
+            mode,
+            SyntheticSpec {
+                classes: 4,
+                ..SyntheticSpec::cifar_like(5)
+            },
+        );
+        cfg.dataset.hw = 16;
+        cfg.epochs = 3;
+        cfg.train_batches = 6;
+        cfg.test_batches = 2;
+        cfg.batch = 8;
+        run_proxy(&cfg)
+    }
+
+    #[test]
+    fn baseline_proxy_learns_something() {
+        let r = quick(SplitMode::None);
+        assert_eq!(r.history.len(), 3);
+        assert!(r.final_error < 0.7, "error {} no better than chance", r.final_error);
+        assert_eq!(r.actual_depth, 0.0);
+    }
+
+    #[test]
+    fn split_proxy_trains_and_reports_depth() {
+        let r = quick(SplitMode::Deterministic(SplitConfig::new(0.5, 2, 2)));
+        assert!(r.final_error <= 1.0);
+        assert!((r.actual_depth - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stochastic_proxy_evaluates_unsplit() {
+        let r = quick(SplitMode::Stochastic {
+            cfg: SplitConfig::new(0.5, 2, 2),
+            omega: 0.2,
+        });
+        assert!(r.final_error < 0.95);
+    }
+}

@@ -1,0 +1,124 @@
+//! Stochastic splitting (§3.3).
+//!
+//! For each mini-batch, a fresh output split scheme is drawn per spatial
+//! dimension:
+//!
+//! ```text
+//! s_i ~ DiscreteUniform( ⌈(i−ω)·L/N⌉, ⌊(i+ω)·L/N⌋ ),   i > 0
+//! ```
+//!
+//! where `ω ∈ [0, 0.5)` is the *wiggle room*. The randomness prevents the
+//! network from specializing to fixed patch boundaries, so the trained
+//! weights transfer to the **unsplit** network at inference time — the
+//! property §5.2.3 evaluates. The paper fixes `ω = 0.2` without tuning.
+
+use rand::Rng;
+
+/// Draws a stochastic output split scheme for a dimension of length `len`
+/// into `n` patches with wiggle `omega`.
+///
+/// Boundaries are clamped to remain strictly increasing and to leave at
+/// least one element per patch — necessary when `len/n` is small and the
+/// discrete ranges collide after rounding.
+///
+/// # Panics
+///
+/// Panics unless `0 ≤ omega < 0.5` and `0 < n ≤ len`.
+///
+/// # Example
+///
+/// ```
+/// use rand::SeedableRng;
+/// use rand_chacha::ChaCha8Rng;
+/// use scnn_core::stochastic_starts;
+///
+/// let mut rng = ChaCha8Rng::seed_from_u64(0);
+/// let starts = stochastic_starts(32, 4, 0.2, &mut rng);
+/// assert_eq!(starts.len(), 4);
+/// assert_eq!(starts[0], 0);
+/// ```
+pub fn stochastic_starts(len: usize, n: usize, omega: f32, rng: &mut impl Rng) -> Vec<usize> {
+    assert!((0.0..0.5).contains(&omega), "omega must be in [0, 0.5), got {omega}");
+    assert!(n > 0 && n <= len, "cannot split length {len} into {n} patches");
+    let mut starts = Vec::with_capacity(n);
+    starts.push(0usize);
+    for i in 1..n {
+        let lo = (((i as f32 - omega) * len as f32) / n as f32).ceil() as i64;
+        let hi = (((i as f32 + omega) * len as f32) / n as f32).floor() as i64;
+        let draw = if hi > lo {
+            rng.gen_range(lo..=hi)
+        } else {
+            lo
+        };
+        // Keep strictly increasing and leave room for remaining patches.
+        let min = starts[i - 1] as i64 + 1;
+        let max = len as i64 - (n - i) as i64;
+        starts.push(draw.clamp(min, max) as usize);
+    }
+    starts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn zero_omega_is_even_split() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let s = stochastic_starts(32, 4, 0.0, &mut rng);
+        assert_eq!(s, crate::even_starts(32, 4));
+    }
+
+    #[test]
+    fn boundaries_stay_within_wiggle_window() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        for _ in 0..200 {
+            let s = stochastic_starts(32, 4, 0.2, &mut rng);
+            for (i, &v) in s.iter().enumerate().skip(1) {
+                let lo = ((i as f32 - 0.2) * 8.0).ceil() as usize;
+                let hi = ((i as f32 + 0.2) * 8.0).floor() as usize;
+                assert!(
+                    (lo..=hi).contains(&v),
+                    "boundary {v} outside [{lo}, {hi}] at index {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn always_strictly_increasing_even_when_tiny() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        for _ in 0..500 {
+            let s = stochastic_starts(5, 4, 0.4, &mut rng);
+            assert!(s.windows(2).all(|w| w[0] < w[1]), "{s:?}");
+            assert!(*s.last().unwrap() < 5);
+        }
+    }
+
+    #[test]
+    fn varies_across_draws() {
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let draws: Vec<Vec<usize>> = (0..20)
+            .map(|_| stochastic_starts(64, 4, 0.2, &mut rng))
+            .collect();
+        assert!(
+            draws.iter().any(|d| d != &draws[0]),
+            "stochastic splitting produced identical schemes"
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = stochastic_starts(64, 4, 0.3, &mut ChaCha8Rng::seed_from_u64(9));
+        let b = stochastic_starts(64, 4, 0.3, &mut ChaCha8Rng::seed_from_u64(9));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "omega")]
+    fn omega_half_rejected() {
+        stochastic_starts(32, 4, 0.5, &mut ChaCha8Rng::seed_from_u64(0));
+    }
+}

@@ -1,0 +1,168 @@
+//! Semantic tests of the split transform against the real executor.
+//!
+//! The key invariants of §3.1:
+//!
+//! 1. when every window op in the region has `k == s` ("natural"
+//!    splitting), the Split-CNN computes *exactly* the same function as the
+//!    original network — forward losses match to float precision;
+//! 2. for general geometry the transform changes semantics (zero padding
+//!    replaces window halos) but output *shapes* and trainability are
+//!    preserved, and gradients flow into the same shared parameter table.
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use scnn_core::{lower_unsplit, plan_split, Block, LayerDesc, ModelDesc, SplitConfig};
+use scnn_graph::PoolKind;
+use scnn_nn::{BnState, Executor, Mode, ParamStore};
+use scnn_tensor::uniform;
+
+fn natural_desc() -> ModelDesc {
+    use Block::Plain;
+    use LayerDesc::*;
+    ModelDesc {
+        name: "natural".into(),
+        in_shape: [3, 32, 32],
+        classes: 4,
+        blocks: vec![
+            Plain(Conv { out_c: 6, k: 2, s: 2, p: 0, bias: true }),
+            Plain(Relu),
+            Plain(Pool { kind: PoolKind::Max, k: 2, s: 2, p: 0 }),
+            Plain(Conv { out_c: 8, k: 2, s: 2, p: 0, bias: true }),
+            Plain(Relu),
+            Plain(Flatten),
+            Plain(Linear(4)),
+        ],
+    }
+}
+
+fn general_desc() -> ModelDesc {
+    use Block::Plain;
+    use LayerDesc::*;
+    ModelDesc {
+        name: "general".into(),
+        in_shape: [3, 16, 16],
+        classes: 4,
+        blocks: vec![
+            Plain(Conv { out_c: 6, k: 3, s: 1, p: 1, bias: true }),
+            Plain(Relu),
+            Plain(Pool { kind: PoolKind::Max, k: 2, s: 2, p: 0 }),
+            Plain(Conv { out_c: 8, k: 3, s: 1, p: 1, bias: true }),
+            Plain(Relu),
+            Plain(Pool { kind: PoolKind::Max, k: 2, s: 2, p: 0 }),
+            Plain(Flatten),
+            Plain(Linear(4)),
+        ],
+    }
+}
+
+#[test]
+fn natural_split_is_bitwise_equivalent() {
+    let desc = natural_desc();
+    let mut rng = ChaCha8Rng::seed_from_u64(42);
+    let plain = lower_unsplit(&desc, 3);
+    let mut params = ParamStore::init(&plain, &mut rng);
+    let x = uniform(&mut rng, &[3, 3, 32, 32], -1.0, 1.0);
+    let labels = vec![0, 1, 2];
+
+    let exec = Executor::new();
+    let base = exec.run(
+        &plain,
+        &mut params,
+        &mut BnState::new(),
+        &x,
+        &labels,
+        Mode::Eval,
+        &mut rng,
+    );
+
+    for (nh, nw) in [(2, 2), (4, 1), (1, 4), (2, 4)] {
+        let plan = plan_split(&desc, &SplitConfig::new(1.0, nh, nw)).unwrap();
+        let split = plan.lower(&desc, 3);
+        let got = exec.run(
+            &split,
+            &mut params,
+            &mut BnState::new(),
+            &x,
+            &labels,
+            Mode::Eval,
+            &mut rng,
+        );
+        assert!(
+            (got.loss - base.loss).abs() < 1e-5,
+            "natural {nh}x{nw} split changed the loss: {} vs {}",
+            got.loss,
+            base.loss
+        );
+        assert_eq!(got.correct, base.correct);
+    }
+}
+
+#[test]
+fn general_split_trains_shared_parameters() {
+    let desc = general_desc();
+    let mut rng = ChaCha8Rng::seed_from_u64(7);
+    let plain = lower_unsplit(&desc, 4);
+    let plan = plan_split(&desc, &SplitConfig::new(0.5, 2, 2)).unwrap();
+    let split = plan.lower(&desc, 4);
+    assert_eq!(plain.params(), split.params());
+
+    let mut params = ParamStore::init(&plain, &mut rng);
+    let mut bn = BnState::new();
+    let x = uniform(&mut rng, &[4, 3, 16, 16], -1.0, 1.0);
+    let labels = vec![0, 1, 2, 3];
+    let exec = Executor::new();
+
+    // Train a few steps on the *split* graph…
+    let mut losses = Vec::new();
+    for _ in 0..25 {
+        params.zero_grads();
+        let r = exec.run(&split, &mut params, &mut bn, &x, &labels, Mode::Train, &mut rng);
+        losses.push(r.loss);
+        params.update(|_, v, g| {
+            let step = g.scale(0.3);
+            *v = v.sub(&step);
+        });
+    }
+    assert!(
+        losses[24] < losses[0],
+        "split graph failed to learn: {} -> {}",
+        losses[0],
+        losses[24]
+    );
+
+    // …and the learned weights work in the *unsplit* graph (the §5.2.3
+    // deployment story: train split, infer unsplit).
+    let r = exec.run(&plain, &mut params, &mut bn, &x, &labels, Mode::Eval, &mut rng);
+    assert!(r.loss.is_finite());
+    assert!(r.correct >= 2, "unsplit inference degraded too far: {r:?}");
+}
+
+#[test]
+fn split_shapes_match_unsplit_at_every_join() {
+    let desc = general_desc();
+    for depth in [0.5, 1.0] {
+        for n in [2, 3, 4] {
+            let plan = plan_split(&desc, &SplitConfig::new(depth, n, n)).unwrap();
+            let split = plan.lower(&desc, 2);
+            let plain = lower_unsplit(&desc, 2);
+            let logits_split = &split.nodes()[split.len() - 2];
+            let logits_plain = &plain.nodes()[plain.len() - 2];
+            assert_eq!(
+                logits_split.out_shape, logits_plain.out_shape,
+                "depth {depth}, {n}x{n}"
+            );
+        }
+    }
+}
+
+#[test]
+fn deeper_splits_add_more_patch_nodes() {
+    let desc = general_desc();
+    let shallow = plan_split(&desc, &SplitConfig::new(0.5, 2, 2))
+        .unwrap()
+        .lower(&desc, 1);
+    let deep = plan_split(&desc, &SplitConfig::new(1.0, 2, 2))
+        .unwrap()
+        .lower(&desc, 1);
+    assert!(deep.len() > shallow.len());
+}

@@ -1,0 +1,158 @@
+//! Distributed-training analytical model (§6.4).
+//!
+//! Gradient aggregation with a bandwidth-optimal allreduce has a
+//! lower-bound cost of `2|G| / B_min` (Patarasuk & Yuan \[31\]). Assuming
+//! backward propagation pipelines with aggregation (Goyal et al. \[15\]),
+//! the epoch time is
+//!
+//! ```text
+//! T_epoch = (|D| / N) · ( T_forward + max(T_backward, 2|G| / (α·B_min)) )
+//! ```
+//!
+//! Larger batch sizes mean fewer parameter updates per epoch, so the same
+//! gradient traffic is amortized over more samples — this is how
+//! Split-CNN's 6× batch-size head-room converts into distributed-training
+//! speedup (Figure 11).
+
+pub mod ring;
+
+pub use ring::{ring_allreduce, RingTiming};
+
+/// One training configuration in the distributed model.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DistConfig {
+    /// Training-set size `|D|` (samples).
+    pub dataset_size: usize,
+    /// Gradient size `|G|` in bytes (= parameter bytes).
+    pub grad_bytes: f64,
+    /// Forward compute time per *sample*, seconds.
+    pub fwd_per_sample: f64,
+    /// Backward compute time per *sample*, seconds.
+    pub bwd_per_sample: f64,
+    /// Mini-batch size `N` per update.
+    pub batch: usize,
+    /// Bandwidth utilization efficiency `α` (the paper uses 0.8).
+    pub alpha: f64,
+}
+
+impl DistConfig {
+    /// Allreduce time per update at `bandwidth_bps` (bits per second).
+    pub fn allreduce_time(&self, bandwidth_bps: f64) -> f64 {
+        let bytes_per_s = self.alpha * bandwidth_bps / 8.0;
+        2.0 * self.grad_bytes / bytes_per_s
+    }
+
+    /// Epoch time at `bandwidth_bps` (bits per second).
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-positive bandwidth or zero batch.
+    pub fn epoch_time(&self, bandwidth_bps: f64) -> f64 {
+        assert!(bandwidth_bps > 0.0, "bandwidth must be positive");
+        assert!(self.batch > 0, "batch must be positive");
+        let updates = self.dataset_size as f64 / self.batch as f64;
+        let t_fwd = self.fwd_per_sample * self.batch as f64;
+        let t_bwd = self.bwd_per_sample * self.batch as f64;
+        updates * (t_fwd + t_bwd.max(self.allreduce_time(bandwidth_bps)))
+    }
+
+    /// Whether the epoch is communication-bound at this bandwidth (the
+    /// allreduce exceeds backward compute).
+    pub fn is_bandwidth_bound(&self, bandwidth_bps: f64) -> bool {
+        self.allreduce_time(bandwidth_bps) > self.bwd_per_sample * self.batch as f64
+    }
+}
+
+/// Speedup of `candidate` over `baseline` at a given bandwidth.
+pub fn speedup(baseline: &DistConfig, candidate: &DistConfig, bandwidth_bps: f64) -> f64 {
+    baseline.epoch_time(bandwidth_bps) / candidate.epoch_time(bandwidth_bps)
+}
+
+/// Sweeps bandwidths (bits per second), returning `(bandwidth, speedup)`
+/// pairs — the Figure 11 series.
+pub fn speedup_sweep(
+    baseline: &DistConfig,
+    candidate: &DistConfig,
+    bandwidths_bps: &[f64],
+) -> Vec<(f64, f64)> {
+    bandwidths_bps
+        .iter()
+        .map(|&b| (b, speedup(baseline, candidate, b)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vgg_like(batch: usize) -> DistConfig {
+        DistConfig {
+            dataset_size: 1_281_167,
+            grad_bytes: 548e6, // VGG-19 fp32 parameters
+            fwd_per_sample: 3.5e-3,
+            bwd_per_sample: 7.0e-3,
+            batch,
+            alpha: 0.8,
+        }
+    }
+
+    #[test]
+    fn infinite_bandwidth_is_compute_bound() {
+        let c = vgg_like(64);
+        let t = c.epoch_time(1e18);
+        let compute = 1_281_167.0 * (3.5e-3 + 7.0e-3);
+        assert!((t - compute).abs() / compute < 1e-6);
+        assert!(!c.is_bandwidth_bound(1e18));
+    }
+
+    #[test]
+    fn low_bandwidth_is_communication_bound() {
+        let c = vgg_like(64);
+        assert!(c.is_bandwidth_bound(1e9)); // 1 Gbit/s
+        // Epoch time ≈ updates × allreduce.
+        let t = c.epoch_time(1e9);
+        let expected = (1_281_167.0 / 64.0) * (64.0 * 3.5e-3 + 2.0 * 548e6 / (0.8 * 1e9 / 8.0));
+        assert!((t - expected).abs() / expected < 1e-9);
+    }
+
+    #[test]
+    fn larger_batch_wins_when_bandwidth_bound() {
+        let base = vgg_like(64);
+        let big = vgg_like(384); // 6× batch, same per-sample compute
+        let s = speedup(&base, &big, 10e9); // 10 Gbit/s cloud link
+        assert!(s > 1.5, "speedup at 10 Gbit/s only {s}");
+        // At infinite bandwidth the advantage vanishes.
+        let s_inf = speedup(&base, &big, 1e18);
+        assert!((s_inf - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn speedup_grows_as_bandwidth_shrinks() {
+        let base = vgg_like(64);
+        let big = vgg_like(384);
+        let sweep = speedup_sweep(&base, &big, &[32e9, 10e9, 4e9, 1e9, 0.5e9]);
+        for w in sweep.windows(2) {
+            assert!(
+                w[1].1 >= w[0].1 - 1e-9,
+                "speedup not monotone: {sweep:?}"
+            );
+        }
+        // Saturation: once both are fully bandwidth-bound, the ratio is
+        // the batch ratio.
+        let s_tiny = speedup(&base, &big, 1e6);
+        assert!((s_tiny - 6.0).abs() < 0.3, "saturated speedup {s_tiny}");
+    }
+
+    #[test]
+    fn slight_compute_overhead_caps_speedup() {
+        let base = vgg_like(64);
+        let mut split = vgg_like(384);
+        // Split-CNN's 1.5 % throughput cost.
+        split.fwd_per_sample *= 1.015;
+        split.bwd_per_sample *= 1.015;
+        let s_inf = speedup(&base, &split, 1e18);
+        assert!(s_inf < 1.0, "overhead should lose at infinite bandwidth");
+        assert!(s_inf > 0.97);
+        assert!(speedup(&base, &split, 10e9) > 1.5);
+    }
+}

@@ -1,0 +1,160 @@
+//! Maximum-trainable-batch-size search (the Figure 10 experiment).
+//!
+//! A batch size is trainable when the static layout's device requirement —
+//! general pool high-water mark plus the parameter pool — fits in device
+//! memory. The search doubles the batch until it no longer fits, then
+//! bisects.
+
+use scnn_graph::{Graph, Tape};
+use scnn_hmms::{plan_layout, MemoryPlan, Profile, TsoAssignment};
+
+use crate::sim::{simulate, SimResult};
+
+/// Result of a maximum-batch search.
+#[derive(Clone, Debug)]
+pub struct BatchSearch {
+    /// Largest batch size that fits.
+    pub max_batch: usize,
+    /// Device bytes required at `max_batch`.
+    pub device_bytes: usize,
+    /// Simulation of one step at `max_batch`.
+    pub sim: SimResult,
+}
+
+/// Searches the largest batch size (up to `limit`) whose planned memory
+/// fits in `capacity_bytes`.
+///
+/// `build` constructs the graph for a batch size; `plan` produces the
+/// memory plan (baseline / vDNN / HMMS, with or without splitting baked
+/// into `build`).
+///
+/// Returns `None` if even batch size 1 does not fit.
+pub fn max_batch_size(
+    capacity_bytes: usize,
+    limit: usize,
+    mut build: impl FnMut(usize) -> (Graph, Profile),
+    mut plan: impl FnMut(&Graph, &Tape, &TsoAssignment, &Profile) -> MemoryPlan,
+) -> Option<BatchSearch> {
+    type EvalCtx = (Graph, Tape, TsoAssignment, MemoryPlan, Profile);
+    let mut eval = |batch: usize| -> (bool, usize, Option<EvalCtx>) {
+        let (graph, profile) = build(batch);
+        let tape = Tape::new(&graph);
+        let tso = TsoAssignment::new(&graph, &profile.workspace_bytes, Default::default());
+        let p = plan(&graph, &tape, &tso, &profile);
+        let layout = plan_layout(&graph, &p, &tso);
+        let bytes = layout.device_total_bytes();
+        let fits = bytes <= capacity_bytes;
+        (fits, bytes, Some((graph, tape, tso, p, profile)))
+    };
+
+    let (fits1, _, _) = eval(1);
+    if !fits1 {
+        return None;
+    }
+
+    // Doubling phase.
+    let mut lo = 1usize;
+    let mut hi = 2usize;
+    while hi <= limit {
+        let (fits, _, _) = eval(hi);
+        if fits {
+            lo = hi;
+            hi *= 2;
+        } else {
+            break;
+        }
+    }
+    let mut bad = hi.min(limit + 1);
+    // Bisection on (lo fits, bad doesn't — or bad > limit).
+    while bad - lo > 1 {
+        let mid = (lo + bad) / 2;
+        if mid > limit {
+            break;
+        }
+        let (fits, _, _) = eval(mid);
+        if fits {
+            lo = mid;
+        } else {
+            bad = mid;
+        }
+    }
+
+    let (fits, bytes, ctx) = eval(lo);
+    assert!(fits, "bisection invariant violated at {lo}");
+    let (graph, tape, tso, p, profile) = ctx.expect("context present");
+    let sim = simulate(&graph, &tape, &tso, &p, &profile);
+    Some(BatchSearch {
+        max_batch: lo,
+        device_bytes: bytes,
+        sim,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scnn_hmms::{plan_hmms, plan_no_offload, PlannerOptions};
+    use scnn_tensor::Padding2d;
+
+    fn build_chain(batch: usize) -> (Graph, Profile) {
+        let mut g = Graph::new();
+        let mut x = g.input(&[batch, 3, 32, 32]);
+        for i in 0..3 {
+            x = g.conv2d(x, 16, 3, 1, Padding2d::symmetric(1), false, &format!("c{i}"));
+            x = g.relu(x, &format!("r{i}"));
+        }
+        let f = g.flatten(x, "f");
+        let l = g.linear(f, 4, "fc");
+        g.softmax_cross_entropy(l, "loss");
+        let profile = Profile::uniform(&g, 1e-3, 30e9);
+        (g, profile)
+    }
+
+    #[test]
+    fn search_is_monotone_in_capacity() {
+        let small = max_batch_size(4 << 20, 256, build_chain, |g, t, s, p| {
+            plan_no_offload(g, t, s, p)
+        })
+        .unwrap();
+        let large = max_batch_size(32 << 20, 256, build_chain, |g, t, s, p| {
+            plan_no_offload(g, t, s, p)
+        })
+        .unwrap();
+        assert!(large.max_batch > small.max_batch);
+        assert!(small.device_bytes <= 4 << 20);
+    }
+
+    #[test]
+    fn offloading_increases_max_batch() {
+        let cap = 8 << 20;
+        let base = max_batch_size(cap, 512, build_chain, |g, t, s, p| {
+            plan_no_offload(g, t, s, p)
+        })
+        .unwrap();
+        let hmms = max_batch_size(cap, 512, build_chain, |g, t, s, p| {
+            plan_hmms(g, t, s, p, PlannerOptions::default())
+        })
+        .unwrap();
+        assert!(
+            hmms.max_batch > base.max_batch,
+            "offloading did not help: {} vs {}",
+            hmms.max_batch,
+            base.max_batch
+        );
+    }
+
+    #[test]
+    fn impossible_capacity_returns_none() {
+        assert!(max_batch_size(1024, 16, build_chain, plan_no_offload)
+            .is_none());
+    }
+
+    #[test]
+    fn limit_caps_the_search() {
+        let r = max_batch_size(usize::MAX / 2, 8, build_chain, |g, t, s, p| {
+            plan_no_offload(g, t, s, p)
+        })
+        .unwrap();
+        assert_eq!(r.max_batch, 8);
+    }
+}

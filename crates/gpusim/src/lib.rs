@@ -1,0 +1,36 @@
+//! Simulated GPU + NVLink device.
+//!
+//! The paper's experiments run on an IBM S822LC with NVIDIA P100 GPUs
+//! (16 GB HBM2) connected over NVLink 1.0 at a measured 34.1 GB/s. This
+//! crate substitutes for that testbed:
+//!
+//! - [`DeviceSpec`] — the device constants;
+//! - [`cost`] — an analytical roofline cost model producing the per-op
+//!   [`scnn_hmms::Profile`] the planners consume (standing in for the
+//!   paper's 20-repetition timing runs), including a cuDNN-style
+//!   convolution-workspace model;
+//! - [`sim`] — a discrete-event simulator of one training step: a compute
+//!   stream executing the tape plus memory streams carrying planned
+//!   offload/prefetch transfers, with the plan's synchronization points;
+//! - [`timeline`] — nvprof-style stream timelines (Figure 9);
+//! - [`analysis`] — generated vs offload-able data per layer (Figure 1);
+//! - [`capacity`] — maximum-trainable-batch-size search (Figure 10).
+//!
+//! The substitution preserves the paper's experimental logic because HMMS
+//! only consumes `(per-op time, bandwidth)` pairs, and every result we
+//! reproduce is a *ratio* between plans evaluated on the same profile.
+
+pub mod analysis;
+pub mod capacity;
+pub mod cost;
+pub mod sim;
+pub mod timeline;
+
+mod device;
+
+pub use analysis::{offload_analysis, LayerFlow, OffloadAnalysis};
+pub use capacity::{max_batch_size, BatchSearch};
+pub use cost::{node_flops, profile_graph, CostModel};
+pub use device::DeviceSpec;
+pub use sim::{simulate, SimResult};
+pub use timeline::{Interval, StreamKind, Timeline};

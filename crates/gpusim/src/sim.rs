@@ -1,0 +1,283 @@
+//! Discrete-event simulation of one training step.
+//!
+//! The compute stream executes tape steps back to back; planned transfers
+//! run concurrently on memory streams; `OffloadSync`/`PrefetchSync` events
+//! block the compute stream until the named transfer completes. The gap
+//! between total time and pure compute time is exactly the stall the
+//! Figure 8 comparison measures.
+
+use std::collections::HashMap;
+
+use scnn_graph::{Graph, Tape, TapeStep};
+use scnn_hmms::{MemEvent, MemoryPlan, Profile, TsoAssignment, TsoId};
+
+use crate::timeline::{StreamKind, Timeline};
+
+/// Outcome of simulating one training step.
+#[derive(Clone, Debug)]
+pub struct SimResult {
+    /// Wall-clock time of the step, seconds.
+    pub total_time: f64,
+    /// Sum of op execution times (the no-offload lower bound).
+    pub compute_time: f64,
+    /// Time the compute stream spent blocked on transfer syncs.
+    pub stall_time: f64,
+    /// Bytes moved device→host.
+    pub offloaded_bytes: usize,
+    /// Bytes moved host→device.
+    pub prefetched_bytes: usize,
+    /// Peak *logical* live bytes in the general pool (sum of live TSOs;
+    /// the first-fit layout's high-water mark is ≥ this).
+    pub peak_live_bytes: usize,
+    /// Full stream trace.
+    pub timeline: Timeline,
+}
+
+impl SimResult {
+    /// Training throughput in samples per second for a given batch size.
+    pub fn throughput(&self, batch: usize) -> f64 {
+        batch as f64 / self.total_time
+    }
+
+    /// Slowdown relative to a baseline result (1.0 = no degradation).
+    pub fn slowdown_vs(&self, baseline: &SimResult) -> f64 {
+        self.total_time / baseline.total_time
+    }
+}
+
+/// Simulates `plan` over `tape`.
+///
+/// # Panics
+///
+/// Panics if the plan references transfers that never started (planner
+/// bug) or the profile mismatches the graph.
+pub fn simulate(
+    graph: &Graph,
+    tape: &Tape,
+    tso: &TsoAssignment,
+    plan: &MemoryPlan,
+    profile: &Profile,
+) -> SimResult {
+    profile.validate(graph);
+    assert_eq!(plan.steps.len(), tape.entries().len(), "plan/tape mismatch");
+
+    // NVLink is full-duplex: device->host and host->device transfers each
+    // get the full link bandwidth, but transfers in the *same* direction
+    // share it and therefore serialize. The plan's stream indices are kept
+    // only as timeline labels.
+    let mut now = 0.0f64;
+    let mut stream_free = vec![0.0f64; 2]; // [0] = D2H, [1] = H2D
+    let mut transfer_end: HashMap<(TsoId, bool), f64> = HashMap::new(); // (tso, is_prefetch)
+    let mut timeline = Timeline::default();
+    let mut stall = 0.0f64;
+    let mut offloaded_bytes = 0usize;
+    let mut prefetched_bytes = 0usize;
+    let mut live = 0usize;
+    let mut peak_live = 0usize;
+
+    let mut handle = |e: &MemEvent,
+                      now: &mut f64,
+                      stream_free: &mut Vec<f64>,
+                      timeline: &mut Timeline| {
+        match e {
+            MemEvent::Alloc(t) => {
+                live += tso.size(*t);
+                peak_live = peak_live.max(live);
+            }
+            MemEvent::Free(t) => {
+                live -= tso.size(*t);
+            }
+            MemEvent::OffloadStart { tso: t, .. } => {
+                let bytes = tso.size(*t);
+                let start = now.max(stream_free[0]);
+                let end = start + bytes as f64 / profile.link_bandwidth;
+                stream_free[0] = end;
+                transfer_end.insert((*t, false), end);
+                offloaded_bytes += bytes;
+                timeline.push(StreamKind::Memory(0), start, end, format!("D2H tso{}", t.0));
+            }
+            MemEvent::PrefetchStart { tso: t, .. } => {
+                let bytes = tso.size(*t);
+                let start = now.max(stream_free[1]);
+                let end = start + bytes as f64 / profile.link_bandwidth;
+                stream_free[1] = end;
+                transfer_end.insert((*t, true), end);
+                prefetched_bytes += bytes;
+                timeline.push(StreamKind::Memory(1), start, end, format!("H2D tso{}", t.0));
+            }
+            MemEvent::OffloadSync { tso: t } => {
+                let end = transfer_end[&(*t, false)];
+                if end > *now {
+                    stall += end - *now;
+                    *now = end;
+                }
+            }
+            MemEvent::PrefetchSync { tso: t } => {
+                let end = transfer_end[&(*t, true)];
+                if end > *now {
+                    stall += end - *now;
+                    *now = end;
+                }
+            }
+        }
+    };
+
+    let mut compute_time = 0.0f64;
+    for (pos, entry) in tape.entries().iter().enumerate() {
+        for e in &plan.steps[pos].before {
+            handle(e, &mut now, &mut stream_free, &mut timeline);
+        }
+        let node = graph.node(entry.node);
+        let dur = match entry.step {
+            TapeStep::Forward => profile.fwd_time[entry.node.0],
+            TapeStep::Backward => profile.bwd_time[entry.node.0],
+        };
+        if dur > 0.0 {
+            let dir = if entry.step == TapeStep::Forward { "F" } else { "B" };
+            timeline.push(
+                StreamKind::Compute,
+                now,
+                now + dur,
+                format!("{dir}:{}", node.name),
+            );
+        }
+        now += dur;
+        compute_time += dur;
+        for e in &plan.steps[pos].after {
+            handle(e, &mut now, &mut stream_free, &mut timeline);
+        }
+    }
+    // The step is only complete once every outstanding transfer lands (the
+    // next iteration's allocator must not overwrite in-flight data).
+    let total_time = transfer_end.values().fold(now, |a, &b| a.max(b));
+
+    SimResult {
+        total_time,
+        compute_time,
+        stall_time: stall,
+        offloaded_bytes,
+        prefetched_bytes,
+        peak_live_bytes: peak_live,
+        timeline,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scnn_hmms::{plan_hmms, plan_no_offload, plan_vdnn, PlannerOptions, TsoOptions};
+    use scnn_tensor::Padding2d;
+
+    fn setup(
+        n_convs: usize,
+        t: f64,
+        bw: f64,
+    ) -> (Graph, Tape, TsoAssignment, Profile) {
+        let mut g = Graph::new();
+        let mut x = g.input(&[4, 3, 32, 32]);
+        for i in 0..n_convs {
+            x = g.conv2d(x, 16, 3, 1, Padding2d::symmetric(1), false, &format!("c{i}"));
+            x = g.relu(x, &format!("r{i}"));
+        }
+        let f = g.flatten(x, "f");
+        let l = g.linear(f, 4, "fc");
+        g.softmax_cross_entropy(l, "loss");
+        let tape = Tape::new(&g);
+        let tso = TsoAssignment::new(&g, &vec![0; g.len()], TsoOptions::default());
+        let profile = Profile::uniform(&g, t, bw);
+        (g, tape, tso, profile)
+    }
+
+    #[test]
+    fn baseline_time_is_pure_compute() {
+        let (g, tape, tso, profile) = setup(3, 1e-3, 30e9);
+        let r = simulate(&g, &tape, &tso, &plan_no_offload(&g, &tape, &tso, &profile), &profile);
+        assert!((r.total_time - r.compute_time).abs() < 1e-12);
+        assert_eq!(r.stall_time, 0.0);
+        assert_eq!(r.offloaded_bytes, 0);
+    }
+
+    #[test]
+    fn fast_link_hmms_has_negligible_stall() {
+        let (g, tape, tso, profile) = setup(4, 1e-3, 300e9);
+        let base = simulate(&g, &tape, &tso, &plan_no_offload(&g, &tape, &tso, &profile), &profile);
+        let h = simulate(
+            &g,
+            &tape,
+            &tso,
+            &plan_hmms(&g, &tape, &tso, &profile, PlannerOptions::default()),
+            &profile,
+        );
+        assert!(h.offloaded_bytes > 0);
+        assert!(
+            h.slowdown_vs(&base) < 1.01,
+            "fast link should hide transfers: slowdown {}",
+            h.slowdown_vs(&base)
+        );
+    }
+
+    #[test]
+    fn slow_link_vdnn_stalls_more_than_hmms() {
+        let (g, tape, tso, profile) = setup(6, 1e-4, 2e9);
+        let opts = PlannerOptions::default();
+        let v = simulate(&g, &tape, &tso, &plan_vdnn(&g, &tape, &tso, &profile, opts), &profile);
+        let h = simulate(&g, &tape, &tso, &plan_hmms(&g, &tape, &tso, &profile, opts), &profile);
+        assert_eq!(v.offloaded_bytes, h.offloaded_bytes);
+        assert!(
+            h.stall_time <= v.stall_time,
+            "HMMS stalled more ({}) than vDNN ({})",
+            h.stall_time,
+            v.stall_time
+        );
+        assert!(v.stall_time > 0.0, "expected vDNN to stall on a slow link");
+    }
+
+    #[test]
+    fn offloading_lowers_peak_live_bytes() {
+        let (g, tape, tso, profile) = setup(4, 1e-3, 30e9);
+        let base = simulate(&g, &tape, &tso, &plan_no_offload(&g, &tape, &tso, &profile), &profile);
+        let h = simulate(
+            &g,
+            &tape,
+            &tso,
+            &plan_hmms(&g, &tape, &tso, &profile, PlannerOptions::default()),
+            &profile,
+        );
+        assert!(h.peak_live_bytes < base.peak_live_bytes);
+    }
+
+    #[test]
+    fn prefetch_returns_every_offloaded_byte() {
+        let (g, tape, tso, profile) = setup(3, 1e-3, 30e9);
+        let h = simulate(
+            &g,
+            &tape,
+            &tso,
+            &plan_hmms(&g, &tape, &tso, &profile, PlannerOptions::default()),
+            &profile,
+        );
+        assert_eq!(h.offloaded_bytes, h.prefetched_bytes);
+    }
+
+    #[test]
+    fn timeline_compute_busy_equals_compute_time() {
+        let (g, tape, tso, profile) = setup(3, 1e-3, 30e9);
+        let r = simulate(
+            &g,
+            &tape,
+            &tso,
+            &plan_hmms(&g, &tape, &tso, &profile, PlannerOptions::default()),
+            &profile,
+        );
+        let busy = r.timeline.busy(StreamKind::Compute);
+        assert!((busy - r.compute_time).abs() < 1e-9);
+        assert!(!r.timeline.memory_streams().is_empty());
+    }
+
+    #[test]
+    fn throughput_definition() {
+        let (g, tape, tso, profile) = setup(2, 1e-3, 30e9);
+        let r = simulate(&g, &tape, &tso, &plan_no_offload(&g, &tape, &tso, &profile), &profile);
+        assert!((r.throughput(4) - 4.0 / r.total_time).abs() < 1e-9);
+    }
+}

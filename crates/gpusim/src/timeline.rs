@@ -1,0 +1,163 @@
+//! Stream timelines — the simulator's equivalent of nvprof traces
+//! (Figure 9).
+
+use std::fmt;
+
+/// Which stream an interval belongs to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum StreamKind {
+    /// The single compute stream.
+    Compute,
+    /// A memory stream, by index.
+    Memory(usize),
+}
+
+impl fmt::Display for StreamKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StreamKind::Compute => write!(f, "compute"),
+            StreamKind::Memory(i) => write!(f, "mem[{i}]"),
+        }
+    }
+}
+
+/// One busy interval on a stream.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Interval {
+    /// Stream the work ran on.
+    pub stream: StreamKind,
+    /// Start time, seconds.
+    pub start: f64,
+    /// End time, seconds.
+    pub end: f64,
+    /// What ran (op or transfer label).
+    pub label: String,
+}
+
+/// A complete trace of one simulated training step.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Timeline {
+    /// All intervals, in issue order.
+    pub intervals: Vec<Interval>,
+}
+
+impl Timeline {
+    /// Records an interval.
+    pub fn push(&mut self, stream: StreamKind, start: f64, end: f64, label: impl Into<String>) {
+        self.intervals.push(Interval {
+            stream,
+            start,
+            end,
+            label: label.into(),
+        });
+    }
+
+    /// Total busy time of a stream.
+    pub fn busy(&self, stream: StreamKind) -> f64 {
+        self.intervals
+            .iter()
+            .filter(|i| i.stream == stream)
+            .map(|i| i.end - i.start)
+            .sum()
+    }
+
+    /// End time of the last interval.
+    pub fn span(&self) -> f64 {
+        self.intervals.iter().map(|i| i.end).fold(0.0, f64::max)
+    }
+
+    /// Memory stream indices present in the trace.
+    pub fn memory_streams(&self) -> Vec<usize> {
+        let mut v: Vec<usize> = self
+            .intervals
+            .iter()
+            .filter_map(|i| match i.stream {
+                StreamKind::Memory(m) => Some(m),
+                StreamKind::Compute => None,
+            })
+            .collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    /// Renders an ASCII Gantt chart with `width` character columns — the
+    /// textual Figure 9.
+    pub fn render_ascii(&self, width: usize) -> String {
+        let span = self.span();
+        if span <= 0.0 || self.intervals.is_empty() {
+            return String::from("(empty timeline)\n");
+        }
+        let mut out = String::new();
+        let mut rows: Vec<(StreamKind, char)> = vec![(StreamKind::Compute, '#')];
+        for m in self.memory_streams() {
+            rows.push((StreamKind::Memory(m), if m % 2 == 0 { '=' } else { '-' }));
+        }
+        for (stream, ch) in rows {
+            let mut row = vec![' '; width];
+            for i in self.intervals.iter().filter(|i| i.stream == stream) {
+                let a = ((i.start / span) * width as f64) as usize;
+                let b = (((i.end / span) * width as f64).ceil() as usize).min(width);
+                for c in row.iter_mut().take(b).skip(a.min(width.saturating_sub(1))) {
+                    *c = ch;
+                }
+            }
+            out.push_str(&format!("{:>9} |{}|\n", stream.to_string(), row.iter().collect::<String>()));
+        }
+        out.push_str(&format!("{:>9}  0{:>width$.3}s\n", "t", span, width = width));
+        out
+    }
+
+    /// Emits the raw intervals as CSV (`stream,start,end,label`).
+    pub fn to_csv(&self) -> String {
+        let mut s = String::from("stream,start,end,label\n");
+        for i in &self.intervals {
+            s.push_str(&format!("{},{:.9},{:.9},{}\n", i.stream, i.start, i.end, i.label));
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Timeline {
+        let mut t = Timeline::default();
+        t.push(StreamKind::Compute, 0.0, 1.0, "conv");
+        t.push(StreamKind::Compute, 1.5, 2.0, "fc");
+        t.push(StreamKind::Memory(0), 0.0, 1.8, "offload");
+        t
+    }
+
+    #[test]
+    fn busy_and_span() {
+        let t = sample();
+        assert!((t.busy(StreamKind::Compute) - 1.5).abs() < 1e-9);
+        assert!((t.busy(StreamKind::Memory(0)) - 1.8).abs() < 1e-9);
+        assert_eq!(t.span(), 2.0);
+        assert_eq!(t.memory_streams(), vec![0]);
+    }
+
+    #[test]
+    fn ascii_has_one_row_per_stream() {
+        let t = sample();
+        let s = t.render_ascii(40);
+        assert_eq!(s.lines().count(), 3); // compute, mem[0], axis
+        assert!(s.contains('#'));
+        assert!(s.contains('='));
+    }
+
+    #[test]
+    fn csv_roundtrip_lines() {
+        let t = sample();
+        let csv = t.to_csv();
+        assert_eq!(csv.lines().count(), 4);
+        assert!(csv.starts_with("stream,start,end,label"));
+    }
+
+    #[test]
+    fn empty_timeline_renders() {
+        assert_eq!(Timeline::default().render_ascii(10), "(empty timeline)\n");
+    }
+}

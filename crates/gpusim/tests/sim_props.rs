@@ -1,0 +1,111 @@
+//! Property tests for the discrete-event simulator: conservation laws that
+//! must hold for every plan on every profile.
+
+use proptest::prelude::*;
+use scnn_graph::{Graph, Tape};
+use scnn_gpusim::{simulate, StreamKind};
+use scnn_hmms::{
+    plan_hmms, plan_no_offload, plan_vdnn, PlannerOptions, Profile, TsoAssignment, TsoOptions,
+};
+use scnn_tensor::Padding2d;
+
+fn chain(convs: usize, batch: usize) -> Graph {
+    let mut g = Graph::new();
+    let mut x = g.input(&[batch, 3, 16, 16]);
+    for i in 0..convs {
+        x = g.conv2d(x, 8, 3, 1, Padding2d::symmetric(1), false, &format!("c{i}"));
+        x = g.batch_norm(x, i % 2 == 0, &format!("bn{i}"));
+        x = g.relu(x, &format!("r{i}"));
+    }
+    let f = g.flatten(x, "f");
+    let l = g.linear(f, 4, "fc");
+    g.softmax_cross_entropy(l, "loss");
+    g
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// For every planner and profile:
+    /// - total time ≥ compute time; equality iff stall-free and no
+    ///   trailing transfer;
+    /// - stall is exactly the gap budget (total ≥ compute + stall is NOT
+    ///   an identity because trailing transfers extend total, so ≥);
+    /// - compute-stream busy time equals the profile's op-time sum;
+    /// - prefetched bytes equal offloaded bytes;
+    /// - memory-stream busy time equals (off+pre bytes)/bandwidth.
+    #[test]
+    fn conservation_laws(
+        convs in 1usize..8,
+        batch in 1usize..4,
+        t_op in 1e-5f64..1e-2,
+        bw_exp in 6.0f64..11.0,
+        cap in 0.1f64..=1.0,
+        which in 0usize..3,
+    ) {
+        let g = chain(convs, batch);
+        let tape = Tape::new(&g);
+        let tso = TsoAssignment::new(&g, &vec![0; g.len()], TsoOptions::default());
+        let profile = Profile {
+            fwd_time: vec![t_op; g.len()],
+            bwd_time: vec![t_op * 1.5; g.len()],
+            workspace_bytes: vec![0; g.len()],
+            link_bandwidth: 10f64.powf(bw_exp),
+        };
+        let opts = PlannerOptions { offload_cap: cap, mem_streams: 2 };
+        let plan = match which {
+            0 => plan_no_offload(&g, &tape, &tso, &profile),
+            1 => plan_vdnn(&g, &tape, &tso, &profile, opts),
+            _ => plan_hmms(&g, &tape, &tso, &profile, opts),
+        };
+        let r = simulate(&g, &tape, &tso, &plan, &profile);
+
+        let op_sum: f64 = profile.total_fwd() + profile.total_bwd();
+        prop_assert!((r.compute_time - op_sum).abs() < 1e-9);
+        prop_assert!(r.total_time >= r.compute_time - 1e-12);
+        prop_assert!(r.total_time >= r.compute_time + r.stall_time - 1e-9);
+        prop_assert_eq!(r.offloaded_bytes, r.prefetched_bytes);
+
+        let mem_busy: f64 = r
+            .timeline
+            .memory_streams()
+            .iter()
+            .map(|&m| r.timeline.busy(StreamKind::Memory(m)))
+            .sum();
+        let expected = (r.offloaded_bytes + r.prefetched_bytes) as f64 / profile.link_bandwidth;
+        prop_assert!((mem_busy - expected).abs() < 1e-9 * (1.0 + expected));
+
+        let compute_busy = r.timeline.busy(StreamKind::Compute);
+        prop_assert!((compute_busy - r.compute_time).abs() < 1e-9);
+    }
+
+    /// Offloading can only shrink (never grow) the logical peak, and a
+    /// larger cap never yields a larger peak than a smaller cap.
+    #[test]
+    fn peak_monotone_in_offload_cap(
+        convs in 2usize..8,
+        lo in 0.1f64..0.5,
+        hi_delta in 0.1f64..0.5,
+    ) {
+        let g = chain(convs, 2);
+        let tape = Tape::new(&g);
+        let tso = TsoAssignment::new(&g, &vec![0; g.len()], TsoOptions::default());
+        let profile = Profile::uniform(&g, 1e-3, 30e9);
+        let peak = |cap: f64| {
+            let plan = plan_hmms(&g, &tape, &tso, &profile, PlannerOptions {
+                offload_cap: cap,
+                mem_streams: 2,
+            });
+            simulate(&g, &tape, &tso, &plan, &profile).peak_live_bytes
+        };
+        let base = simulate(
+            &g, &tape, &tso,
+            &plan_no_offload(&g, &tape, &tso, &profile),
+            &profile,
+        ).peak_live_bytes;
+        let p_lo = peak(lo);
+        let p_hi = peak((lo + hi_delta).min(1.0));
+        prop_assert!(p_lo <= base);
+        prop_assert!(p_hi <= p_lo);
+    }
+}

@@ -1,0 +1,269 @@
+//! Static memory planning (§4.4): first-fit placement of every TSO in the
+//! three memory pools.
+//!
+//! Walking the serialized tape with the memory plan's alloc/free events,
+//! each allocation takes the first contiguous gap it fits in. Because
+//! planning is entirely offline, the runtime performs no allocation at all;
+//! the pool's high-water mark *is* the device memory requirement, which is
+//! what the Figure 10 maximum-batch-size search compares against the
+//! device capacity.
+
+use std::collections::HashMap;
+
+use scnn_graph::Graph;
+
+use crate::plan::{MemEvent, MemoryPlan};
+use crate::tso::{TsoAssignment, TsoId};
+
+/// The result of static planning: addresses and pool sizes.
+#[derive(Clone, Debug)]
+pub struct StaticLayout {
+    /// High-water mark of the device general-purpose pool (activations,
+    /// errors, aux, workspace), in bytes.
+    pub device_general_bytes: usize,
+    /// Device parameter pool: parameters + gradients.
+    pub device_param_bytes: usize,
+    /// Pinned host pool: total bytes of offloaded TSOs.
+    pub host_pool_bytes: usize,
+    /// Address of every TSO *instance* (a TSO freed and re-allocated for
+    /// prefetch has two instances) in the general pool.
+    pub addresses: HashMap<(TsoId, usize), usize>,
+    /// Sum of live bytes over time would be this much without first-fit
+    /// reuse (diagnostic: total allocation traffic).
+    pub total_alloc_bytes: usize,
+}
+
+impl StaticLayout {
+    /// Total device bytes (general + parameter pools).
+    pub fn device_total_bytes(&self) -> usize {
+        self.device_general_bytes + self.device_param_bytes
+    }
+}
+
+/// Runs first-fit placement for `plan`.
+///
+/// # Panics
+///
+/// Panics on double-alloc or free-without-alloc, which indicate a planner
+/// bug — the tests rely on this as a legality check.
+pub fn plan_layout(graph: &Graph, plan: &MemoryPlan, tso: &TsoAssignment) -> StaticLayout {
+    let mut free = FreeList::new();
+    let mut live: HashMap<TsoId, (usize, usize)> = HashMap::new(); // tso -> (addr, instance)
+    let mut instance = vec![0usize; tso.len()];
+    let mut addresses = HashMap::new();
+    let mut total_alloc_bytes = 0usize;
+
+    let mut handle = |e: &MemEvent,
+                      live: &mut HashMap<TsoId, (usize, usize)>,
+                      free: &mut FreeList| {
+        match e {
+            MemEvent::Alloc(t) => {
+                assert!(!live.contains_key(t), "double alloc of {t:?}");
+                let size = tso.size(*t);
+                let addr = free.alloc(size);
+                let inst = instance[t.0];
+                instance[t.0] += 1;
+                addresses.insert((*t, inst), addr);
+                live.insert(*t, (addr, inst));
+                total_alloc_bytes += size;
+            }
+            MemEvent::Free(t) => {
+                let (addr, _) = live.remove(t).unwrap_or_else(|| panic!("free of dead {t:?}"));
+                free.free(addr, tso.size(*t));
+            }
+            _ => {}
+        }
+    };
+
+    for step in &plan.steps {
+        for e in &step.before {
+            handle(e, &mut live, &mut free);
+        }
+        for e in &step.after {
+            handle(e, &mut live, &mut free);
+        }
+    }
+    assert!(
+        live.is_empty(),
+        "TSOs leaked past the end of the step: {:?}",
+        live.keys().collect::<Vec<_>>()
+    );
+
+    let host_pool_bytes = plan.offloaded.iter().map(|&t| tso.size(t)).sum();
+    // Parameters and their gradients live in the dedicated parameter pool.
+    let device_param_bytes = 2 * graph.param_elems() * 4;
+
+    StaticLayout {
+        device_general_bytes: free.high_water(),
+        device_param_bytes,
+        host_pool_bytes,
+        addresses,
+        total_alloc_bytes,
+    }
+}
+
+/// A simple first-fit free-list over an unbounded address space, tracking
+/// the high-water mark.
+struct FreeList {
+    /// Sorted, disjoint, coalesced gaps below the high-water mark.
+    gaps: Vec<(usize, usize)>, // (start, end)
+    high: usize,
+}
+
+impl FreeList {
+    fn new() -> Self {
+        FreeList {
+            gaps: Vec::new(),
+            high: 0,
+        }
+    }
+
+    fn high_water(&self) -> usize {
+        self.high
+    }
+
+    fn alloc(&mut self, size: usize) -> usize {
+        if size == 0 {
+            return 0;
+        }
+        for i in 0..self.gaps.len() {
+            let (s, e) = self.gaps[i];
+            if e - s >= size {
+                if e - s == size {
+                    self.gaps.remove(i);
+                } else {
+                    self.gaps[i] = (s + size, e);
+                }
+                return s;
+            }
+        }
+        let addr = self.high;
+        self.high += size;
+        addr
+    }
+
+    fn free(&mut self, addr: usize, size: usize) {
+        if size == 0 {
+            return;
+        }
+        let pos = self.gaps.partition_point(|&(s, _)| s < addr);
+        self.gaps.insert(pos, (addr, addr + size));
+        // Coalesce with neighbors.
+        if pos + 1 < self.gaps.len() && self.gaps[pos].1 == self.gaps[pos + 1].0 {
+            self.gaps[pos].1 = self.gaps[pos + 1].1;
+            self.gaps.remove(pos + 1);
+        }
+        if pos > 0 && self.gaps[pos - 1].1 == self.gaps[pos].0 {
+            self.gaps[pos - 1].1 = self.gaps[pos].1;
+            self.gaps.remove(pos);
+        }
+        // Shrink the high-water gap? Keep high as a *mark*: it records the
+        // maximum extent ever used, which is the pool size we must reserve.
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::offload::{plan_hmms, plan_no_offload, PlannerOptions};
+    use crate::profile::Profile;
+    use crate::tso::TsoOptions;
+    use scnn_graph::Tape;
+    use scnn_tensor::Padding2d;
+
+    fn setup() -> (Graph, Tape, TsoAssignment, Profile) {
+        let mut g = Graph::new();
+        let mut x = g.input(&[2, 3, 16, 16]);
+        for i in 0..4 {
+            x = g.conv2d(x, 8, 3, 1, Padding2d::symmetric(1), false, &format!("c{i}"));
+            x = g.relu(x, &format!("r{i}"));
+        }
+        let f = g.flatten(x, "f");
+        let l = g.linear(f, 4, "fc");
+        g.softmax_cross_entropy(l, "loss");
+        let tape = Tape::new(&g);
+        let mut ws = vec![0; g.len()];
+        // Give convs a workspace.
+        for n in g.nodes() {
+            if matches!(n.op, scnn_graph::Op::Conv2d { .. }) {
+                ws[n.id.0] = 4096;
+            }
+        }
+        let tso = TsoAssignment::new(&g, &ws, TsoOptions::default());
+        let profile = Profile {
+            fwd_time: vec![1e-3; g.len()],
+            bwd_time: vec![2e-3; g.len()],
+            workspace_bytes: ws,
+            link_bandwidth: 30e9,
+        };
+        (g, tape, tso, profile)
+    }
+
+    #[test]
+    fn first_fit_reuses_gaps() {
+        let mut f = FreeList::new();
+        let a = f.alloc(100);
+        let b = f.alloc(50);
+        assert_eq!((a, b), (0, 100));
+        f.free(a, 100);
+        let c = f.alloc(40); // fits in the gap at 0
+        assert_eq!(c, 0);
+        let d = f.alloc(70); // gap is 60 wide now → extends high water
+        assert_eq!(d, 150);
+        assert_eq!(f.high_water(), 220);
+    }
+
+    #[test]
+    fn free_list_coalesces() {
+        let mut f = FreeList::new();
+        let a = f.alloc(10);
+        let b = f.alloc(10);
+        let c = f.alloc(10);
+        f.free(a, 10);
+        f.free(c, 10);
+        f.free(b, 10); // should merge into one 30-wide gap
+        assert_eq!(f.gaps, vec![(0, 30)]);
+        assert_eq!(f.alloc(30), 0);
+    }
+
+    #[test]
+    fn offloading_reduces_device_high_water() {
+        let (g, tape, tso, profile) = setup();
+        let base = plan_layout(&g, &plan_no_offload(&g, &tape, &tso, &profile), &tso);
+        let hmms = plan_layout(
+            &g,
+            &plan_hmms(&g, &tape, &tso, &profile, PlannerOptions::default()),
+            &tso,
+        );
+        assert!(
+            hmms.device_general_bytes < base.device_general_bytes,
+            "offloading did not reduce peak: {} vs {}",
+            hmms.device_general_bytes,
+            base.device_general_bytes
+        );
+        assert!(hmms.host_pool_bytes > 0);
+        assert_eq!(base.host_pool_bytes, 0);
+        assert_eq!(base.device_param_bytes, hmms.device_param_bytes);
+    }
+
+    #[test]
+    fn layout_is_leak_free_and_instances_tracked() {
+        let (g, tape, tso, profile) = setup();
+        let plan = plan_hmms(&g, &tape, &tso, &profile, PlannerOptions::default());
+        let layout = plan_layout(&g, &plan, &tso);
+        // Every offloaded TSO has exactly two placed instances.
+        for &t in &plan.offloaded {
+            assert!(layout.addresses.contains_key(&(t, 0)));
+            assert!(layout.addresses.contains_key(&(t, 1)));
+        }
+        assert!(layout.device_general_bytes > 0);
+        assert!(layout.total_alloc_bytes >= layout.device_general_bytes);
+    }
+
+    #[test]
+    fn param_pool_matches_param_count() {
+        let (g, tape, tso, profile) = setup();
+        let layout = plan_layout(&g, &plan_no_offload(&g, &tape, &tso, &profile), &tso);
+        assert_eq!(layout.device_param_bytes, 2 * g.param_elems() * 4);
+    }
+}

@@ -1,0 +1,130 @@
+//! Memory plans: the fully static schedule of memory actions per tape step.
+
+use crate::tso::TsoId;
+
+/// One planned memory action, attached to a tape step.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MemEvent {
+    /// Allocate the TSO in the device general-purpose pool.
+    Alloc(TsoId),
+    /// Free the TSO from the device pool.
+    Free(TsoId),
+    /// Begin the device→host transfer on the given memory stream; runs
+    /// concurrently with compute.
+    OffloadStart {
+        /// The TSO being offloaded.
+        tso: TsoId,
+        /// Memory stream index.
+        stream: usize,
+    },
+    /// Block the compute stream until the offload of `tso` completes
+    /// (legality point for freeing its device storage).
+    OffloadSync {
+        /// The TSO whose transfer must finish.
+        tso: TsoId,
+    },
+    /// Begin the host→device transfer restoring `tso`.
+    PrefetchStart {
+        /// The TSO being prefetched.
+        tso: TsoId,
+        /// Memory stream index.
+        stream: usize,
+    },
+    /// Block the compute stream until the prefetch of `tso` completes —
+    /// placed immediately before the backward op that reads it.
+    PrefetchSync {
+        /// The TSO whose transfer must finish.
+        tso: TsoId,
+    },
+}
+
+impl MemEvent {
+    /// The TSO this event concerns.
+    pub fn tso(&self) -> TsoId {
+        match *self {
+            MemEvent::Alloc(t)
+            | MemEvent::Free(t)
+            | MemEvent::OffloadStart { tso: t, .. }
+            | MemEvent::OffloadSync { tso: t }
+            | MemEvent::PrefetchStart { tso: t, .. }
+            | MemEvent::PrefetchSync { tso: t } => t,
+        }
+    }
+}
+
+/// Memory events around one tape step: `before` runs as the op is issued
+/// (allocations, transfer kick-offs, required syncs), `after` runs once the
+/// op retires (frees, deferred offload syncs).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct StepPlan {
+    /// Events at step start.
+    pub before: Vec<MemEvent>,
+    /// Events at step end.
+    pub after: Vec<MemEvent>,
+}
+
+/// A complete static memory plan for one training step (forward +
+/// backward), aligned with a [`scnn_graph::Tape`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MemoryPlan {
+    /// Human-readable strategy name (`baseline`, `vdnn`, `hmms`).
+    pub strategy: String,
+    /// Per-tape-step events; length equals the tape length.
+    pub steps: Vec<StepPlan>,
+    /// TSOs that are offloaded to the host.
+    pub offloaded: Vec<TsoId>,
+}
+
+impl MemoryPlan {
+    /// Total bytes offloaded to the host pool.
+    pub fn offloaded_bytes(&self, sizes: impl Fn(TsoId) -> usize) -> usize {
+        self.offloaded.iter().map(|&t| sizes(t)).sum()
+    }
+
+    /// Iterates all events with their `(step, is_before)` position.
+    pub fn events(&self) -> impl Iterator<Item = (usize, bool, &MemEvent)> {
+        self.steps.iter().enumerate().flat_map(|(i, s)| {
+            s.before
+                .iter()
+                .map(move |e| (i, true, e))
+                .chain(s.after.iter().map(move |e| (i, false, e)))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_tso_accessor() {
+        let t = TsoId(3);
+        for e in [
+            MemEvent::Alloc(t),
+            MemEvent::Free(t),
+            MemEvent::OffloadStart { tso: t, stream: 0 },
+            MemEvent::OffloadSync { tso: t },
+            MemEvent::PrefetchStart { tso: t, stream: 1 },
+            MemEvent::PrefetchSync { tso: t },
+        ] {
+            assert_eq!(e.tso(), t);
+        }
+    }
+
+    #[test]
+    fn events_iterator_orders_before_then_after() {
+        let plan = MemoryPlan {
+            strategy: "test".into(),
+            steps: vec![
+                StepPlan {
+                    before: vec![MemEvent::Alloc(TsoId(0))],
+                    after: vec![MemEvent::Free(TsoId(0))],
+                },
+                StepPlan::default(),
+            ],
+            offloaded: vec![],
+        };
+        let evs: Vec<(usize, bool)> = plan.events().map(|(i, b, _)| (i, b)).collect();
+        assert_eq!(evs, vec![(0, true), (0, false)]);
+    }
+}

@@ -1,0 +1,95 @@
+//! Execution profiles: the planner's view of layer timing.
+//!
+//! §4.3's planning stage consumes "the profiled execution time for each
+//! layer/operation" plus the NVLink bandwidth. On the paper's testbed the
+//! profile comes from 20 timed repetitions; here `scnn-gpusim` synthesizes
+//! it from an analytical cost model — either way, HMMS only ever sees this
+//! struct.
+
+use scnn_graph::Graph;
+
+/// Per-node timings (seconds) and convolution workspace sizes (bytes),
+/// indexed by node id.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Profile {
+    /// Forward execution time per node.
+    pub fwd_time: Vec<f64>,
+    /// Backward execution time per node.
+    pub bwd_time: Vec<f64>,
+    /// cuDNN-style workspace bytes per node (nonzero for convolutions).
+    pub workspace_bytes: Vec<usize>,
+    /// Device→host / host→device transfer bandwidth, bytes per second
+    /// (the paper measures 34.1 GB/s over NVLink 1.0).
+    pub link_bandwidth: f64,
+}
+
+impl Profile {
+    /// Validates the profile against a graph.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any vector length differs from the node count or the
+    /// bandwidth is not positive.
+    pub fn validate(&self, graph: &Graph) {
+        assert_eq!(self.fwd_time.len(), graph.len(), "fwd_time length mismatch");
+        assert_eq!(self.bwd_time.len(), graph.len(), "bwd_time length mismatch");
+        assert_eq!(
+            self.workspace_bytes.len(),
+            graph.len(),
+            "workspace length mismatch"
+        );
+        assert!(self.link_bandwidth > 0.0, "bandwidth must be positive");
+    }
+
+    /// A uniform profile for tests: every op takes `t` seconds, no
+    /// workspace.
+    pub fn uniform(graph: &Graph, t: f64, link_bandwidth: f64) -> Self {
+        Profile {
+            fwd_time: vec![t; graph.len()],
+            bwd_time: vec![t; graph.len()],
+            workspace_bytes: vec![0; graph.len()],
+            link_bandwidth,
+        }
+    }
+
+    /// Total forward-pass compute time.
+    pub fn total_fwd(&self) -> f64 {
+        self.fwd_time.iter().sum()
+    }
+
+    /// Total backward-pass compute time.
+    pub fn total_bwd(&self) -> f64 {
+        self.bwd_time.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_profile_has_right_lengths() {
+        let mut g = Graph::new();
+        let x = g.input(&[1, 1, 4, 4]);
+        g.relu(x, "r");
+        let p = Profile::uniform(&g, 0.5, 1e9);
+        p.validate(&g);
+        assert_eq!(p.total_fwd(), 1.0);
+        assert_eq!(p.total_bwd(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn validate_catches_mismatch() {
+        let mut g = Graph::new();
+        let x = g.input(&[1, 1, 4, 4]);
+        g.relu(x, "r");
+        let p = Profile {
+            fwd_time: vec![0.1],
+            bwd_time: vec![0.1, 0.1],
+            workspace_bytes: vec![0, 0],
+            link_bandwidth: 1e9,
+        };
+        p.validate(&g);
+    }
+}

@@ -1,0 +1,213 @@
+//! Property tests: every memory plan, over randomized graphs and
+//! profiles, must satisfy the legality invariants the runtime depends on.
+
+use proptest::prelude::*;
+use scnn_graph::{Graph, NodeId, PoolKind, Tape};
+use scnn_hmms::{
+    plan_hmms, plan_no_offload, plan_vdnn, MemEvent, MemoryPlan, PlannerOptions, Profile,
+    TsoAssignment, TsoId, TsoOptions,
+};
+use scnn_tensor::Padding2d;
+use std::collections::{HashMap, HashSet};
+
+/// Builds a randomized CNN: a chain with optional residual joins.
+fn random_graph(layers: &[u8], batch: usize) -> Graph {
+    let mut g = Graph::new();
+    let mut x = g.input(&[batch, 3, 16, 16]);
+    let mut skip: Option<NodeId> = None;
+    // Each stride-1 pool shrinks the extent by 1; cap them so the feature
+    // map never collapses below the window size.
+    let mut pool_budget = 8usize;
+    for (i, &kind) in layers.iter().enumerate() {
+        x = match kind % 6 {
+            0 => g.conv2d(x, 8, 3, 1, Padding2d::symmetric(1), false, &format!("c{i}")),
+            1 => g.relu(x, &format!("r{i}")),
+            2 => g.batch_norm(x, kind % 2 == 0, &format!("bn{i}")),
+            3 if pool_budget > 0 => {
+                pool_budget -= 1;
+                g.pool2d(x, PoolKind::Max, 2, 1, Padding2d::default(), &format!("p{i}"))
+            }
+            3 => x,
+            4 => g.dropout(x, 0.3, &format!("d{i}")),
+            _ => {
+                // Close a residual connection when shapes allow.
+                if let Some(s) = skip.take() {
+                    if g.node(s).out_shape == g.node(x).out_shape {
+                        g.add(&[s, x], &format!("add{i}"))
+                    } else {
+                        x
+                    }
+                } else {
+                    skip = Some(x);
+                    x
+                }
+            }
+        };
+    }
+    let f = g.flatten(x, "f");
+    let l = g.linear(f, 4, "fc");
+    g.softmax_cross_entropy(l, "loss");
+    g
+}
+
+/// Checks plan legality:
+/// - no double alloc / free of dead TSOs, nothing leaked at the end;
+/// - offload starts only on live TSOs and frees only after sync;
+/// - prefetch sync only after its start;
+/// - every TSO read by a step is allocated at that step.
+fn check_plan_legal(plan: &MemoryPlan, tso: &TsoAssignment) {
+    let mut live: HashSet<TsoId> = HashSet::new();
+    let mut offload_started: HashSet<TsoId> = HashSet::new();
+    let mut offload_synced: HashSet<TsoId> = HashSet::new();
+    let mut prefetch_started: HashSet<TsoId> = HashSet::new();
+    let mut alloc_count: HashMap<TsoId, usize> = HashMap::new();
+    for step in &plan.steps {
+        for e in step.before.iter().chain(&step.after) {
+            match e {
+                MemEvent::Alloc(t) => {
+                    assert!(live.insert(*t), "double alloc {t:?}");
+                    *alloc_count.entry(*t).or_default() += 1;
+                }
+                MemEvent::Free(t) => {
+                    assert!(live.remove(t), "free of dead {t:?}");
+                }
+                MemEvent::OffloadStart { tso: t, .. } => {
+                    assert!(live.contains(t), "offload of dead {t:?}");
+                    assert!(offload_started.insert(*t), "double offload {t:?}");
+                }
+                MemEvent::OffloadSync { tso: t } => {
+                    assert!(offload_started.contains(t), "sync before start {t:?}");
+                    offload_synced.insert(*t);
+                }
+                MemEvent::PrefetchStart { tso: t, .. } => {
+                    assert!(offload_synced.contains(t), "prefetch before offload done {t:?}");
+                    assert!(live.contains(t), "prefetch into dead {t:?}");
+                    prefetch_started.insert(*t);
+                }
+                MemEvent::PrefetchSync { tso: t } => {
+                    assert!(prefetch_started.contains(t), "prefetch sync before start {t:?}");
+                }
+            }
+        }
+    }
+    assert!(live.is_empty(), "leaked TSOs: {live:?}");
+    for &t in &plan.offloaded {
+        assert_eq!(alloc_count.get(&t), Some(&2), "offloaded {t:?} needs 2 instances");
+        assert!(tso.size(t) > 0, "offloaded empty TSO");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn all_planners_produce_legal_plans(
+        layers in proptest::collection::vec(0u8..12, 3..20),
+        batch in 1usize..5,
+        cap in 0.0f64..=1.0,
+        t_op in 1e-5f64..1e-2,
+        bw_exp in 6.0f64..11.0,
+    ) {
+        let g = random_graph(&layers, batch);
+        let tape = Tape::new(&g);
+        let mut ws = vec![0usize; g.len()];
+        for n in g.nodes() {
+            if matches!(n.op, scnn_graph::Op::Conv2d { .. }) {
+                ws[n.id.0] = 2048;
+            }
+        }
+        let tso = TsoAssignment::new(&g, &ws, TsoOptions::default());
+        let profile = Profile {
+            fwd_time: vec![t_op; g.len()],
+            bwd_time: vec![t_op * 2.0; g.len()],
+            workspace_bytes: ws,
+            link_bandwidth: 10f64.powf(bw_exp),
+        };
+        let opts = PlannerOptions { offload_cap: cap, mem_streams: 2 };
+        check_plan_legal(&plan_no_offload(&g, &tape, &tso, &profile), &tso);
+        check_plan_legal(&plan_vdnn(&g, &tape, &tso, &profile, opts), &tso);
+        check_plan_legal(&plan_hmms(&g, &tape, &tso, &profile, opts), &tso);
+    }
+
+    #[test]
+    fn layout_never_overlaps_live_tsos(
+        layers in proptest::collection::vec(0u8..12, 3..16),
+        batch in 1usize..4,
+    ) {
+        let g = random_graph(&layers, batch);
+        let tape = Tape::new(&g);
+        let tso = TsoAssignment::new(&g, &vec![0; g.len()], TsoOptions::default());
+        let profile = Profile::uniform(&g, 1e-3, 10e9);
+        let plan = plan_hmms(&g, &tape, &tso, &profile, PlannerOptions::default());
+        let layout = scnn_hmms::plan_layout(&g, &plan, &tso);
+
+        // Replay, tracking live address ranges; they must never overlap.
+        let mut live: Vec<(usize, usize, TsoId)> = Vec::new();
+        let mut instance: HashMap<TsoId, usize> = HashMap::new();
+        for step in &plan.steps {
+            for e in step.before.iter().chain(&step.after) {
+                match e {
+                    MemEvent::Alloc(t) => {
+                        let inst = *instance.entry(*t).and_modify(|v| *v += 1).or_insert(0);
+                        // instance counter: first alloc is 0.
+                        let key = (*t, inst);
+                        let addr = layout.addresses[&key];
+                        let sz = tso.size(*t);
+                        for &(s, e2, o) in &live {
+                            prop_assert!(
+                                addr + sz <= s || e2 <= addr,
+                                "overlap: {t:?}@{addr}+{sz} vs {o:?}@{s}..{e2}"
+                            );
+                        }
+                        live.push((addr, addr + sz, *t));
+                    }
+                    MemEvent::Free(t) => {
+                        let idx = live.iter().position(|&(_, _, o)| o == *t).expect("live");
+                        live.swap_remove(idx);
+                    }
+                    _ => {}
+                }
+            }
+        }
+        prop_assert!(live.is_empty());
+    }
+
+    #[test]
+    fn hmms_sim_never_slower_than_vdnn(
+        layers in proptest::collection::vec(0u8..12, 4..14),
+        t_op in 1e-5f64..1e-3,
+        bw_exp in 7.0f64..10.5,
+    ) {
+        let g = random_graph(&layers, 2);
+        let tape = Tape::new(&g);
+        let tso = TsoAssignment::new(&g, &vec![0; g.len()], TsoOptions::default());
+        let profile = Profile {
+            fwd_time: vec![t_op; g.len()],
+            bwd_time: vec![t_op * 2.0; g.len()],
+            workspace_bytes: vec![0; g.len()],
+            link_bandwidth: 10f64.powf(bw_exp),
+        };
+        let opts = PlannerOptions::default();
+        // Compare offloaded bytes first — equal inputs, so comparable.
+        let v = plan_vdnn(&g, &tape, &tso, &profile, opts);
+        let h = plan_hmms(&g, &tape, &tso, &profile, opts);
+        let size = |t: TsoId| tso.size(t);
+        prop_assert_eq!(v.offloaded_bytes(size), h.offloaded_bytes(size));
+    }
+}
+
+/// `instance` map in the overlap test starts counting at the first alloc;
+/// this mirrors `plan_layout`'s numbering. A plain unit test pins that.
+#[test]
+fn layout_instance_numbering_matches() {
+    let g = random_graph(&[0, 1, 0, 1], 2);
+    let tape = Tape::new(&g);
+    let tso = TsoAssignment::new(&g, &vec![0; g.len()], TsoOptions::default());
+    let profile = Profile::uniform(&g, 1e-3, 1e9);
+    let plan = plan_hmms(&g, &tape, &tso, &profile, PlannerOptions::default());
+    let layout = scnn_hmms::plan_layout(&g, &plan, &tso);
+    for &t in &plan.offloaded {
+        assert!(layout.addresses.contains_key(&(t, 0)));
+        assert!(layout.addresses.contains_key(&(t, 1)));
+    }
+}

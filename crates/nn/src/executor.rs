@@ -1,0 +1,605 @@
+//! Graph executor: forward and backward passes with real tensors.
+
+use rand::Rng;
+use scnn_graph::{Graph, Node, Op, PoolKind};
+use scnn_tensor::Tensor;
+
+use crate::kernels::{
+    avg_pool_backward, avg_pool_forward, batch_norm_backward, batch_norm_forward,
+    conv2d_backward, conv2d_forward, dropout_backward, dropout_forward,
+    global_avg_pool_backward, global_avg_pool_forward, linear_backward, linear_forward,
+    max_pool_backward, max_pool_forward, relu_backward, relu_forward,
+    batch_norm_inference, softmax_cross_entropy_backward, softmax_cross_entropy_forward, BnSaved,
+    ConvAttrs, PoolAttrs,
+};
+use crate::params::{BnState, ParamStore};
+
+/// Whether a pass trains (batch statistics, dropout active, gradients) or
+/// evaluates (running statistics, dropout off).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Mode {
+    /// Training pass.
+    Train,
+    /// Inference pass.
+    Eval,
+}
+
+/// Result of executing one mini-batch.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BatchResult {
+    /// Mean cross-entropy loss.
+    pub loss: f32,
+    /// Correct top-1 predictions.
+    pub correct: usize,
+    /// Batch size.
+    pub n: usize,
+}
+
+impl BatchResult {
+    /// Top-1 accuracy in `[0, 1]`.
+    pub fn accuracy(&self) -> f32 {
+        self.correct as f32 / self.n as f32
+    }
+}
+
+/// Per-node data the forward pass saves for backward.
+enum Aux {
+    None,
+    MaxMask(Vec<usize>),
+    DropMask(Tensor),
+    Bn(BnSaved),
+    Probs(Tensor),
+}
+
+/// Executes [`Graph`]s with real tensors.
+///
+/// The executor is stateless between batches; running statistics live in
+/// [`BnState`] and weights in [`ParamStore`], both owned by the caller.
+///
+/// # Example
+///
+/// ```
+/// use rand::SeedableRng;
+/// use rand_chacha::ChaCha8Rng;
+/// use scnn_graph::Graph;
+/// use scnn_nn::{Executor, Mode, ParamStore, BnState};
+/// use scnn_tensor::{Padding2d, Tensor};
+///
+/// let mut g = Graph::new();
+/// let x = g.input(&[2, 3, 8, 8]);
+/// let c = g.conv2d(x, 4, 3, 1, Padding2d::symmetric(1), true, "c");
+/// let r = g.relu(c, "r");
+/// let f = g.flatten(r, "f");
+/// let l = g.linear(f, 10, "fc");
+/// g.softmax_cross_entropy(l, "loss");
+///
+/// let mut rng = ChaCha8Rng::seed_from_u64(0);
+/// let mut params = ParamStore::init(&g, &mut rng);
+/// let mut bn = BnState::new();
+/// let exec = Executor::new();
+/// let images = Tensor::zeros(&[2, 3, 8, 8]);
+/// let res = exec.run(&g, &mut params, &mut bn, &images, &[1, 2], Mode::Eval, &mut rng);
+/// assert_eq!(res.n, 2);
+/// ```
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Executor;
+
+impl Executor {
+    /// Creates an executor.
+    pub fn new() -> Self {
+        Executor
+    }
+
+    /// Runs one mini-batch through `graph`. In [`Mode::Train`] the backward
+    /// pass runs too and parameter gradients are *accumulated* into
+    /// `params` (call [`ParamStore::zero_grads`] first, or rely on the
+    /// optimizer to do so).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph has no input or no loss node, or if the batch
+    /// shape disagrees with the graph's input node.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run(
+        &self,
+        graph: &Graph,
+        params: &mut ParamStore,
+        bn: &mut BnState,
+        images: &Tensor,
+        labels: &[usize],
+        mode: Mode,
+        rng: &mut impl Rng,
+    ) -> BatchResult {
+        let n_nodes = graph.len();
+        let mut outputs: Vec<Option<Tensor>> = vec![None; n_nodes];
+        let mut aux: Vec<Aux> = (0..n_nodes).map(|_| Aux::None).collect();
+
+        let mut result = None;
+        for node in graph.nodes() {
+            let (out, a) = self.forward_node(node, graph, params, bn, images, labels, mode, rng,
+                &outputs, &mut result);
+            outputs[node.id.0] = Some(out);
+            aux[node.id.0] = a;
+        }
+        let result = result.expect("graph has no SoftmaxCrossEntropy loss node");
+
+        if mode == Mode::Train {
+            self.backward(graph, params, labels, &outputs, &aux);
+        }
+        result
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn forward_node(
+        &self,
+        node: &Node,
+        _graph: &Graph,
+        params: &mut ParamStore,
+        bn: &mut BnState,
+        images: &Tensor,
+        labels: &[usize],
+        mode: Mode,
+        rng: &mut impl Rng,
+        outputs: &[Option<Tensor>],
+        result: &mut Option<BatchResult>,
+    ) -> (Tensor, Aux) {
+        let input = |i: usize| {
+            outputs[node.inputs[i].0]
+                .as_ref()
+                .expect("topological order guarantees inputs are computed")
+        };
+        match &node.op {
+            Op::Input { shape } => {
+                assert_eq!(
+                    images.shape().dims(),
+                    shape.as_slice(),
+                    "batch shape {:?} does not match graph input {shape:?}",
+                    images.shape().dims()
+                );
+                (images.clone(), Aux::None)
+            }
+            Op::Conv2d {
+                kh,
+                kw,
+                sh,
+                sw,
+                pad,
+                weight,
+                bias,
+                ..
+            } => {
+                let attrs = ConvAttrs {
+                    kh: *kh,
+                    kw: *kw,
+                    sh: *sh,
+                    sw: *sw,
+                    pad: *pad,
+                };
+                let w = params.value(*weight).clone();
+                let b = bias.map(|id| params.value(id).clone());
+                let y = conv2d_forward(input(0), &w, b.as_ref(), &attrs);
+                (y, Aux::None)
+            }
+            Op::Pool2d {
+                kind,
+                kh,
+                kw,
+                sh,
+                sw,
+                pad,
+            } => {
+                let attrs = PoolAttrs {
+                    kh: *kh,
+                    kw: *kw,
+                    sh: *sh,
+                    sw: *sw,
+                    pad: *pad,
+                };
+                match kind {
+                    PoolKind::Max => {
+                        let (y, mask) = max_pool_forward(input(0), &attrs);
+                        (y, Aux::MaxMask(mask))
+                    }
+                    PoolKind::Avg => (avg_pool_forward(input(0), &attrs), Aux::None),
+                }
+            }
+            Op::GlobalAvgPool => (global_avg_pool_forward(input(0)), Aux::None),
+            Op::BatchNorm { gamma, beta, .. } => {
+                let x = input(0);
+                let c = x.dim(1);
+                let gv = params.value(*gamma).clone();
+                let bv = params.value(*beta).clone();
+                match mode {
+                    Mode::Train => {
+                        let (rm, rv) = bn.entry(*gamma, c);
+                        let (y, saved) = batch_norm_forward(x, &gv, &bv, Some((rm, rv)));
+                        (y, Aux::Bn(saved))
+                    }
+                    Mode::Eval => {
+                        let (rm, rv) = bn.get(*gamma, c);
+                        (batch_norm_inference(x, &gv, &bv, &rm, &rv), Aux::None)
+                    }
+                }
+            }
+            Op::Relu => (relu_forward(input(0)), Aux::None),
+            Op::Dropout { p } => match mode {
+                Mode::Train => {
+                    let (y, mask) = dropout_forward(input(0), *p, rng);
+                    (y, Aux::DropMask(mask))
+                }
+                Mode::Eval => (input(0).clone(), Aux::None),
+            },
+            Op::Linear { weight, bias, .. } => {
+                let w = params.value(*weight).clone();
+                let b = params.value(*bias).clone();
+                (linear_forward(input(0), &w, &b), Aux::None)
+            }
+            Op::Add => {
+                let mut acc = input(0).clone();
+                for i in 1..node.inputs.len() {
+                    acc.add_assign(input(i));
+                }
+                (acc, Aux::None)
+            }
+            Op::Concat { dim } => {
+                let parts: Vec<&Tensor> = (0..node.inputs.len()).map(input).collect();
+                (Tensor::concat(&parts, *dim), Aux::None)
+            }
+            Op::Slice { dim, start, len } => (input(0).slice_dim(*dim, *start, *len), Aux::None),
+            Op::Flatten => {
+                let x = input(0);
+                let n = x.dim(0);
+                let rest: usize = x.shape().dims()[1..].iter().product();
+                (x.clone().reshape(&[n, rest]), Aux::None)
+            }
+            Op::SoftmaxCrossEntropy => {
+                let out = softmax_cross_entropy_forward(input(0), labels);
+                *result = Some(BatchResult {
+                    loss: out.loss,
+                    correct: out.correct,
+                    n: labels.len(),
+                });
+                (
+                    Tensor::from_vec(vec![out.loss], &[1]),
+                    Aux::Probs(out.probs),
+                )
+            }
+        }
+    }
+
+    fn backward(
+        &self,
+        graph: &Graph,
+        params: &mut ParamStore,
+        labels: &[usize],
+        outputs: &[Option<Tensor>],
+        aux: &[Aux],
+    ) {
+        let n_nodes = graph.len();
+        let mut grads: Vec<Option<Tensor>> = vec![None; n_nodes];
+        let out = |id: scnn_graph::NodeId| outputs[id.0].as_ref().expect("forward ran");
+
+        for node in graph.nodes().iter().rev() {
+            // The loss node needs no incoming gradient; everything else
+            // without one is dead w.r.t. the loss.
+            if !matches!(node.op, Op::SoftmaxCrossEntropy) && grads[node.id.0].is_none() {
+                continue;
+            }
+            let push = |grads: &mut Vec<Option<Tensor>>, id: scnn_graph::NodeId, g: Tensor| {
+                match &mut grads[id.0] {
+                    Some(acc) => acc.add_assign(&g),
+                    slot @ None => *slot = Some(g),
+                }
+            };
+            match &node.op {
+                Op::Input { .. } => {}
+                Op::SoftmaxCrossEntropy => {
+                    let probs = match &aux[node.id.0] {
+                        Aux::Probs(p) => p,
+                        _ => unreachable!("loss saved probs"),
+                    };
+                    let d = softmax_cross_entropy_backward(probs, labels);
+                    push(&mut grads, node.inputs[0], d);
+                }
+                Op::Conv2d {
+                    kh,
+                    kw,
+                    sh,
+                    sw,
+                    pad,
+                    weight,
+                    bias,
+                    ..
+                } => {
+                    let attrs = ConvAttrs {
+                        kh: *kh,
+                        kw: *kw,
+                        sh: *sh,
+                        sw: *sw,
+                        pad: *pad,
+                    };
+                    let dy = grads[node.id.0].take().expect("conv has grad");
+                    let x = out(node.inputs[0]);
+                    let w = params.value(*weight).clone();
+                    let g = conv2d_backward(x, &w, bias.is_some(), &dy, &attrs);
+                    params.accumulate_grad(*weight, &g.dw);
+                    if let (Some(bid), Some(db)) = (bias, g.db) {
+                        params.accumulate_grad(*bid, &db);
+                    }
+                    push(&mut grads, node.inputs[0], g.dx);
+                }
+                Op::Pool2d {
+                    kind,
+                    kh,
+                    kw,
+                    sh,
+                    sw,
+                    pad,
+                } => {
+                    let attrs = PoolAttrs {
+                        kh: *kh,
+                        kw: *kw,
+                        sh: *sh,
+                        sw: *sw,
+                        pad: *pad,
+                    };
+                    let dy = grads[node.id.0].take().expect("pool has grad");
+                    let x = out(node.inputs[0]);
+                    let dx = match kind {
+                        PoolKind::Max => {
+                            let mask = match &aux[node.id.0] {
+                                Aux::MaxMask(m) => m,
+                                _ => unreachable!("maxpool saved mask"),
+                            };
+                            max_pool_backward(x, &dy, mask, &attrs)
+                        }
+                        PoolKind::Avg => avg_pool_backward(x, &dy, &attrs),
+                    };
+                    push(&mut grads, node.inputs[0], dx);
+                }
+                Op::GlobalAvgPool => {
+                    let dy = grads[node.id.0].take().expect("gap has grad");
+                    let dx = global_avg_pool_backward(out(node.inputs[0]), &dy);
+                    push(&mut grads, node.inputs[0], dx);
+                }
+                Op::BatchNorm { gamma, beta, .. } => {
+                    let dy = grads[node.id.0].take().expect("bn has grad");
+                    let saved = match &aux[node.id.0] {
+                        Aux::Bn(s) => s,
+                        _ => unreachable!("bn saved stats in train mode"),
+                    };
+                    let gv = params.value(*gamma).clone();
+                    let (dx, dgamma, dbeta) = batch_norm_backward(&dy, &gv, saved);
+                    params.accumulate_grad(*gamma, &dgamma);
+                    params.accumulate_grad(*beta, &dbeta);
+                    push(&mut grads, node.inputs[0], dx);
+                }
+                Op::Relu => {
+                    let dy = grads[node.id.0].take().expect("relu has grad");
+                    let dx = relu_backward(out(node.id), &dy);
+                    push(&mut grads, node.inputs[0], dx);
+                }
+                Op::Dropout { .. } => {
+                    let dy = grads[node.id.0].take().expect("dropout has grad");
+                    let mask = match &aux[node.id.0] {
+                        Aux::DropMask(m) => m,
+                        _ => unreachable!("dropout saved mask in train mode"),
+                    };
+                    push(&mut grads, node.inputs[0], dropout_backward(&dy, mask));
+                }
+                Op::Linear { weight, bias, .. } => {
+                    let dy = grads[node.id.0].take().expect("linear has grad");
+                    let x = out(node.inputs[0]);
+                    let w = params.value(*weight).clone();
+                    let g = linear_backward(x, &w, &dy);
+                    params.accumulate_grad(*weight, &g.dw);
+                    params.accumulate_grad(*bias, &g.db);
+                    push(&mut grads, node.inputs[0], g.dx);
+                }
+                Op::Add => {
+                    let dy = grads[node.id.0].take().expect("add has grad");
+                    // All error terms are identical (§4.2 optimization 2).
+                    for &i in &node.inputs {
+                        push(&mut grads, i, dy.clone());
+                    }
+                }
+                Op::Concat { dim } => {
+                    let dy = grads[node.id.0].take().expect("concat has grad");
+                    let mut offset = 0;
+                    for &i in &node.inputs {
+                        let len = graph.node(i).out_shape[*dim];
+                        push(&mut grads, i, dy.slice_dim(*dim, offset, len));
+                        offset += len;
+                    }
+                }
+                Op::Slice { dim, start, .. } => {
+                    let dy = grads[node.id.0].take().expect("slice has grad");
+                    let full = &graph.node(node.inputs[0]).out_shape;
+                    push(
+                        &mut grads,
+                        node.inputs[0],
+                        Tensor::scatter_dim(&dy, full, *dim, *start),
+                    );
+                }
+                Op::Flatten => {
+                    let dy = grads[node.id.0].take().expect("flatten has grad");
+                    let full = &graph.node(node.inputs[0]).out_shape;
+                    push(&mut grads, node.inputs[0], dy.reshape(full));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use scnn_graph::ParamId;
+    use scnn_tensor::{uniform, Padding2d};
+
+    fn mlp_graph(n: usize) -> Graph {
+        let mut g = Graph::new();
+        let x = g.input(&[n, 1, 4, 4]);
+        let f = g.flatten(x, "f");
+        let h = g.linear(f, 8, "fc1");
+        let r = g.relu(h, "r");
+        let l = g.linear(r, 3, "fc2");
+        g.softmax_cross_entropy(l, "loss");
+        g
+    }
+
+    fn cnn_graph(n: usize) -> Graph {
+        let mut g = Graph::new();
+        let x = g.input(&[n, 2, 8, 8]);
+        let c1 = g.conv2d(x, 4, 3, 1, Padding2d::symmetric(1), true, "c1");
+        let b1 = g.batch_norm(c1, false, "bn1");
+        let r1 = g.relu(b1, "r1");
+        let p1 = g.pool2d(r1, PoolKind::Max, 2, 2, Padding2d::default(), "p1");
+        let d = g.dropout(p1, 0.2, "d");
+        let f = g.flatten(d, "f");
+        let l = g.linear(f, 3, "fc");
+        g.softmax_cross_entropy(l, "loss");
+        g
+    }
+
+    #[test]
+    fn forward_eval_runs() {
+        let g = mlp_graph(4);
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let mut p = ParamStore::init(&g, &mut rng);
+        let mut bn = BnState::new();
+        let x = uniform(&mut rng, &[4, 1, 4, 4], -1.0, 1.0);
+        let r = Executor::new().run(&g, &mut p, &mut bn, &x, &[0, 1, 2, 0], Mode::Eval, &mut rng);
+        assert!(r.loss.is_finite());
+        assert_eq!(r.n, 4);
+    }
+
+    #[test]
+    fn train_step_reduces_loss() {
+        let g = mlp_graph(8);
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let mut p = ParamStore::init(&g, &mut rng);
+        let mut bn = BnState::new();
+        let x = uniform(&mut rng, &[8, 1, 4, 4], -1.0, 1.0);
+        let labels = vec![0, 1, 2, 0, 1, 2, 0, 1];
+        let exec = Executor::new();
+        let mut losses = Vec::new();
+        for _ in 0..30 {
+            p.zero_grads();
+            let r = exec.run(&g, &mut p, &mut bn, &x, &labels, Mode::Train, &mut rng);
+            losses.push(r.loss);
+            // Plain gradient descent.
+            p.update(|_, v, g| {
+                let step = g.scale(0.5);
+                *v = v.sub(&step);
+            });
+        }
+        assert!(
+            losses[29] < losses[0] * 0.5,
+            "loss should halve: {} -> {}",
+            losses[0],
+            losses[29]
+        );
+        assert!(p.all_finite());
+    }
+
+    #[test]
+    fn cnn_graph_executes_and_learns() {
+        let g = cnn_graph(6);
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let mut p = ParamStore::init(&g, &mut rng);
+        let mut bn = BnState::new();
+        let x = uniform(&mut rng, &[6, 2, 8, 8], -1.0, 1.0);
+        let labels = vec![0, 1, 2, 0, 1, 2];
+        let exec = Executor::new();
+        let first = {
+            p.zero_grads();
+            exec.run(&g, &mut p, &mut bn, &x, &labels, Mode::Train, &mut rng)
+        };
+        for _ in 0..40 {
+            p.zero_grads();
+            exec.run(&g, &mut p, &mut bn, &x, &labels, Mode::Train, &mut rng);
+            p.update(|_, v, g| {
+                let step = g.scale(0.2);
+                *v = v.sub(&step);
+            });
+        }
+        p.zero_grads();
+        let last = exec.run(&g, &mut p, &mut bn, &x, &labels, Mode::Train, &mut rng);
+        assert!(
+            last.loss < first.loss,
+            "CNN failed to learn: {} -> {}",
+            first.loss,
+            last.loss
+        );
+        assert!(!bn.is_empty(), "BN running stats recorded");
+    }
+
+    #[test]
+    fn executor_gradcheck_through_whole_graph() {
+        // Finite-difference check of d(loss)/d(fc2 weight) through the MLP.
+        let g = mlp_graph(2);
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let mut p = ParamStore::init(&g, &mut rng);
+        let mut bn = BnState::new();
+        let x = uniform(&mut rng, &[2, 1, 4, 4], -1.0, 1.0);
+        let labels = vec![1, 2];
+        let exec = Executor::new();
+        p.zero_grads();
+        exec.run(&g, &mut p, &mut bn, &x, &labels, Mode::Train, &mut rng);
+
+        // fc2 weight is ParamId(2) (fc1 w, fc1 b, fc2 w, fc2 b).
+        let wid = ParamId(2);
+        let analytic = p.grad(wid).clone();
+        let eps = 1e-2f32;
+        for i in [0usize, 5, 11, 23] {
+            let mut loss_at = |delta: f32| {
+                let mut p2 = p.clone();
+                let mut w = p2.value(wid).clone();
+                w.as_mut_slice()[i] += delta;
+                p2.update(|idx, v, _| {
+                    if idx == wid.0 {
+                        *v = w.clone();
+                    }
+                });
+                exec.run(&g, &mut p2, &mut BnState::new(), &x, &labels, Mode::Eval, &mut rng)
+                    .loss
+            };
+            let num = (loss_at(eps) - loss_at(-eps)) / (2.0 * eps);
+            let ana = analytic.as_slice()[i];
+            assert!(
+                (num - ana).abs() < 0.02 + 0.05 * ana.abs(),
+                "grad mismatch at {i}: {num} vs {ana}"
+            );
+        }
+    }
+
+    #[test]
+    fn residual_add_and_split_concat_graph() {
+        // x -> slice/slice -> relu each -> concat, plus residual add.
+        let mut g = Graph::new();
+        let x = g.input(&[2, 2, 4, 4]);
+        let a = g.slice(x, 2, 0, 2, "a");
+        let b = g.slice(x, 2, 2, 2, "b");
+        let ra = g.relu(a, "ra");
+        let rb = g.relu(b, "rb");
+        let j = g.concat(&[ra, rb], 2, "j");
+        let s = g.add(&[j, x], "res");
+        let f = g.flatten(s, "f");
+        let l = g.linear(f, 2, "fc");
+        g.softmax_cross_entropy(l, "loss");
+
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let mut p = ParamStore::init(&g, &mut rng);
+        let mut bn = BnState::new();
+        let xs = uniform(&mut rng, &[2, 2, 4, 4], -1.0, 1.0);
+        p.zero_grads();
+        let r = Executor::new().run(&g, &mut p, &mut bn, &xs, &[0, 1], Mode::Train, &mut rng);
+        assert!(r.loss.is_finite());
+        assert!(p.all_finite());
+        // fc weight got a gradient.
+        assert!(p.grad(ParamId(0)).as_slice().iter().any(|&v| v != 0.0));
+    }
+}

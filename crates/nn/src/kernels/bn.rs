@@ -1,0 +1,262 @@
+//! Batch normalization (training and inference modes).
+
+use scnn_tensor::Tensor;
+
+const EPS: f32 = 1e-5;
+
+/// Statistics the forward pass saves for backward.
+///
+/// The memory-efficient variant of \[6\] (the paper's §6.3) recomputes `xhat`
+/// from the *output*; here we keep `xhat` for numerical clarity — the
+/// recompute flag only changes the *memory model* in `scnn-hmms`, never the
+/// arithmetic.
+#[derive(Clone, Debug)]
+pub struct BnSaved {
+    /// Per-channel batch mean.
+    pub mean: Vec<f32>,
+    /// Per-channel `1 / sqrt(var + eps)`.
+    pub inv_std: Vec<f32>,
+    /// Normalized input, same shape as the input.
+    pub xhat: Tensor,
+}
+
+/// Batch-norm forward over the channel dimension of `x: [n, c, h, w]`.
+///
+/// In training mode (`running == Some`) the batch statistics are used and
+/// the running estimates are updated in place with momentum 0.1; in
+/// inference mode (`running_stats` provided as frozen values via
+/// [`batch_norm_inference`]) use the stored estimates instead.
+///
+/// # Panics
+///
+/// Panics if parameter lengths do not match the channel count.
+pub fn batch_norm_forward(
+    x: &Tensor,
+    gamma: &Tensor,
+    beta: &Tensor,
+    running: Option<(&mut Vec<f32>, &mut Vec<f32>)>,
+) -> (Tensor, BnSaved) {
+    let (n, c, h, w) = (x.dim(0), x.dim(1), x.dim(2), x.dim(3));
+    assert_eq!(gamma.len(), c, "gamma length mismatch");
+    assert_eq!(beta.len(), c, "beta length mismatch");
+    let m = (n * h * w) as f32;
+    let mut mean = vec![0.0f32; c];
+    let mut var = vec![0.0f32; c];
+    let src = x.as_slice();
+    let hw = h * w;
+    for b in 0..n {
+        for (ch, m) in mean.iter_mut().enumerate() {
+            let base = (b * c + ch) * hw;
+            for &v in &src[base..base + hw] {
+                *m += v;
+            }
+        }
+    }
+    for mch in &mut mean {
+        *mch /= m;
+    }
+    for b in 0..n {
+        for ch in 0..c {
+            let base = (b * c + ch) * hw;
+            for &v in &src[base..base + hw] {
+                let d = v - mean[ch];
+                var[ch] += d * d;
+            }
+        }
+    }
+    for vch in &mut var {
+        *vch /= m;
+    }
+    if let Some((rm, rv)) = running {
+        assert_eq!(rm.len(), c, "running mean length mismatch");
+        for ch in 0..c {
+            rm[ch] = 0.9 * rm[ch] + 0.1 * mean[ch];
+            rv[ch] = 0.9 * rv[ch] + 0.1 * var[ch];
+        }
+    }
+    let inv_std: Vec<f32> = var.iter().map(|&v| 1.0 / (v + EPS).sqrt()).collect();
+    let (y, xhat) = normalize(x, &mean, &inv_std, gamma, beta);
+    (
+        y,
+        BnSaved {
+            mean,
+            inv_std,
+            xhat,
+        },
+    )
+}
+
+/// Batch-norm inference using frozen running statistics.
+pub fn batch_norm_inference(
+    x: &Tensor,
+    gamma: &Tensor,
+    beta: &Tensor,
+    running_mean: &[f32],
+    running_var: &[f32],
+) -> Tensor {
+    let c = x.dim(1);
+    assert_eq!(running_mean.len(), c, "running mean length mismatch");
+    let inv_std: Vec<f32> = running_var.iter().map(|&v| 1.0 / (v + EPS).sqrt()).collect();
+    normalize(x, running_mean, &inv_std, gamma, beta).0
+}
+
+fn normalize(
+    x: &Tensor,
+    mean: &[f32],
+    inv_std: &[f32],
+    gamma: &Tensor,
+    beta: &Tensor,
+) -> (Tensor, Tensor) {
+    let (n, c, h, w) = (x.dim(0), x.dim(1), x.dim(2), x.dim(3));
+    let hw = h * w;
+    let mut y = Tensor::zeros(&[n, c, h, w]);
+    let mut xh = Tensor::zeros(&[n, c, h, w]);
+    let src = x.as_slice();
+    let g = gamma.as_slice();
+    let be = beta.as_slice();
+    {
+        let yd = y.as_mut_slice();
+        let xd = xh.as_mut_slice();
+        for b in 0..n {
+            for ch in 0..c {
+                let base = (b * c + ch) * hw;
+                for i in base..base + hw {
+                    let v = (src[i] - mean[ch]) * inv_std[ch];
+                    xd[i] = v;
+                    yd[i] = g[ch] * v + be[ch];
+                }
+            }
+        }
+    }
+    (y, xh)
+}
+
+/// Batch-norm backward. Returns `(dx, dgamma, dbeta)`.
+pub fn batch_norm_backward(
+    dy: &Tensor,
+    gamma: &Tensor,
+    saved: &BnSaved,
+) -> (Tensor, Tensor, Tensor) {
+    let (n, c, h, w) = (dy.dim(0), dy.dim(1), dy.dim(2), dy.dim(3));
+    let hw = h * w;
+    let m = (n * hw) as f32;
+    let dyv = dy.as_slice();
+    let xh = saved.xhat.as_slice();
+    let g = gamma.as_slice();
+
+    let mut dgamma = vec![0.0f32; c];
+    let mut dbeta = vec![0.0f32; c];
+    for b in 0..n {
+        for ch in 0..c {
+            let base = (b * c + ch) * hw;
+            for i in base..base + hw {
+                dgamma[ch] += dyv[i] * xh[i];
+                dbeta[ch] += dyv[i];
+            }
+        }
+    }
+
+    let mut dx = Tensor::zeros(&[n, c, h, w]);
+    let d = dx.as_mut_slice();
+    for b in 0..n {
+        for ch in 0..c {
+            let base = (b * c + ch) * hw;
+            let k = g[ch] * saved.inv_std[ch] / m;
+            for i in base..base + hw {
+                d[i] = k * (m * dyv[i] - dbeta[ch] - xh[i] * dgamma[ch]);
+            }
+        }
+    }
+    (
+        dx,
+        Tensor::from_vec(dgamma, &[c]),
+        Tensor::from_vec(dbeta, &[c]),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::gradcheck::check;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use scnn_tensor::uniform;
+
+    #[test]
+    fn output_is_normalized() {
+        let mut r = ChaCha8Rng::seed_from_u64(1);
+        let x = uniform(&mut r, &[4, 3, 5, 5], -3.0, 7.0);
+        let gamma = Tensor::ones(&[3]);
+        let beta = Tensor::zeros(&[3]);
+        let (y, _) = batch_norm_forward(&x, &gamma, &beta, None);
+        // Per-channel mean ≈ 0, var ≈ 1.
+        let (n, c, h, w) = (4, 3, 5, 5);
+        for ch in 0..c {
+            let mut vals = Vec::new();
+            for b in 0..n {
+                for yy in 0..h {
+                    for xx in 0..w {
+                        vals.push(y.at(&[b, ch, yy, xx]));
+                    }
+                }
+            }
+            let mean: f32 = vals.iter().sum::<f32>() / vals.len() as f32;
+            let var: f32 = vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>()
+                / vals.len() as f32;
+            assert!(mean.abs() < 1e-4, "channel {ch} mean {mean}");
+            assert!((var - 1.0).abs() < 1e-2, "channel {ch} var {var}");
+        }
+    }
+
+    #[test]
+    fn gamma_beta_affect_output() {
+        let x = uniform(&mut ChaCha8Rng::seed_from_u64(2), &[2, 1, 3, 3], -1.0, 1.0);
+        let gamma = Tensor::full(&[1], 2.0);
+        let beta = Tensor::full(&[1], 5.0);
+        let (y, _) = batch_norm_forward(&x, &gamma, &beta, None);
+        let mean = y.mean();
+        assert!((mean - 5.0).abs() < 1e-4, "beta shifts mean, got {mean}");
+    }
+
+    #[test]
+    fn running_stats_updated() {
+        let x = uniform(&mut ChaCha8Rng::seed_from_u64(3), &[2, 2, 4, 4], 1.0, 3.0);
+        let gamma = Tensor::ones(&[2]);
+        let beta = Tensor::zeros(&[2]);
+        let mut rm = vec![0.0; 2];
+        let mut rv = vec![1.0; 2];
+        batch_norm_forward(&x, &gamma, &beta, Some((&mut rm, &mut rv)));
+        assert!(rm.iter().all(|&v| v > 0.1), "running mean moved: {rm:?}");
+        assert!(rv.iter().all(|&v| v < 1.0), "running var moved: {rv:?}");
+    }
+
+    #[test]
+    fn inference_uses_frozen_stats() {
+        let x = Tensor::full(&[1, 1, 2, 2], 4.0);
+        let gamma = Tensor::ones(&[1]);
+        let beta = Tensor::zeros(&[1]);
+        let y = batch_norm_inference(&x, &gamma, &beta, &[2.0], &[1.0]);
+        // (4 - 2)/sqrt(1 + eps) ≈ 2.
+        assert!((y.at(&[0, 0, 0, 0]) - 2.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn gradcheck_x_gamma_beta() {
+        let mut r = ChaCha8Rng::seed_from_u64(4);
+        let x = uniform(&mut r, &[3, 2, 3, 3], -1.0, 1.0);
+        let gamma = uniform(&mut r, &[2], 0.5, 1.5);
+        let beta = uniform(&mut r, &[2], -0.5, 0.5);
+        // Non-uniform loss weights so dx is not trivially zero (a uniform
+        // dy is annihilated by normalization's mean-subtraction).
+        let wts = uniform(&mut r, &[3, 2, 3, 3], 0.0, 1.0);
+        let loss = |xx: &Tensor, gg: &Tensor, bb: &Tensor| {
+            batch_norm_forward(xx, gg, bb, None).0.mul(&wts).sum()
+        };
+        let (y, saved) = batch_norm_forward(&x, &gamma, &beta, None);
+        assert_eq!(y.shape(), x.shape());
+        let (dx, dgamma, dbeta) = batch_norm_backward(&wts, &gamma, &saved);
+        check(&x, &dx, 0.08, |xx| loss(xx, &gamma, &beta));
+        check(&gamma, &dgamma, 0.05, |gg| loss(&x, gg, &beta));
+        check(&beta, &dbeta, 0.05, |bb| loss(&x, &gamma, bb));
+    }
+}

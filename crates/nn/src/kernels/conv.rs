@@ -1,0 +1,293 @@
+//! 2-D convolution via `im2col` + GEMM, with the asymmetric and negative
+//! padding the Split-CNN per-patch formulation requires.
+
+use scnn_tensor::{col2im, im2col, matmul, matmul_a_bt, matmul_at_b, Conv2dGeometry, Padding2d, Tensor};
+
+use super::split_padding;
+
+/// Static attributes of a convolution node.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ConvAttrs {
+    /// Kernel height.
+    pub kh: usize,
+    /// Kernel width.
+    pub kw: usize,
+    /// Vertical stride.
+    pub sh: usize,
+    /// Horizontal stride.
+    pub sw: usize,
+    /// Per-side padding; negative components crop.
+    pub pad: Padding2d,
+}
+
+/// Gradients produced by [`conv2d_backward`].
+#[derive(Clone, Debug)]
+pub struct ConvGrads {
+    /// Gradient w.r.t. the input, same shape as the input.
+    pub dx: Tensor,
+    /// Gradient w.r.t. the weight.
+    pub dw: Tensor,
+    /// Gradient w.r.t. the bias, when a bias is present.
+    pub db: Option<Tensor>,
+}
+
+fn geometry(x_cropped: &Tensor, attrs: &ConvAttrs, pos: Padding2d) -> Conv2dGeometry {
+    Conv2dGeometry::new(
+        x_cropped.dim(1),
+        x_cropped.dim(2),
+        x_cropped.dim(3),
+        attrs.kh,
+        attrs.kw,
+        attrs.sh,
+        attrs.sw,
+        pos,
+    )
+}
+
+/// Convolution forward: `x: [n, ic, h, w]`, `w: [oc, ic, kh, kw]`,
+/// optional `b: [oc]` → `[n, oc, oh, ow]`.
+///
+/// # Panics
+///
+/// Panics if shapes disagree with the attributes.
+pub fn conv2d_forward(x: &Tensor, w: &Tensor, b: Option<&Tensor>, attrs: &ConvAttrs) -> Tensor {
+    assert_eq!(x.rank(), 4, "conv input must be NCHW");
+    assert_eq!(w.rank(), 4, "conv weight must be [oc, ic, kh, kw]");
+    assert_eq!(w.dim(1), x.dim(1), "conv channel mismatch");
+    assert_eq!((w.dim(2), w.dim(3)), (attrs.kh, attrs.kw), "kernel shape mismatch");
+    let (crop, pos) = split_padding(attrs.pad);
+    let xc = x.pad2d(crop);
+    let g = geometry(&xc, attrs, pos);
+    let n = x.dim(0);
+    let oc = w.dim(0);
+    let (oh, ow) = (g.out_h(), g.out_w());
+
+    let cols = im2col(&xc, &g); // [n*oh*ow, plen]
+    let w2 = w.clone().reshape(&[oc, g.patch_len()]);
+    let ymat = matmul_a_bt(&cols, &w2); // [n*oh*ow, oc]
+
+    // Reorder [n*oh*ow, oc] -> [n, oc, oh, ow], adding bias on the way.
+    let mut out = Tensor::zeros(&[n, oc, oh, ow]);
+    let dst = out.as_mut_slice();
+    let src = ymat.as_slice();
+    let hw = oh * ow;
+    for bidx in 0..n {
+        for p in 0..hw {
+            let row = (bidx * hw + p) * oc;
+            for c in 0..oc {
+                let bias = b.map_or(0.0, |bb| bb.as_slice()[c]);
+                dst[(bidx * oc + c) * hw + p] = src[row + c] + bias;
+            }
+        }
+    }
+    out
+}
+
+/// Convolution backward: given upstream `dy`, recomputes the `im2col`
+/// buffer from `x` (trading compute for memory, as the real framework does)
+/// and returns input, weight and bias gradients.
+///
+/// # Panics
+///
+/// Panics if `dy`'s shape does not match the forward output shape.
+pub fn conv2d_backward(
+    x: &Tensor,
+    w: &Tensor,
+    has_bias: bool,
+    dy: &Tensor,
+    attrs: &ConvAttrs,
+) -> ConvGrads {
+    let (crop, pos) = split_padding(attrs.pad);
+    let xc = x.pad2d(crop);
+    let g = geometry(&xc, attrs, pos);
+    let n = x.dim(0);
+    let oc = w.dim(0);
+    let (oh, ow) = (g.out_h(), g.out_w());
+    assert_eq!(
+        dy.shape().dims(),
+        &[n, oc, oh, ow],
+        "conv dy shape mismatch"
+    );
+
+    // [n, oc, oh, ow] -> [n*oh*ow, oc]
+    let hw = oh * ow;
+    let mut dymat = vec![0.0f32; n * hw * oc];
+    let dsrc = dy.as_slice();
+    for bidx in 0..n {
+        for c in 0..oc {
+            for p in 0..hw {
+                dymat[(bidx * hw + p) * oc + c] = dsrc[(bidx * oc + c) * hw + p];
+            }
+        }
+    }
+    let dymat = Tensor::from_vec(dymat, &[n * hw, oc]);
+
+    let cols = im2col(&xc, &g);
+    let dw2 = matmul_at_b(&dymat, &cols); // [oc, plen]
+    let dw = dw2.reshape(w.shape().dims());
+
+    let w2 = w.clone().reshape(&[oc, g.patch_len()]);
+    let dcols = matmul(&dymat, &w2); // [n*hw, plen]
+    let dxc = col2im(&dcols, n, &g);
+    // Undo the crop: zero-fill gradient for cropped-away (abandoned) rows.
+    let dx = dxc.pad2d(crop.invert());
+
+    let db = has_bias.then(|| {
+        let mut db = vec![0.0f32; oc];
+        for bidx in 0..n {
+            for (c, acc) in db.iter_mut().enumerate() {
+                let base = (bidx * oc + c) * hw;
+                *acc += dsrc[base..base + hw].iter().sum::<f32>();
+            }
+        }
+        Tensor::from_vec(db, &[oc])
+    });
+
+    ConvGrads { dx, dw, db }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::gradcheck::check;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use scnn_tensor::uniform;
+
+    fn rng() -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(11)
+    }
+
+    #[test]
+    fn identity_1x1_conv() {
+        let x = Tensor::from_vec((0..16).map(|i| i as f32).collect(), &[1, 1, 4, 4]);
+        let w = Tensor::ones(&[1, 1, 1, 1]);
+        let a = ConvAttrs {
+            kh: 1,
+            kw: 1,
+            sh: 1,
+            sw: 1,
+            pad: Padding2d::default(),
+        };
+        assert_eq!(conv2d_forward(&x, &w, None, &a), x);
+    }
+
+    #[test]
+    fn known_3x3_sum_filter() {
+        // All-ones 3x3 filter with pad 1 computes neighborhood sums.
+        let x = Tensor::ones(&[1, 1, 3, 3]);
+        let w = Tensor::ones(&[1, 1, 3, 3]);
+        let a = ConvAttrs {
+            kh: 3,
+            kw: 3,
+            sh: 1,
+            sw: 1,
+            pad: Padding2d::symmetric(1),
+        };
+        let y = conv2d_forward(&x, &w, None, &a);
+        assert_eq!(y.at(&[0, 0, 1, 1]), 9.0); // center sees all 9
+        assert_eq!(y.at(&[0, 0, 0, 0]), 4.0); // corner sees 4
+        assert_eq!(y.at(&[0, 0, 0, 1]), 6.0); // edge sees 6
+    }
+
+    #[test]
+    fn bias_is_added_per_channel() {
+        let x = Tensor::zeros(&[1, 1, 2, 2]);
+        let w = Tensor::ones(&[2, 1, 1, 1]);
+        let b = Tensor::from_vec(vec![1.5, -2.0], &[2]);
+        let a = ConvAttrs {
+            kh: 1,
+            kw: 1,
+            sh: 1,
+            sw: 1,
+            pad: Padding2d::default(),
+        };
+        let y = conv2d_forward(&x, &w, Some(&b), &a);
+        assert_eq!(y.at(&[0, 0, 1, 1]), 1.5);
+        assert_eq!(y.at(&[0, 1, 0, 0]), -2.0);
+    }
+
+    #[test]
+    fn strided_shape() {
+        let mut r = rng();
+        let x = uniform(&mut r, &[2, 3, 7, 7], -1.0, 1.0);
+        let w = uniform(&mut r, &[4, 3, 3, 3], -1.0, 1.0);
+        let a = ConvAttrs {
+            kh: 3,
+            kw: 3,
+            sh: 2,
+            sw: 2,
+            pad: Padding2d::symmetric(1),
+        };
+        let y = conv2d_forward(&x, &w, None, &a);
+        assert_eq!(y.shape().dims(), &[2, 4, 4, 4]);
+    }
+
+    #[test]
+    fn gradcheck_input_weight_bias() {
+        let mut r = rng();
+        let x = uniform(&mut r, &[2, 2, 5, 5], -1.0, 1.0);
+        let w = uniform(&mut r, &[3, 2, 3, 3], -0.5, 0.5);
+        let b = uniform(&mut r, &[3], -0.5, 0.5);
+        let a = ConvAttrs {
+            kh: 3,
+            kw: 3,
+            sh: 2,
+            sw: 2,
+            pad: Padding2d::new(1, 0, 0, 1),
+        };
+        // Loss = sum of outputs, so dy = ones.
+        let y = conv2d_forward(&x, &w, Some(&b), &a);
+        let dy = Tensor::ones(y.shape().dims());
+        let g = conv2d_backward(&x, &w, true, &dy, &a);
+        check(&x, &g.dx, 0.05, |xx| conv2d_forward(xx, &w, Some(&b), &a).sum());
+        check(&w, &g.dw, 0.05, |ww| conv2d_forward(&x, ww, Some(&b), &a).sum());
+        check(&b, g.db.as_ref().unwrap(), 0.05, |bb| {
+            conv2d_forward(&x, &w, Some(bb), &a).sum()
+        });
+    }
+
+    #[test]
+    fn gradcheck_negative_padding() {
+        let mut r = rng();
+        let x = uniform(&mut r, &[1, 1, 6, 6], -1.0, 1.0);
+        let w = uniform(&mut r, &[2, 1, 3, 3], -0.5, 0.5);
+        let a = ConvAttrs {
+            kh: 3,
+            kw: 3,
+            sh: 1,
+            sw: 1,
+            pad: Padding2d::new(-1, 1, 1, -2),
+        };
+        let y = conv2d_forward(&x, &w, None, &a);
+        // h: 6-1+1=6 padded → 4 outputs; w: 6+1-2=5 → 3 outputs.
+        assert_eq!(y.shape().dims(), &[1, 2, 4, 3]);
+        let dy = Tensor::ones(y.shape().dims());
+        let g = conv2d_backward(&x, &w, false, &dy, &a);
+        assert_eq!(g.dx.shape(), x.shape());
+        check(&x, &g.dx, 0.05, |xx| conv2d_forward(xx, &w, None, &a).sum());
+        check(&w, &g.dw, 0.05, |ww| conv2d_forward(&x, ww, None, &a).sum());
+    }
+
+    #[test]
+    fn cropped_rows_get_zero_gradient() {
+        let x = Tensor::ones(&[1, 1, 4, 4]);
+        let w = Tensor::ones(&[1, 1, 2, 2]);
+        let a = ConvAttrs {
+            kh: 2,
+            kw: 2,
+            sh: 2,
+            sw: 2,
+            pad: Padding2d::new(-2, 0, 0, 0),
+        };
+        let y = conv2d_forward(&x, &w, None, &a);
+        assert_eq!(y.shape().dims(), &[1, 1, 1, 2]);
+        let g = conv2d_backward(&x, &w, false, &Tensor::ones(&[1, 1, 1, 2]), &a);
+        // First two rows were cropped away → zero gradient (abandoned).
+        for c in 0..4 {
+            assert_eq!(g.dx.at(&[0, 0, 0, c]), 0.0);
+            assert_eq!(g.dx.at(&[0, 0, 1, c]), 0.0);
+            assert_eq!(g.dx.at(&[0, 0, 2, c]), 1.0);
+        }
+    }
+}

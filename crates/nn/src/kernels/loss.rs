@@ -1,0 +1,120 @@
+//! Fused softmax + cross-entropy classification loss.
+
+use scnn_tensor::Tensor;
+
+/// Output of the loss forward pass.
+#[derive(Clone, Debug)]
+pub struct LossOut {
+    /// Mean cross-entropy over the batch.
+    pub loss: f32,
+    /// Softmax probabilities `[n, classes]`, saved for backward.
+    pub probs: Tensor,
+    /// Number of correct top-1 predictions in the batch.
+    pub correct: usize,
+}
+
+/// Softmax cross-entropy forward for `logits: [n, classes]` against integer
+/// `labels`.
+///
+/// # Panics
+///
+/// Panics if `labels.len() != n` or a label is out of range.
+pub fn softmax_cross_entropy_forward(logits: &Tensor, labels: &[usize]) -> LossOut {
+    assert_eq!(logits.rank(), 2, "logits must be [n, classes]");
+    let (n, k) = (logits.dim(0), logits.dim(1));
+    assert_eq!(labels.len(), n, "label count mismatch");
+    let src = logits.as_slice();
+    let mut probs = vec![0.0f32; n * k];
+    let mut loss = 0.0f32;
+    let mut correct = 0usize;
+    for b in 0..n {
+        assert!(labels[b] < k, "label {} out of range {k}", labels[b]);
+        let row = &src[b * k..(b + 1) * k];
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut denom = 0.0f32;
+        for (j, &v) in row.iter().enumerate() {
+            let e = (v - max).exp();
+            probs[b * k + j] = e;
+            denom += e;
+        }
+        for p in &mut probs[b * k..(b + 1) * k] {
+            *p /= denom;
+        }
+        let p_true = probs[b * k + labels[b]].max(1e-12);
+        loss -= p_true.ln();
+        let pred = row
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(i, _)| i)
+            .expect("row never empty");
+        if pred == labels[b] {
+            correct += 1;
+        }
+    }
+    LossOut {
+        loss: loss / n as f32,
+        probs: Tensor::from_vec(probs, &[n, k]),
+        correct,
+    }
+}
+
+/// Loss backward: `d(mean CE)/d(logits) = (probs − onehot) / n`.
+pub fn softmax_cross_entropy_backward(probs: &Tensor, labels: &[usize]) -> Tensor {
+    let (n, k) = (probs.dim(0), probs.dim(1));
+    let mut d = probs.scale(1.0 / n as f32);
+    let dd = d.as_mut_slice();
+    for (b, &lab) in labels.iter().enumerate() {
+        dd[b * k + lab] -= 1.0 / n as f32;
+    }
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::gradcheck::check;
+
+    #[test]
+    fn uniform_logits_give_log_k() {
+        let logits = Tensor::zeros(&[2, 4]);
+        let out = softmax_cross_entropy_forward(&logits, &[0, 3]);
+        assert!((out.loss - (4.0f32).ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn confident_correct_prediction_has_low_loss() {
+        let logits = Tensor::from_vec(vec![10.0, 0.0, 0.0, 0.0], &[1, 4]);
+        let out = softmax_cross_entropy_forward(&logits, &[0]);
+        assert!(out.loss < 0.01);
+        assert_eq!(out.correct, 1);
+    }
+
+    #[test]
+    fn accuracy_counts_top1() {
+        let logits = Tensor::from_vec(vec![1.0, 2.0, 3.0, 1.0], &[2, 2]);
+        let out = softmax_cross_entropy_forward(&logits, &[1, 0]);
+        assert_eq!(out.correct, 2);
+        let out = softmax_cross_entropy_forward(&logits, &[0, 1]);
+        assert_eq!(out.correct, 0);
+    }
+
+    #[test]
+    fn gradcheck_logits() {
+        let logits = Tensor::from_vec(vec![0.5, -0.2, 0.1, 1.0, -1.0, 0.3], &[2, 3]);
+        let labels = [2, 0];
+        let out = softmax_cross_entropy_forward(&logits, &labels);
+        let d = softmax_cross_entropy_backward(&out.probs, &labels);
+        check(&logits, &d, 0.05, |ll| {
+            softmax_cross_entropy_forward(ll, &labels).loss
+        });
+    }
+
+    #[test]
+    fn gradient_rows_sum_to_zero() {
+        let logits = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[1, 3]);
+        let out = softmax_cross_entropy_forward(&logits, &[1]);
+        let d = softmax_cross_entropy_backward(&out.probs, &[1]);
+        assert!(d.sum().abs() < 1e-6);
+    }
+}

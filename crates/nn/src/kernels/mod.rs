@@ -1,0 +1,77 @@
+//! Forward/backward kernels for every [`scnn_graph::Op`].
+//!
+//! Kernels are free functions over tensors; the [`crate::Executor`] wires
+//! them to graph nodes. Each kernel's unit tests include finite-difference
+//! gradient checks, which is what makes the §5 accuracy experiments
+//! trustworthy.
+
+mod bn;
+mod conv;
+mod linear;
+mod loss;
+mod pointwise;
+mod pool;
+
+pub use bn::{batch_norm_backward, batch_norm_forward, batch_norm_inference, BnSaved};
+pub use conv::{conv2d_backward, conv2d_forward, ConvAttrs, ConvGrads};
+pub use linear::{linear_backward, linear_forward, LinearGrads};
+pub use loss::{softmax_cross_entropy_backward, softmax_cross_entropy_forward, LossOut};
+pub use pointwise::{dropout_backward, dropout_forward, relu_backward, relu_forward};
+pub use pool::{
+    avg_pool_backward, avg_pool_forward, global_avg_pool_backward, global_avg_pool_forward,
+    max_pool_backward, max_pool_forward, PoolAttrs,
+};
+
+use scnn_tensor::Padding2d;
+
+/// Splits a (possibly negative) padding into its cropping part (all
+/// components ≤ 0) and its zero-padding part (all components ≥ 0).
+///
+/// Window kernels apply the crop with [`scnn_tensor::Tensor::pad2d`] first
+/// and fold the positive part into the window geometry.
+pub(crate) fn split_padding(pad: Padding2d) -> (Padding2d, Padding2d) {
+    let crop = Padding2d::new(
+        pad.h_begin.min(0),
+        pad.h_end.min(0),
+        pad.w_begin.min(0),
+        pad.w_end.min(0),
+    );
+    let pos = Padding2d::new(
+        pad.h_begin.max(0),
+        pad.h_end.max(0),
+        pad.w_begin.max(0),
+        pad.w_end.max(0),
+    );
+    (crop, pos)
+}
+
+#[cfg(test)]
+pub(crate) mod gradcheck {
+    //! Finite-difference gradient checking helpers shared by kernel tests.
+
+    use scnn_tensor::Tensor;
+
+    /// Checks an analytic gradient `grad` of `f` at `x` against central
+    /// finite differences. `f` must be a scalar-valued function.
+    ///
+    /// # Panics
+    ///
+    /// Panics when any component's relative error exceeds `tol`.
+    pub fn check(x: &Tensor, grad: &Tensor, tol: f32, mut f: impl FnMut(&Tensor) -> f32) {
+        let eps = 1e-2f32;
+        assert_eq!(x.shape(), grad.shape());
+        for i in 0..x.len() {
+            let mut xp = x.clone();
+            xp.as_mut_slice()[i] += eps;
+            let mut xm = x.clone();
+            xm.as_mut_slice()[i] -= eps;
+            let num = (f(&xp) - f(&xm)) / (2.0 * eps);
+            let ana = grad.as_slice()[i];
+            let denom = num.abs().max(ana.abs()).max(1e-2);
+            assert!(
+                (num - ana).abs() / denom < tol,
+                "gradient mismatch at {i}: numeric {num} vs analytic {ana}"
+            );
+        }
+    }
+}

@@ -1,0 +1,90 @@
+//! Pointwise activations: ReLU and dropout.
+
+use rand::Rng;
+use scnn_tensor::Tensor;
+
+/// ReLU forward: `max(0, x)`.
+pub fn relu_forward(x: &Tensor) -> Tensor {
+    x.map(|v| v.max(0.0))
+}
+
+/// ReLU backward, computed from the *output* — the property that makes
+/// ReLU in-place-capable (the input is never re-read; §4.2 optimization 1).
+pub fn relu_backward(y: &Tensor, dy: &Tensor) -> Tensor {
+    y.zip(dy, |yv, dv| if yv > 0.0 { dv } else { 0.0 })
+}
+
+/// Inverted-dropout forward: zero with probability `p`, scale survivors by
+/// `1/(1−p)`. Returns the output and the keep mask (already scaled).
+///
+/// # Panics
+///
+/// Panics unless `0 ≤ p < 1`.
+pub fn dropout_forward(x: &Tensor, p: f32, rng: &mut impl Rng) -> (Tensor, Tensor) {
+    assert!((0.0..1.0).contains(&p), "dropout p must be in [0, 1), got {p}");
+    if p == 0.0 {
+        return (x.clone(), Tensor::ones(x.shape().dims()));
+    }
+    let scale = 1.0 / (1.0 - p);
+    let mask_data: Vec<f32> = (0..x.len())
+        .map(|_| if rng.gen::<f32>() < p { 0.0 } else { scale })
+        .collect();
+    let mask = Tensor::from_vec(mask_data, x.shape().dims());
+    (x.mul(&mask), mask)
+}
+
+/// Dropout backward: apply the same mask to the upstream gradient.
+pub fn dropout_backward(dy: &Tensor, mask: &Tensor) -> Tensor {
+    dy.mul(mask)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn relu_clamps_negatives() {
+        let x = Tensor::from_vec(vec![-1.0, 0.0, 2.0], &[3]);
+        assert_eq!(relu_forward(&x).as_slice(), &[0.0, 0.0, 2.0]);
+    }
+
+    #[test]
+    fn relu_backward_masks_by_output_sign() {
+        let y = Tensor::from_vec(vec![0.0, 3.0], &[2]);
+        let dy = Tensor::from_vec(vec![5.0, 5.0], &[2]);
+        assert_eq!(relu_backward(&y, &dy).as_slice(), &[0.0, 5.0]);
+    }
+
+    #[test]
+    fn dropout_preserves_expectation() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let x = Tensor::ones(&[10_000]);
+        let (y, _) = dropout_forward(&x, 0.3, &mut rng);
+        let mean = y.mean();
+        assert!((mean - 1.0).abs() < 0.05, "dropout mean {mean} far from 1");
+    }
+
+    #[test]
+    fn dropout_zero_p_is_identity() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let x = Tensor::from_vec(vec![1.0, -2.0], &[2]);
+        let (y, mask) = dropout_forward(&x, 0.0, &mut rng);
+        assert_eq!(y, x);
+        assert_eq!(mask.as_slice(), &[1.0, 1.0]);
+    }
+
+    #[test]
+    fn dropout_backward_uses_same_mask() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let x = Tensor::ones(&[100]);
+        let (y, mask) = dropout_forward(&x, 0.5, &mut rng);
+        let dy = Tensor::ones(&[100]);
+        let dx = dropout_backward(&dy, &mask);
+        // Exactly where y is zero, dx is zero; where y survives, dx = scale.
+        for i in 0..100 {
+            assert_eq!(y.as_slice()[i] == 0.0, dx.as_slice()[i] == 0.0);
+        }
+    }
+}

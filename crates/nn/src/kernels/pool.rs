@@ -1,0 +1,303 @@
+//! Max/average/global-average pooling with asymmetric (and negative)
+//! padding.
+
+use scnn_tensor::{Padding2d, Tensor};
+
+use super::split_padding;
+
+/// Static attributes of a pooling node.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PoolAttrs {
+    /// Kernel height.
+    pub kh: usize,
+    /// Kernel width.
+    pub kw: usize,
+    /// Vertical stride.
+    pub sh: usize,
+    /// Horizontal stride.
+    pub sw: usize,
+    /// Per-side padding; negative components crop.
+    pub pad: Padding2d,
+}
+
+struct PoolGeom {
+    crop: Padding2d,
+    h: usize,
+    w: usize,
+    oh: usize,
+    ow: usize,
+    pos: Padding2d,
+}
+
+fn geom(x: &Tensor, attrs: &PoolAttrs) -> PoolGeom {
+    assert_eq!(x.rank(), 4, "pool input must be NCHW");
+    let (crop, pos) = split_padding(attrs.pad);
+    let h = crop.out_h(x.dim(2));
+    let w = crop.out_w(x.dim(3));
+    let ph = (h as i64 + pos.h_begin + pos.h_end) as usize;
+    let pw = (w as i64 + pos.w_begin + pos.w_end) as usize;
+    assert!(
+        ph >= attrs.kh && pw >= attrs.kw,
+        "pool window {}x{} larger than padded input {ph}x{pw}",
+        attrs.kh,
+        attrs.kw
+    );
+    PoolGeom {
+        crop,
+        h,
+        w,
+        oh: (ph - attrs.kh) / attrs.sh + 1,
+        ow: (pw - attrs.kw) / attrs.sw + 1,
+        pos,
+    }
+}
+
+/// Max-pool forward. Returns the output and the flat argmax index (into the
+/// *cropped* input) per output element; `usize::MAX` marks windows that saw
+/// only padding. The mask is the aux data HMMS accounts 4 bytes/element for.
+pub fn max_pool_forward(x: &Tensor, attrs: &PoolAttrs) -> (Tensor, Vec<usize>) {
+    let g = geom(x, attrs);
+    let xc = x.pad2d(g.crop);
+    let (n, c) = (x.dim(0), x.dim(1));
+    let mut out = Tensor::zeros(&[n, c, g.oh, g.ow]);
+    let mut mask = vec![usize::MAX; n * c * g.oh * g.ow];
+    let src = xc.as_slice();
+    let dst = out.as_mut_slice();
+    for img in 0..n * c {
+        let base = img * g.h * g.w;
+        for oy in 0..g.oh {
+            let iy0 = oy as i64 * attrs.sh as i64 - g.pos.h_begin;
+            for ox in 0..g.ow {
+                let ix0 = ox as i64 * attrs.sw as i64 - g.pos.w_begin;
+                let mut best = f32::NEG_INFINITY;
+                let mut best_idx = usize::MAX;
+                for ky in 0..attrs.kh {
+                    let iy = iy0 + ky as i64;
+                    if iy < 0 || iy >= g.h as i64 {
+                        continue;
+                    }
+                    for kx in 0..attrs.kw {
+                        let ix = ix0 + kx as i64;
+                        if ix < 0 || ix >= g.w as i64 {
+                            continue;
+                        }
+                        let idx = base + iy as usize * g.w + ix as usize;
+                        if src[idx] > best {
+                            best = src[idx];
+                            best_idx = idx;
+                        }
+                    }
+                }
+                let o = (img * g.oh + oy) * g.ow + ox;
+                dst[o] = if best_idx == usize::MAX { 0.0 } else { best };
+                mask[o] = best_idx;
+            }
+        }
+    }
+    (out, mask)
+}
+
+/// Max-pool backward: routes each output gradient to its argmax position.
+pub fn max_pool_backward(
+    x: &Tensor,
+    dy: &Tensor,
+    mask: &[usize],
+    attrs: &PoolAttrs,
+) -> Tensor {
+    let g = geom(x, attrs);
+    let (n, c) = (x.dim(0), x.dim(1));
+    assert_eq!(dy.shape().dims(), &[n, c, g.oh, g.ow], "pool dy shape mismatch");
+    let mut dxc = Tensor::zeros(&[n, c, g.h, g.w]);
+    let d = dxc.as_mut_slice();
+    for (o, &m) in mask.iter().enumerate() {
+        if m != usize::MAX {
+            d[m] += dy.as_slice()[o];
+        }
+    }
+    dxc.pad2d(g.crop.invert())
+}
+
+/// Average-pool forward (divisor `kh·kw`, padding counted, matching the
+/// PyTorch default the paper's models use).
+pub fn avg_pool_forward(x: &Tensor, attrs: &PoolAttrs) -> Tensor {
+    let g = geom(x, attrs);
+    let xc = x.pad2d(g.crop);
+    let (n, c) = (x.dim(0), x.dim(1));
+    let mut out = Tensor::zeros(&[n, c, g.oh, g.ow]);
+    let src = xc.as_slice();
+    let dst = out.as_mut_slice();
+    let scale = 1.0 / (attrs.kh * attrs.kw) as f32;
+    for img in 0..n * c {
+        let base = img * g.h * g.w;
+        for oy in 0..g.oh {
+            let iy0 = oy as i64 * attrs.sh as i64 - g.pos.h_begin;
+            for ox in 0..g.ow {
+                let ix0 = ox as i64 * attrs.sw as i64 - g.pos.w_begin;
+                let mut acc = 0.0;
+                for ky in 0..attrs.kh {
+                    let iy = iy0 + ky as i64;
+                    if iy < 0 || iy >= g.h as i64 {
+                        continue;
+                    }
+                    for kx in 0..attrs.kw {
+                        let ix = ix0 + kx as i64;
+                        if ix < 0 || ix >= g.w as i64 {
+                            continue;
+                        }
+                        acc += src[base + iy as usize * g.w + ix as usize];
+                    }
+                }
+                dst[(img * g.oh + oy) * g.ow + ox] = acc * scale;
+            }
+        }
+    }
+    out
+}
+
+/// Average-pool backward: spreads each output gradient uniformly over its
+/// window.
+pub fn avg_pool_backward(x: &Tensor, dy: &Tensor, attrs: &PoolAttrs) -> Tensor {
+    let g = geom(x, attrs);
+    let (n, c) = (x.dim(0), x.dim(1));
+    assert_eq!(dy.shape().dims(), &[n, c, g.oh, g.ow], "pool dy shape mismatch");
+    let mut dxc = Tensor::zeros(&[n, c, g.h, g.w]);
+    let d = dxc.as_mut_slice();
+    let s = dy.as_slice();
+    let scale = 1.0 / (attrs.kh * attrs.kw) as f32;
+    for img in 0..n * c {
+        let base = img * g.h * g.w;
+        for oy in 0..g.oh {
+            let iy0 = oy as i64 * attrs.sh as i64 - g.pos.h_begin;
+            for ox in 0..g.ow {
+                let ix0 = ox as i64 * attrs.sw as i64 - g.pos.w_begin;
+                let gval = s[(img * g.oh + oy) * g.ow + ox] * scale;
+                for ky in 0..attrs.kh {
+                    let iy = iy0 + ky as i64;
+                    if iy < 0 || iy >= g.h as i64 {
+                        continue;
+                    }
+                    for kx in 0..attrs.kw {
+                        let ix = ix0 + kx as i64;
+                        if ix < 0 || ix >= g.w as i64 {
+                            continue;
+                        }
+                        d[base + iy as usize * g.w + ix as usize] += gval;
+                    }
+                }
+            }
+        }
+    }
+    dxc.pad2d(g.crop.invert())
+}
+
+/// Global average pooling: `[n, c, h, w]` → `[n, c, 1, 1]`.
+pub fn global_avg_pool_forward(x: &Tensor) -> Tensor {
+    assert_eq!(x.rank(), 4, "global pool input must be NCHW");
+    let (n, c, h, w) = (x.dim(0), x.dim(1), x.dim(2), x.dim(3));
+    let mut out = Tensor::zeros(&[n, c, 1, 1]);
+    let scale = 1.0 / (h * w) as f32;
+    let src = x.as_slice();
+    let dst = out.as_mut_slice();
+    for img in 0..n * c {
+        dst[img] = src[img * h * w..(img + 1) * h * w].iter().sum::<f32>() * scale;
+    }
+    out
+}
+
+/// Global average pooling backward.
+pub fn global_avg_pool_backward(x: &Tensor, dy: &Tensor) -> Tensor {
+    let (n, c, h, w) = (x.dim(0), x.dim(1), x.dim(2), x.dim(3));
+    assert_eq!(dy.shape().dims(), &[n, c, 1, 1], "global pool dy mismatch");
+    let scale = 1.0 / (h * w) as f32;
+    let mut dx = Tensor::zeros(&[n, c, h, w]);
+    let d = dx.as_mut_slice();
+    for img in 0..n * c {
+        let g = dy.as_slice()[img] * scale;
+        for v in &mut d[img * h * w..(img + 1) * h * w] {
+            *v = g;
+        }
+    }
+    dx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::gradcheck::check;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use scnn_tensor::uniform;
+
+    fn attrs(k: usize, s: usize, pad: Padding2d) -> PoolAttrs {
+        PoolAttrs {
+            kh: k,
+            kw: k,
+            sh: s,
+            sw: s,
+            pad,
+        }
+    }
+
+    #[test]
+    fn max_pool_known_values() {
+        let x = Tensor::from_vec((0..16).map(|i| i as f32).collect(), &[1, 1, 4, 4]);
+        let (y, _) = max_pool_forward(&x, &attrs(2, 2, Padding2d::default()));
+        assert_eq!(y.shape().dims(), &[1, 1, 2, 2]);
+        assert_eq!(y.as_slice(), &[5.0, 7.0, 13.0, 15.0]);
+    }
+
+    #[test]
+    fn max_pool_negative_values_ignore_padding() {
+        // All-negative input with padding: padding must never win the max.
+        let x = Tensor::full(&[1, 1, 2, 2], -3.0);
+        let (y, _) = max_pool_forward(&x, &attrs(3, 1, Padding2d::symmetric(1)));
+        assert_eq!(y.shape().dims(), &[1, 1, 2, 2]);
+        assert!(y.as_slice().iter().all(|&v| v == -3.0));
+    }
+
+    #[test]
+    fn max_pool_backward_routes_to_argmax() {
+        let x = Tensor::from_vec(vec![1.0, 2.0, 4.0, 3.0], &[1, 1, 2, 2]);
+        let a = attrs(2, 2, Padding2d::default());
+        let (_, mask) = max_pool_forward(&x, &a);
+        let dy = Tensor::full(&[1, 1, 1, 1], 7.0);
+        let dx = max_pool_backward(&x, &dy, &mask, &a);
+        assert_eq!(dx.as_slice(), &[0.0, 0.0, 7.0, 0.0]);
+    }
+
+    #[test]
+    fn avg_pool_known_values() {
+        let x = Tensor::from_vec((0..16).map(|i| i as f32).collect(), &[1, 1, 4, 4]);
+        let y = avg_pool_forward(&x, &attrs(2, 2, Padding2d::default()));
+        assert_eq!(y.as_slice(), &[2.5, 4.5, 10.5, 12.5]);
+    }
+
+    #[test]
+    fn avg_pool_gradcheck() {
+        let mut r = ChaCha8Rng::seed_from_u64(2);
+        let x = uniform(&mut r, &[2, 2, 5, 5], -1.0, 1.0);
+        let a = attrs(3, 2, Padding2d::new(1, 0, 0, 1));
+        let y = avg_pool_forward(&x, &a);
+        let dy = Tensor::ones(y.shape().dims());
+        let dx = avg_pool_backward(&x, &dy, &a);
+        check(&x, &dx, 0.05, |xx| avg_pool_forward(xx, &a).sum());
+    }
+
+    #[test]
+    fn avg_pool_negative_pad_crops() {
+        let x = Tensor::ones(&[1, 1, 4, 4]);
+        let y = avg_pool_forward(&x, &attrs(2, 2, Padding2d::new(-2, 0, 0, 0)));
+        assert_eq!(y.shape().dims(), &[1, 1, 1, 2]);
+    }
+
+    #[test]
+    fn global_avg_pool_values_and_gradcheck() {
+        let mut r = ChaCha8Rng::seed_from_u64(5);
+        let x = uniform(&mut r, &[2, 3, 4, 4], -1.0, 1.0);
+        let y = global_avg_pool_forward(&x);
+        assert_eq!(y.shape().dims(), &[2, 3, 1, 1]);
+        let dy = Tensor::ones(&[2, 3, 1, 1]);
+        let dx = global_avg_pool_backward(&x, &dy);
+        check(&x, &dx, 0.05, |xx| global_avg_pool_forward(xx).sum());
+    }
+}

@@ -1,0 +1,181 @@
+//! SGD with momentum and weight decay, plus the paper's step-decay
+//! learning-rate schedules (§5.2.1: ×0.1 at epochs 150 and 250 on CIFAR;
+//! §5.3: ×0.1 every 30 epochs on ImageNet).
+
+use scnn_tensor::Tensor;
+
+use crate::params::ParamStore;
+
+/// Stochastic gradient descent with classical momentum and L2 weight decay,
+/// matching the paper's training recipe (momentum 0.9, weight decay 1e-4).
+#[derive(Clone, Debug)]
+pub struct Sgd {
+    lr: f32,
+    momentum: f32,
+    weight_decay: f32,
+    velocity: Vec<Tensor>,
+}
+
+impl Sgd {
+    /// Creates an optimizer for the given store.
+    pub fn new(params: &ParamStore, lr: f32, momentum: f32, weight_decay: f32) -> Self {
+        let velocity = (0..params.len()).map(|_| Tensor::default()).collect();
+        Sgd {
+            lr,
+            momentum,
+            weight_decay,
+            velocity,
+        }
+    }
+
+    /// Current learning rate.
+    pub fn lr(&self) -> f32 {
+        self.lr
+    }
+
+    /// Sets the learning rate (called by schedules between epochs).
+    pub fn set_lr(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+
+    /// Applies one update: `v ← μv + (g + λw)`, `w ← w − η·v`.
+    pub fn step(&mut self, params: &mut ParamStore) {
+        let (lr, mu, wd) = (self.lr, self.momentum, self.weight_decay);
+        let velocity = &mut self.velocity;
+        params.update(|i, value, grad| {
+            let mut g = grad.clone();
+            if wd != 0.0 {
+                let decay = value.scale(wd);
+                g.add_assign(&decay);
+            }
+            if velocity[i].shape() != g.shape() {
+                velocity[i] = Tensor::zeros(g.shape().dims());
+            }
+            let v = velocity[i].scale(mu).add(&g);
+            velocity[i] = v.clone();
+            *value = value.sub(&v.scale(lr));
+        });
+    }
+}
+
+/// Multi-step learning-rate decay: multiply by `gamma` at each milestone
+/// epoch.
+///
+/// # Example
+///
+/// ```
+/// use scnn_nn::MultiStepLr;
+///
+/// let sched = MultiStepLr::new(0.1, &[150, 250], 0.1);
+/// assert_eq!(sched.lr_at(0), 0.1);
+/// assert_eq!(sched.lr_at(150), 0.010000001);
+/// assert!((sched.lr_at(300) - 0.001).abs() < 1e-6);
+/// ```
+#[derive(Clone, Debug)]
+pub struct MultiStepLr {
+    base: f32,
+    milestones: Vec<usize>,
+    gamma: f32,
+}
+
+impl MultiStepLr {
+    /// Creates a schedule decaying at the given epochs.
+    pub fn new(base: f32, milestones: &[usize], gamma: f32) -> Self {
+        MultiStepLr {
+            base,
+            milestones: milestones.to_vec(),
+            gamma,
+        }
+    }
+
+    /// Step decay every `period` epochs (the ImageNet recipe).
+    pub fn every(base: f32, period: usize, gamma: f32, total_epochs: usize) -> Self {
+        let milestones = (1..)
+            .map(|i| i * period)
+            .take_while(|&m| m < total_epochs)
+            .collect();
+        MultiStepLr {
+            base,
+            milestones,
+            gamma,
+        }
+    }
+
+    /// Learning rate for a given epoch.
+    pub fn lr_at(&self, epoch: usize) -> f32 {
+        let decays = self.milestones.iter().filter(|&&m| epoch >= m).count();
+        self.base * self.gamma.powi(decays as i32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use scnn_graph::{Graph, ParamId};
+
+    fn store() -> ParamStore {
+        let mut g = Graph::new();
+        let x = g.input(&[1, 1, 2, 2]);
+        let f = g.flatten(x, "f");
+        g.linear(f, 2, "fc");
+        ParamStore::init(&g, &mut ChaCha8Rng::seed_from_u64(0))
+    }
+
+    #[test]
+    fn sgd_moves_against_gradient() {
+        let mut p = store();
+        let w0 = p.value(ParamId(0)).clone();
+        p.accumulate_grad(ParamId(0), &Tensor::ones(&[2, 4]));
+        let mut opt = Sgd::new(&p, 0.1, 0.0, 0.0);
+        opt.step(&mut p);
+        let w1 = p.value(ParamId(0));
+        let expected = w0.sub(&Tensor::full(&[2, 4], 0.1));
+        assert!(w1.max_abs_diff(&expected) < 1e-6);
+    }
+
+    #[test]
+    fn momentum_accumulates() {
+        let mut p = store();
+        let mut opt = Sgd::new(&p, 1.0, 0.5, 0.0);
+        let w0 = p.value(ParamId(0)).clone();
+        for _ in 0..2 {
+            p.zero_grads();
+            p.accumulate_grad(ParamId(0), &Tensor::ones(&[2, 4]));
+            opt.step(&mut p);
+        }
+        // step1: v=1 → w-1; step2: v=0.5+1=1.5 → w-2.5 total.
+        let diff = w0.sub(p.value(ParamId(0)));
+        assert!((diff.as_slice()[0] - 2.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn weight_decay_shrinks_weights_without_gradient() {
+        let mut p = store();
+        let w0 = p.value(ParamId(0)).clone();
+        let mut opt = Sgd::new(&p, 0.1, 0.0, 0.5);
+        p.zero_grads();
+        opt.step(&mut p);
+        let w1 = p.value(ParamId(0));
+        let expected = w0.scale(1.0 - 0.1 * 0.5);
+        assert!(w1.max_abs_diff(&expected) < 1e-6);
+    }
+
+    #[test]
+    fn multistep_schedule() {
+        let s = MultiStepLr::new(1.0, &[2, 4], 0.1);
+        assert_eq!(s.lr_at(0), 1.0);
+        assert_eq!(s.lr_at(1), 1.0);
+        assert!((s.lr_at(2) - 0.1).abs() < 1e-7);
+        assert!((s.lr_at(4) - 0.01).abs() < 1e-7);
+    }
+
+    #[test]
+    fn every_schedule_matches_imagenet_recipe() {
+        let s = MultiStepLr::every(0.1, 30, 0.1, 90);
+        assert_eq!(s.lr_at(29), 0.1);
+        assert!((s.lr_at(30) - 0.01).abs() < 1e-7);
+        assert!((s.lr_at(60) - 0.001).abs() < 1e-8);
+    }
+}

@@ -1,0 +1,272 @@
+//! `im2col`/`col2im` lowering for convolution.
+//!
+//! Convolution is computed as a matrix product between an unrolled patch
+//! matrix and the weight matrix, the same lowering cuDNN's GEMM algorithms
+//! use (and whose workspace cost the paper's §6.3 point (1) discusses —
+//! `scnn-gpusim` models that workspace as a multiple of this buffer's size).
+
+use crate::{Padding2d, Tensor};
+
+/// Static geometry of a 2-D convolution or pooling window operation.
+///
+/// Padding here must be non-negative; negative (cropping) padding from
+/// out-of-interval split choices is applied by the caller with
+/// [`Tensor::pad2d`] before the window operation runs.
+///
+/// # Example
+///
+/// ```
+/// use scnn_tensor::{Conv2dGeometry, Padding2d};
+///
+/// let g = Conv2dGeometry::new(3, 32, 32, 3, 3, 1, 1, Padding2d::symmetric(1));
+/// assert_eq!((g.out_h(), g.out_w()), (32, 32));
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Conv2dGeometry {
+    /// Input channels.
+    pub in_c: usize,
+    /// Input height.
+    pub in_h: usize,
+    /// Input width.
+    pub in_w: usize,
+    /// Kernel height.
+    pub kh: usize,
+    /// Kernel width.
+    pub kw: usize,
+    /// Vertical stride.
+    pub sh: usize,
+    /// Horizontal stride.
+    pub sw: usize,
+    /// Non-negative zero padding.
+    pub pad: Padding2d,
+}
+
+impl Conv2dGeometry {
+    /// Creates a geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any padding component is negative, a stride is zero, or the
+    /// padded input is smaller than the kernel.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        in_c: usize,
+        in_h: usize,
+        in_w: usize,
+        kh: usize,
+        kw: usize,
+        sh: usize,
+        sw: usize,
+        pad: Padding2d,
+    ) -> Self {
+        assert!(
+            pad.h_begin >= 0 && pad.h_end >= 0 && pad.w_begin >= 0 && pad.w_end >= 0,
+            "window geometry requires non-negative padding, got {pad:?}"
+        );
+        assert!(sh > 0 && sw > 0, "strides must be positive");
+        let g = Conv2dGeometry {
+            in_c,
+            in_h,
+            in_w,
+            kh,
+            kw,
+            sh,
+            sw,
+            pad,
+        };
+        assert!(
+            g.padded_h() >= kh && g.padded_w() >= kw,
+            "padded input {}x{} smaller than kernel {kh}x{kw}",
+            g.padded_h(),
+            g.padded_w()
+        );
+        g
+    }
+
+    fn padded_h(&self) -> usize {
+        (self.in_h as i64 + self.pad.h_begin + self.pad.h_end) as usize
+    }
+
+    fn padded_w(&self) -> usize {
+        (self.in_w as i64 + self.pad.w_begin + self.pad.w_end) as usize
+    }
+
+    /// Output height.
+    pub fn out_h(&self) -> usize {
+        (self.padded_h() - self.kh) / self.sh + 1
+    }
+
+    /// Output width.
+    pub fn out_w(&self) -> usize {
+        (self.padded_w() - self.kw) / self.sw + 1
+    }
+
+    /// Rows of the `im2col` matrix per batch element.
+    pub fn patch_count(&self) -> usize {
+        self.out_h() * self.out_w()
+    }
+
+    /// Columns of the `im2col` matrix.
+    pub fn patch_len(&self) -> usize {
+        self.in_c * self.kh * self.kw
+    }
+}
+
+/// Unrolls `x: [n, c, h, w]` into a matrix `[n·out_h·out_w, c·kh·kw]` where
+/// each row is one receptive field (zero-padded where the window hangs over
+/// the border).
+///
+/// # Panics
+///
+/// Panics if `x` does not match the geometry's input shape.
+pub fn im2col(x: &Tensor, g: &Conv2dGeometry) -> Tensor {
+    assert_eq!(x.rank(), 4, "im2col expects NCHW");
+    assert_eq!(
+        (x.dim(1), x.dim(2), x.dim(3)),
+        (g.in_c, g.in_h, g.in_w),
+        "input {} does not match geometry {g:?}",
+        x.shape()
+    );
+    let n = x.dim(0);
+    let (oh, ow) = (g.out_h(), g.out_w());
+    let plen = g.patch_len();
+    let mut out = vec![0.0f32; n * oh * ow * plen];
+    let src = x.as_slice();
+    let (h, w) = (g.in_h, g.in_w);
+    for b in 0..n {
+        for oy in 0..oh {
+            let iy0 = oy as i64 * g.sh as i64 - g.pad.h_begin;
+            for ox in 0..ow {
+                let ix0 = ox as i64 * g.sw as i64 - g.pad.w_begin;
+                let row = ((b * oh + oy) * ow + ox) * plen;
+                for c in 0..g.in_c {
+                    let cbase = (b * g.in_c + c) * h * w;
+                    for ky in 0..g.kh {
+                        let iy = iy0 + ky as i64;
+                        if iy < 0 || iy >= h as i64 {
+                            continue;
+                        }
+                        let iy = iy as usize;
+                        for kx in 0..g.kw {
+                            let ix = ix0 + kx as i64;
+                            if ix < 0 || ix >= w as i64 {
+                                continue;
+                            }
+                            out[row + (c * g.kh + ky) * g.kw + kx] =
+                                src[cbase + iy * w + ix as usize];
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Tensor::from_vec(out, &[n * oh * ow, plen])
+}
+
+/// The adjoint of [`im2col`]: folds a patch matrix back into an image,
+/// summing overlapping contributions. Used to back-propagate convolution
+/// input gradients.
+///
+/// # Panics
+///
+/// Panics if `cols` does not have shape `[n·out_h·out_w, c·kh·kw]`.
+pub fn col2im(cols: &Tensor, n: usize, g: &Conv2dGeometry) -> Tensor {
+    let (oh, ow) = (g.out_h(), g.out_w());
+    let plen = g.patch_len();
+    assert_eq!(
+        cols.shape().dims(),
+        &[n * oh * ow, plen],
+        "col matrix shape mismatch"
+    );
+    let (h, w) = (g.in_h, g.in_w);
+    let mut out = Tensor::zeros(&[n, g.in_c, h, w]);
+    let dst = out.as_mut_slice();
+    let src = cols.as_slice();
+    for b in 0..n {
+        for oy in 0..oh {
+            let iy0 = oy as i64 * g.sh as i64 - g.pad.h_begin;
+            for ox in 0..ow {
+                let ix0 = ox as i64 * g.sw as i64 - g.pad.w_begin;
+                let row = ((b * oh + oy) * ow + ox) * plen;
+                for c in 0..g.in_c {
+                    let cbase = (b * g.in_c + c) * h * w;
+                    for ky in 0..g.kh {
+                        let iy = iy0 + ky as i64;
+                        if iy < 0 || iy >= h as i64 {
+                            continue;
+                        }
+                        let iy = iy as usize;
+                        for kx in 0..g.kw {
+                            let ix = ix0 + kx as i64;
+                            if ix < 0 || ix >= w as i64 {
+                                continue;
+                            }
+                            dst[cbase + iy * w + ix as usize] +=
+                                src[row + (c * g.kh + ky) * g.kw + kx];
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometry_output_dims() {
+        let g = Conv2dGeometry::new(1, 5, 5, 3, 3, 2, 2, Padding2d::symmetric(1));
+        assert_eq!((g.out_h(), g.out_w()), (3, 3));
+        let g = Conv2dGeometry::new(1, 4, 6, 2, 2, 2, 2, Padding2d::default());
+        assert_eq!((g.out_h(), g.out_w()), (2, 3));
+    }
+
+    #[test]
+    fn im2col_identity_kernel() {
+        // 1x1 kernel, stride 1: im2col is a reshape/permute of the input.
+        let x = Tensor::from_vec((0..8).map(|i| i as f32).collect(), &[1, 2, 2, 2]);
+        let g = Conv2dGeometry::new(2, 2, 2, 1, 1, 1, 1, Padding2d::default());
+        let m = im2col(&x, &g);
+        assert_eq!(m.shape().dims(), &[4, 2]);
+        // Row = spatial position, column = channel.
+        assert_eq!(m.at(&[0, 0]), 0.0);
+        assert_eq!(m.at(&[0, 1]), 4.0);
+        assert_eq!(m.at(&[3, 0]), 3.0);
+        assert_eq!(m.at(&[3, 1]), 7.0);
+    }
+
+    #[test]
+    fn im2col_padding_zeroes_border() {
+        let x = Tensor::ones(&[1, 1, 2, 2]);
+        let g = Conv2dGeometry::new(1, 2, 2, 3, 3, 1, 1, Padding2d::symmetric(1));
+        let m = im2col(&x, &g);
+        assert_eq!(m.shape().dims(), &[4, 9]);
+        // Top-left output: only the bottom-right 2x2 of the kernel sees data.
+        let row0: Vec<f32> = m.as_slice()[..9].to_vec();
+        assert_eq!(row0, vec![0., 0., 0., 0., 1., 1., 0., 1., 1.]);
+    }
+
+    #[test]
+    fn col2im_is_adjoint_of_im2col() {
+        // <im2col(x), y> == <x, col2im(y)>.
+        let dims = [2, 2, 4, 4];
+        let n: usize = dims.iter().product();
+        let x = Tensor::from_vec((0..n).map(|i| (i % 7) as f32).collect(), &dims);
+        let g = Conv2dGeometry::new(2, 4, 4, 3, 3, 1, 1, Padding2d::symmetric(1));
+        let m = im2col(&x, &g);
+        let y = m.map(|v| v * 0.5 + 1.0);
+        let folded = col2im(&y, 2, &g);
+        let lhs = m.mul(&y).sum();
+        let rhs = x.mul(&folded).sum();
+        assert!((lhs - rhs).abs() / lhs.abs().max(1.0) < 1e-4);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_pad_rejected() {
+        Conv2dGeometry::new(1, 4, 4, 3, 3, 1, 1, Padding2d::new(-1, 0, 0, 0));
+    }
+}

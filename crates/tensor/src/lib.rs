@@ -1,0 +1,38 @@
+//! Dense `f32` tensor library used throughout the Split-CNN reproduction.
+//!
+//! This crate is the lowest-level substrate of the workspace: a
+//! multi-dimensional array in row-major layout with the operations the
+//! neural-network kernels in `scnn-nn` and the split transformation in
+//! `scnn-core` need — elementwise arithmetic, 2-D matrix multiplication,
+//! spatial padding (including *negative* padding, i.e. cropping, which the
+//! paper's footnote 1 requires for out-of-interval split choices), slicing
+//! and concatenation along arbitrary dimensions, and `im2col`/`col2im`
+//! buffers for convolution.
+//!
+//! Image tensors follow the NCHW convention: `[batch, channels, height,
+//! width]`.
+//!
+//! # Example
+//!
+//! ```
+//! use scnn_tensor::Tensor;
+//!
+//! let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+//! let y = x.map(|v| v * 2.0);
+//! assert_eq!(y.as_slice(), &[2.0, 4.0, 6.0, 8.0]);
+//! ```
+
+mod im2col;
+mod init;
+mod linalg;
+mod pad;
+mod shape;
+mod slice;
+mod tensor;
+
+pub use im2col::{col2im, im2col, Conv2dGeometry};
+pub use init::{he_normal, uniform, xavier_uniform};
+pub use linalg::{matmul, matmul_a_bt, matmul_at_b};
+pub use pad::Padding2d;
+pub use shape::Shape;
+pub use tensor::Tensor;

@@ -1,0 +1,155 @@
+//! Small dense linear-algebra kernels (2-D matrix products).
+//!
+//! Convolution (via `im2col`) and fully-connected layers reduce to these
+//! three product variants. They are written as straightforward ikj loops,
+//! which the compiler auto-vectorizes well enough for the proxy-scale
+//! training this workspace performs.
+
+use crate::Tensor;
+
+/// `C = A · B` for `A: [m, k]`, `B: [k, n]`.
+///
+/// # Panics
+///
+/// Panics if either operand is not rank 2 or the inner dimensions disagree.
+///
+/// # Example
+///
+/// ```
+/// use scnn_tensor::{matmul, Tensor};
+///
+/// let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+/// let i = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0], &[2, 2]);
+/// assert_eq!(matmul(&a, &i), a);
+/// ```
+pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k) = dims2(a, "matmul lhs");
+    let (k2, n) = dims2(b, "matmul rhs");
+    assert_eq!(k, k2, "matmul inner dimension mismatch: {k} vs {k2}");
+    let mut out = vec![0.0f32; m * n];
+    let av = a.as_slice();
+    let bv = b.as_slice();
+    for i in 0..m {
+        for p in 0..k {
+            let aip = av[i * k + p];
+            if aip == 0.0 {
+                continue;
+            }
+            let brow = &bv[p * n..(p + 1) * n];
+            let orow = &mut out[i * n..(i + 1) * n];
+            for (o, &bb) in orow.iter_mut().zip(brow) {
+                *o += aip * bb;
+            }
+        }
+    }
+    Tensor::from_vec(out, &[m, n])
+}
+
+/// `C = Aᵀ · B` for `A: [k, m]`, `B: [k, n]` — used by convolution weight
+/// gradients without materializing a transpose.
+///
+/// # Panics
+///
+/// Panics if either operand is not rank 2 or the shared dimension disagrees.
+pub fn matmul_at_b(a: &Tensor, b: &Tensor) -> Tensor {
+    let (k, m) = dims2(a, "matmul_at_b lhs");
+    let (k2, n) = dims2(b, "matmul_at_b rhs");
+    assert_eq!(k, k2, "matmul_at_b shared dimension mismatch: {k} vs {k2}");
+    let mut out = vec![0.0f32; m * n];
+    let av = a.as_slice();
+    let bv = b.as_slice();
+    for p in 0..k {
+        let arow = &av[p * m..(p + 1) * m];
+        let brow = &bv[p * n..(p + 1) * n];
+        for (i, &aa) in arow.iter().enumerate() {
+            if aa == 0.0 {
+                continue;
+            }
+            let orow = &mut out[i * n..(i + 1) * n];
+            for (o, &bb) in orow.iter_mut().zip(brow) {
+                *o += aa * bb;
+            }
+        }
+    }
+    Tensor::from_vec(out, &[m, n])
+}
+
+/// `C = A · Bᵀ` for `A: [m, k]`, `B: [n, k]` — used by convolution input
+/// gradients without materializing a transpose.
+///
+/// # Panics
+///
+/// Panics if either operand is not rank 2 or the shared dimension disagrees.
+pub fn matmul_a_bt(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k) = dims2(a, "matmul_a_bt lhs");
+    let (n, k2) = dims2(b, "matmul_a_bt rhs");
+    assert_eq!(k, k2, "matmul_a_bt shared dimension mismatch: {k} vs {k2}");
+    let mut out = vec![0.0f32; m * n];
+    let av = a.as_slice();
+    let bv = b.as_slice();
+    for i in 0..m {
+        let arow = &av[i * k..(i + 1) * k];
+        for j in 0..n {
+            let brow = &bv[j * k..(j + 1) * k];
+            let mut acc = 0.0f32;
+            for (aa, bb) in arow.iter().zip(brow) {
+                acc += aa * bb;
+            }
+            out[i * n + j] = acc;
+        }
+    }
+    Tensor::from_vec(out, &[m, n])
+}
+
+fn dims2(t: &Tensor, what: &str) -> (usize, usize) {
+    assert_eq!(t.rank(), 2, "{what} must be rank 2, got {}", t.shape());
+    (t.dim(0), t.dim(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(v: Vec<f32>, d: &[usize]) -> Tensor {
+        Tensor::from_vec(v, d)
+    }
+
+    #[test]
+    fn matmul_known_values() {
+        // [1 2; 3 4] * [5 6; 7 8] = [19 22; 43 50]
+        let a = t(vec![1., 2., 3., 4.], &[2, 2]);
+        let b = t(vec![5., 6., 7., 8.], &[2, 2]);
+        assert_eq!(matmul(&a, &b).as_slice(), &[19., 22., 43., 50.]);
+    }
+
+    #[test]
+    fn matmul_rectangular() {
+        let a = t(vec![1., 0., 2., 0., 1., 3.], &[2, 3]);
+        let b = t(vec![1., 2., 3., 4., 5., 6.], &[3, 2]);
+        // row0 = [1*1+2*5, 1*2+2*6] = [11, 14]
+        // row1 = [3+15, 4+18] = [18, 22]
+        assert_eq!(matmul(&a, &b).as_slice(), &[11., 14., 18., 22.]);
+    }
+
+    #[test]
+    fn at_b_matches_explicit_transpose() {
+        let a = t(vec![1., 2., 3., 4., 5., 6.], &[3, 2]); // k=3, m=2
+        let b = t(vec![7., 8., 9., 10., 11., 12.], &[3, 2]); // k=3, n=2
+        let at = t(vec![1., 3., 5., 2., 4., 6.], &[2, 3]);
+        assert_eq!(matmul_at_b(&a, &b), matmul(&at, &b));
+    }
+
+    #[test]
+    fn a_bt_matches_explicit_transpose() {
+        let a = t(vec![1., 2., 3., 4.], &[2, 2]);
+        let b = t(vec![5., 6., 7., 8.], &[2, 2]); // n=2, k=2
+        let bt = t(vec![5., 7., 6., 8.], &[2, 2]);
+        assert_eq!(matmul_a_bt(&a, &b), matmul(&a, &bt));
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimension mismatch")]
+    fn mismatched_inner_dims_panic() {
+        matmul(&Tensor::zeros(&[2, 3]), &Tensor::zeros(&[2, 3]));
+    }
+}

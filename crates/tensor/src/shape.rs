@@ -1,0 +1,163 @@
+//! Tensor shapes and row-major stride computation.
+
+use std::fmt;
+
+/// The extent of a tensor along each dimension.
+///
+/// Shapes are small (rank ≤ 4 in practice) so they are stored inline in a
+/// `Vec<usize>` and cloned freely.
+///
+/// # Example
+///
+/// ```
+/// use scnn_tensor::Shape;
+///
+/// let s = Shape::new(&[2, 3, 4, 5]);
+/// assert_eq!(s.len(), 2 * 3 * 4 * 5);
+/// assert_eq!(s.strides(), vec![60, 20, 5, 1]);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct Shape(Vec<usize>);
+
+impl Shape {
+    /// Creates a shape from dimension extents.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any extent is zero; zero-sized tensors are never meaningful
+    /// in this workspace and allowing them would push degenerate-case
+    /// handling into every kernel.
+    pub fn new(dims: &[usize]) -> Self {
+        assert!(
+            dims.iter().all(|&d| d > 0),
+            "shape dimensions must be positive, got {dims:?}"
+        );
+        Shape(dims.to_vec())
+    }
+
+    /// Number of dimensions.
+    pub fn rank(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.0.iter().product()
+    }
+
+    /// Returns `true` if the shape has no dimensions (a scalar).
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Extent along dimension `d`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d >= rank()`.
+    pub fn dim(&self, d: usize) -> usize {
+        self.0[d]
+    }
+
+    /// All extents as a slice.
+    pub fn dims(&self) -> &[usize] {
+        &self.0
+    }
+
+    /// Row-major strides (in elements) for this shape.
+    pub fn strides(&self) -> Vec<usize> {
+        let mut strides = vec![1usize; self.0.len()];
+        for d in (0..self.0.len().saturating_sub(1)).rev() {
+            strides[d] = strides[d + 1] * self.0[d + 1];
+        }
+        strides
+    }
+
+    /// Linear (row-major) offset of a multi-dimensional index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index rank mismatches or any coordinate is out of range.
+    pub fn offset(&self, index: &[usize]) -> usize {
+        assert_eq!(index.len(), self.rank(), "index rank mismatch");
+        let mut off = 0;
+        let mut stride = 1;
+        for d in (0..self.rank()).rev() {
+            assert!(
+                index[d] < self.0[d],
+                "index {index:?} out of bounds for shape {self}"
+            );
+            off += index[d] * stride;
+            stride *= self.0[d];
+        }
+        off
+    }
+}
+
+impl fmt::Debug for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Shape({:?})", self.0)
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}", self.0)
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(dims: &[usize]) -> Self {
+        Shape::new(dims)
+    }
+}
+
+impl From<Vec<usize>> for Shape {
+    fn from(dims: Vec<usize>) -> Self {
+        assert!(dims.iter().all(|&d| d > 0), "shape dimensions must be positive");
+        Shape(dims)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strides_row_major() {
+        let s = Shape::new(&[2, 3, 4]);
+        assert_eq!(s.strides(), vec![12, 4, 1]);
+    }
+
+    #[test]
+    fn offset_matches_strides() {
+        let s = Shape::new(&[2, 3, 4]);
+        assert_eq!(s.offset(&[1, 2, 3]), 12 + 8 + 3);
+        assert_eq!(s.offset(&[0, 0, 0]), 0);
+    }
+
+    #[test]
+    fn len_is_product() {
+        assert_eq!(Shape::new(&[4, 5]).len(), 20);
+        assert_eq!(Shape::new(&[7]).len(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn offset_out_of_bounds_panics() {
+        Shape::new(&[2, 2]).offset(&[2, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_dim_rejected() {
+        Shape::new(&[2, 0]);
+    }
+
+    #[test]
+    fn scalar_shape() {
+        let s = Shape::new(&[]);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.rank(), 0);
+    }
+}

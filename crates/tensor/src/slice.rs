@@ -1,0 +1,246 @@
+//! Slicing and concatenation along arbitrary dimensions.
+//!
+//! These are the `Split_D` and `[·]_D` operators of the paper's §3.1: the
+//! split transformation partitions tensors along spatial dimensions and the
+//! join layer concatenates patch outputs back together.
+
+use crate::{Shape, Tensor};
+
+impl Tensor {
+    /// Copies the sub-tensor `[start, start + len)` along dimension `dim`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim` is out of range or the interval exceeds the extent.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use scnn_tensor::Tensor;
+    ///
+    /// let x = Tensor::from_vec((0..6).map(|i| i as f32).collect(), &[2, 3]);
+    /// let y = x.slice_dim(1, 1, 2);
+    /// assert_eq!(y.shape().dims(), &[2, 2]);
+    /// assert_eq!(y.as_slice(), &[1.0, 2.0, 4.0, 5.0]);
+    /// ```
+    pub fn slice_dim(&self, dim: usize, start: usize, len: usize) -> Tensor {
+        let dims = self.shape().dims();
+        assert!(dim < dims.len(), "slice dim {dim} out of range for {}", self.shape());
+        assert!(
+            start + len <= dims[dim] && len > 0,
+            "slice [{start}, {}) out of range for extent {}",
+            start + len,
+            dims[dim]
+        );
+        let outer: usize = dims[..dim].iter().product();
+        let inner: usize = dims[dim + 1..].iter().product();
+        let extent = dims[dim];
+
+        let mut out_dims = dims.to_vec();
+        out_dims[dim] = len;
+        let mut out = vec![0.0f32; outer * len * inner];
+        let src = self.as_slice();
+        for o in 0..outer {
+            let sbase = (o * extent + start) * inner;
+            let dbase = o * len * inner;
+            out[dbase..dbase + len * inner].copy_from_slice(&src[sbase..sbase + len * inner]);
+        }
+        Tensor::from_vec(out, &out_dims)
+    }
+
+    /// Scatters `patch` back into a zero tensor of shape `full_dims` at
+    /// offset `start` along `dim` — the adjoint of [`Tensor::slice_dim`],
+    /// used when back-propagating through a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the patch does not fit inside `full_dims` at that offset.
+    pub fn scatter_dim(patch: &Tensor, full_dims: &[usize], dim: usize, start: usize) -> Tensor {
+        let mut out = Tensor::zeros(full_dims);
+        out.scatter_add_dim(patch, dim, start);
+        out
+    }
+
+    /// Accumulates `patch` into `self` at offset `start` along `dim`
+    /// (`self[.., start..start+len, ..] += patch`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes are incompatible.
+    pub fn scatter_add_dim(&mut self, patch: &Tensor, dim: usize, start: usize) {
+        let full = self.shape().dims().to_vec();
+        let pdims = patch.shape().dims();
+        assert_eq!(full.len(), pdims.len(), "rank mismatch in scatter");
+        for (d, (&f, &p)) in full.iter().zip(pdims).enumerate() {
+            if d == dim {
+                assert!(start + p <= f, "patch overruns dimension {d}: {start}+{p} > {f}");
+            } else {
+                assert_eq!(f, p, "non-sliced dimension {d} mismatch: {f} vs {p}");
+            }
+        }
+        let outer: usize = full[..dim].iter().product();
+        let inner: usize = full[dim + 1..].iter().product();
+        let extent = full[dim];
+        let plen = pdims[dim];
+        let src = patch.as_slice();
+        let dst = self.as_mut_slice();
+        for o in 0..outer {
+            let dbase = (o * extent + start) * inner;
+            let sbase = o * plen * inner;
+            for (d, &s) in dst[dbase..dbase + plen * inner]
+                .iter_mut()
+                .zip(&src[sbase..sbase + plen * inner])
+            {
+                *d += s;
+            }
+        }
+    }
+
+    /// Concatenates tensors along `dim`. All other dimensions must agree.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parts` is empty or shapes disagree off-dimension.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use scnn_tensor::Tensor;
+    ///
+    /// let a = Tensor::ones(&[1, 2]);
+    /// let b = Tensor::zeros(&[1, 3]);
+    /// let c = Tensor::concat(&[&a, &b], 1);
+    /// assert_eq!(c.shape().dims(), &[1, 5]);
+    /// ```
+    pub fn concat(parts: &[&Tensor], dim: usize) -> Tensor {
+        assert!(!parts.is_empty(), "concat of zero tensors");
+        let first = parts[0].shape().dims();
+        assert!(dim < first.len(), "concat dim {dim} out of range");
+        let mut total = 0usize;
+        for p in parts {
+            let d = p.shape().dims();
+            assert_eq!(d.len(), first.len(), "concat rank mismatch");
+            for (i, (&a, &b)) in first.iter().zip(d).enumerate() {
+                if i != dim {
+                    assert_eq!(a, b, "concat off-dimension {i} mismatch: {a} vs {b}");
+                }
+            }
+            total += d[dim];
+        }
+        let mut out_dims = first.to_vec();
+        out_dims[dim] = total;
+        let out_shape = Shape::from(out_dims.clone());
+        let outer: usize = first[..dim].iter().product();
+        let inner: usize = first[dim + 1..].iter().product();
+
+        let mut out = vec![0.0f32; out_shape.len()];
+        let mut offset = 0usize;
+        for p in parts {
+            let plen = p.dim(dim);
+            let src = p.as_slice();
+            for o in 0..outer {
+                let dbase = (o * total + offset) * inner;
+                let sbase = o * plen * inner;
+                out[dbase..dbase + plen * inner]
+                    .copy_from_slice(&src[sbase..sbase + plen * inner]);
+            }
+            offset += plen;
+        }
+        Tensor::from_vec(out, &out_dims)
+    }
+
+    /// Splits the tensor along `dim` at the given starting indices
+    /// (the paper's `Split_D(T, (s_0, …, s_{N−1}))`; `starts[0]` must be 0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `starts` is empty, unsorted, does not begin at 0, or runs
+    /// past the extent.
+    pub fn split_dim(&self, dim: usize, starts: &[usize]) -> Vec<Tensor> {
+        assert!(!starts.is_empty(), "split with no parts");
+        assert_eq!(starts[0], 0, "first split index must be 0");
+        let extent = self.dim(dim);
+        let mut parts = Vec::with_capacity(starts.len());
+        for (i, &s) in starts.iter().enumerate() {
+            let end = if i + 1 < starts.len() { starts[i + 1] } else { extent };
+            assert!(s < end && end <= extent, "split indices {starts:?} invalid for extent {extent}");
+            parts.push(self.slice_dim(dim, s, end - s));
+        }
+        parts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq(dims: &[usize]) -> Tensor {
+        let n: usize = dims.iter().product();
+        Tensor::from_vec((0..n).map(|i| i as f32).collect(), dims)
+    }
+
+    #[test]
+    fn slice_middle_dim() {
+        let x = seq(&[2, 4, 3]);
+        let y = x.slice_dim(1, 1, 2);
+        assert_eq!(y.shape().dims(), &[2, 2, 3]);
+        assert_eq!(y.at(&[0, 0, 0]), x.at(&[0, 1, 0]));
+        assert_eq!(y.at(&[1, 1, 2]), x.at(&[1, 2, 2]));
+    }
+
+    #[test]
+    fn concat_inverts_split() {
+        let x = seq(&[2, 3, 6, 5]);
+        let parts = x.split_dim(2, &[0, 2, 5]);
+        assert_eq!(parts.len(), 3);
+        assert_eq!(parts[0].dim(2), 2);
+        assert_eq!(parts[1].dim(2), 3);
+        assert_eq!(parts[2].dim(2), 1);
+        let refs: Vec<&Tensor> = parts.iter().collect();
+        assert_eq!(Tensor::concat(&refs, 2), x);
+    }
+
+    #[test]
+    fn concat_last_dim() {
+        let a = seq(&[2, 2]);
+        let b = a.scale(10.0);
+        let c = Tensor::concat(&[&a, &b], 1);
+        assert_eq!(c.shape().dims(), &[2, 4]);
+        assert_eq!(c.as_slice(), &[0., 1., 0., 10., 2., 3., 20., 30.]);
+    }
+
+    #[test]
+    fn scatter_is_slice_adjoint() {
+        // <slice(x), y> == <x, scatter(y)> for a dot-product inner product.
+        let x = seq(&[1, 1, 6, 2]);
+        let y = seq(&[1, 1, 3, 2]).map(|v| v + 1.0);
+        let sliced = x.slice_dim(2, 2, 3);
+        let scattered = Tensor::scatter_dim(&y, x.shape().dims(), 2, 2);
+        let lhs: f32 = sliced.mul(&y).sum();
+        let rhs: f32 = x.mul(&scattered).sum();
+        assert!((lhs - rhs).abs() < 1e-5);
+    }
+
+    #[test]
+    fn scatter_add_accumulates() {
+        let mut full = Tensor::ones(&[1, 1, 4, 1]);
+        let patch = Tensor::full(&[1, 1, 2, 1], 3.0);
+        full.scatter_add_dim(&patch, 2, 1);
+        assert_eq!(
+            full.as_slice(),
+            &[1.0, 4.0, 4.0, 1.0]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "first split index")]
+    fn split_must_start_at_zero() {
+        seq(&[4]).split_dim(0, &[1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "off-dimension")]
+    fn concat_shape_mismatch_panics() {
+        Tensor::concat(&[&Tensor::zeros(&[2, 2]), &Tensor::zeros(&[3, 2])], 1);
+    }
+}

@@ -1,0 +1,74 @@
+//! Memory-system walkthrough: plan offloading for VGG-19 with HMMS, place
+//! every tensor with the static first-fit planner, and simulate the step
+//! on the P100 + NVLink device model.
+//!
+//! ```text
+//! cargo run --release --example memory_plan
+//! ```
+
+use split_cnn::core::lower_unsplit;
+use split_cnn::gpusim::{offload_analysis, profile_graph, simulate, CostModel, DeviceSpec};
+use split_cnn::graph::Tape;
+use split_cnn::hmms::{
+    plan_hmms, plan_layout, plan_no_offload, theoretical_offload_fraction, PlannerOptions,
+    TsoAssignment, TsoOptions,
+};
+use split_cnn::models::{vgg19, ModelOptions};
+
+fn main() {
+    let batch = 32;
+    let device = DeviceSpec::p100_nvlink();
+    let desc = vgg19(&ModelOptions::imagenet());
+    let graph = lower_unsplit(&desc, batch);
+    println!("{}: {} nodes, {:.1} M parameters", desc.name, graph.len(), graph.param_elems() as f64 / 1e6);
+
+    // Profile (the simulator's stand-in for 20-repetition timing runs).
+    let profile = profile_graph(&graph, &CostModel::new(device));
+    println!(
+        "profiled forward {:.1} ms, backward {:.1} ms",
+        profile.total_fwd() * 1e3,
+        profile.total_bwd() * 1e3
+    );
+
+    // TSO assignment with the §4.2 optimizations.
+    let tape = Tape::new(&graph);
+    let tso = TsoAssignment::new(&graph, &profile.workspace_bytes, TsoOptions::default());
+
+    // The Figure-1 analysis: how much can this network offload?
+    let analysis = offload_analysis(&graph, &tape, &tso, &profile);
+    let cap = theoretical_offload_fraction(&graph, &tape, &tso, &profile);
+    println!(
+        "offload-able fraction: {:.0} % ({} memory-bound layers)",
+        analysis.offloadable_fraction() * 100.0,
+        analysis.memory_bound_layers().len()
+    );
+
+    // Plan, place, simulate — baseline vs HMMS.
+    for (name, plan) in [
+        ("baseline", plan_no_offload(&graph, &tape, &tso, &profile)),
+        (
+            "hmms",
+            plan_hmms(
+                &graph,
+                &tape,
+                &tso,
+                &profile,
+                PlannerOptions {
+                    offload_cap: cap,
+                    mem_streams: 2,
+                },
+            ),
+        ),
+    ] {
+        let layout = plan_layout(&graph, &plan, &tso);
+        let sim = simulate(&graph, &tape, &tso, &plan, &profile);
+        println!(
+            "{name:9} device {:>6.2} GB (+{:.2} GB params) | host {:>5.2} GB | {:>7.1} imgs/s | stall {:>6.2} ms",
+            layout.device_general_bytes as f64 / 1e9,
+            layout.device_param_bytes as f64 / 1e9,
+            layout.host_pool_bytes as f64 / 1e9,
+            sim.throughput(batch),
+            sim.stall_time * 1e3,
+        );
+    }
+}
