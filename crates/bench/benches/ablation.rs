@@ -1,5 +1,6 @@
-//! Design-choice ablations promised in DESIGN.md §7, run as Criterion
-//! comparisons over the *simulated* training step:
+//! Design-choice ablations promised in DESIGN.md §7, run as comparisons
+//! over the *simulated* training step on the in-tree timing harness
+//! (results in `BENCH_ablation.json`):
 //!
 //! - split-boundary choice (`Aligned` / `Lower` / `Upper` / `Mid`) on a
 //!   chain model (they differ only in padding placement, so step time
@@ -8,17 +9,17 @@
 //!   measurable per-step overhead, the Figure 10 throughput cost;
 //! - number of memory streams in the planner.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use scnn_bench::memsys::MemsysSetup;
+use scnn_bench::BenchGroup;
 use scnn_core::{plan_split, SplitChoice, SplitConfig};
 use scnn_gpusim::CostModel;
 use scnn_hmms::{plan_hmms, PlannerOptions};
 use scnn_models::{vgg19, ModelOptions};
 
-fn bench_ablation(c: &mut Criterion) {
+fn main() {
     let model = CostModel::default();
     let desc = vgg19(&ModelOptions::imagenet());
-    let mut g = c.benchmark_group("ablation");
+    let mut g = BenchGroup::new("ablation");
     g.sample_size(10);
 
     for choice in [
@@ -31,41 +32,32 @@ fn bench_ablation(c: &mut Criterion) {
             choice,
             ..SplitConfig::new(0.5, 2, 2)
         };
-        g.bench_function(format!("boundary_choice/{choice:?}"), |b| {
-            let plan = plan_split(&desc, &cfg).unwrap();
-            let s = MemsysSetup::split(&desc, &plan, 32, &model);
-            let p = s.plan("hmms");
-            b.iter(|| s.simulate(&p))
-        });
+        let plan = plan_split(&desc, &cfg).unwrap();
+        let s = MemsysSetup::split(&desc, &plan, 32, &model);
+        let p = s.plan("hmms");
+        g.bench(&format!("boundary_choice/{choice:?}"), || s.simulate(&p));
     }
 
     for (label, nh, nw) in [("1x1", 1, 1), ("2x2", 2, 2), ("3x3", 3, 3)] {
-        g.bench_function(format!("patch_grid/{label}"), |b| {
-            let plan = plan_split(&desc, &SplitConfig::new(0.5, nh, nw)).unwrap();
-            let s = MemsysSetup::split(&desc, &plan, 32, &model);
-            let p = s.plan("hmms");
-            b.iter(|| s.simulate(&p))
-        });
+        let plan = plan_split(&desc, &SplitConfig::new(0.5, nh, nw)).unwrap();
+        let s = MemsysSetup::split(&desc, &plan, 32, &model);
+        let p = s.plan("hmms");
+        g.bench(&format!("patch_grid/{label}"), || s.simulate(&p));
     }
 
     for streams in [1usize, 2, 4] {
-        g.bench_function(format!("mem_streams/{streams}"), |b| {
-            let s = MemsysSetup::unsplit(&desc, 32, &model);
-            let p = plan_hmms(
-                &s.graph,
-                &s.tape,
-                &s.tso,
-                &s.profile,
-                PlannerOptions {
-                    offload_cap: 1.0,
-                    mem_streams: streams,
-                },
-            );
-            b.iter(|| s.simulate(&p))
-        });
+        let s = MemsysSetup::unsplit(&desc, 32, &model);
+        let p = plan_hmms(
+            &s.graph,
+            &s.tape,
+            &s.tso,
+            &s.profile,
+            PlannerOptions {
+                offload_cap: 1.0,
+                mem_streams: streams,
+            },
+        );
+        g.bench(&format!("mem_streams/{streams}"), || s.simulate(&p));
     }
     g.finish();
 }
-
-criterion_group!(benches, bench_ablation);
-criterion_main!(benches);

@@ -1,17 +1,17 @@
-//! Criterion micro-benchmarks for the CPU kernels that back the proxy
-//! training runs.
+//! Micro-benchmarks for the CPU kernels that back the proxy training
+//! runs, on the in-tree timing harness (`scnn_bench::harness`). Results
+//! land in `BENCH_kernels.json` at the workspace root.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
+use scnn_bench::BenchGroup;
 use scnn_nn::kernels::{
     avg_pool_forward, batch_norm_forward, conv2d_backward, conv2d_forward, max_pool_forward,
     ConvAttrs, PoolAttrs,
 };
+use scnn_rng::SplitRng;
 use scnn_tensor::{matmul, uniform, Padding2d, Tensor};
 
-fn bench_kernels(c: &mut Criterion) {
-    let mut rng = ChaCha8Rng::seed_from_u64(1);
+fn main() {
+    let mut rng = SplitRng::seed_from_u64(1);
     let x = uniform(&mut rng, &[8, 16, 32, 32], -1.0, 1.0);
     let w = uniform(&mut rng, &[32, 16, 3, 3], -0.5, 0.5);
     let attrs = ConvAttrs {
@@ -22,24 +22,20 @@ fn bench_kernels(c: &mut Criterion) {
         pad: Padding2d::symmetric(1),
     };
 
-    let mut g = c.benchmark_group("kernels");
+    let mut g = BenchGroup::new("kernels");
     g.sample_size(10);
 
-    g.bench_function("conv2d_fwd_8x16x32x32", |b| {
-        b.iter(|| conv2d_forward(&x, &w, None, &attrs))
-    });
+    g.bench("conv2d_fwd_8x16x32x32", || conv2d_forward(&x, &w, None, &attrs));
 
     let y = conv2d_forward(&x, &w, None, &attrs);
     let dy = Tensor::ones(y.shape().dims());
-    g.bench_function("conv2d_bwd_8x16x32x32", |b| {
-        b.iter(|| conv2d_backward(&x, &w, false, &dy, &attrs))
+    g.bench("conv2d_bwd_8x16x32x32", || {
+        conv2d_backward(&x, &w, false, &dy, &attrs)
     });
 
     let gamma = Tensor::ones(&[16]);
     let beta = Tensor::zeros(&[16]);
-    g.bench_function("batchnorm_fwd", |b| {
-        b.iter(|| batch_norm_forward(&x, &gamma, &beta, None))
-    });
+    g.bench("batchnorm_fwd", || batch_norm_forward(&x, &gamma, &beta, None));
 
     let pool = PoolAttrs {
         kh: 2,
@@ -48,14 +44,11 @@ fn bench_kernels(c: &mut Criterion) {
         sw: 2,
         pad: Padding2d::default(),
     };
-    g.bench_function("maxpool_fwd", |b| b.iter(|| max_pool_forward(&x, &pool)));
-    g.bench_function("avgpool_fwd", |b| b.iter(|| avg_pool_forward(&x, &pool)));
+    g.bench("maxpool_fwd", || max_pool_forward(&x, &pool));
+    g.bench("avgpool_fwd", || avg_pool_forward(&x, &pool));
 
     let a = uniform(&mut rng, &[256, 256], -1.0, 1.0);
     let bm = uniform(&mut rng, &[256, 256], -1.0, 1.0);
-    g.bench_function("matmul_256", |b| b.iter(|| matmul(&a, &bm)));
+    g.bench("matmul_256", || matmul(&a, &bm));
     g.finish();
 }
-
-criterion_group!(benches, bench_kernels);
-criterion_main!(benches);

@@ -1,28 +1,27 @@
-//! Criterion benchmarks for the offline planning pipeline: the cost the
-//! paper's system pays once per model before training starts.
+//! Benchmarks for the offline planning pipeline — the cost the paper's
+//! system pays once per model before training starts — on the in-tree
+//! timing harness. Results land in `BENCH_planning.json`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use scnn_bench::memsys::MemsysSetup;
+use scnn_bench::BenchGroup;
 use scnn_core::{lower_unsplit, plan_split, SplitConfig};
 use scnn_gpusim::{profile_graph, CostModel};
 use scnn_graph::Tape;
 use scnn_hmms::{plan_hmms, plan_layout, plan_vdnn, PlannerOptions, TsoAssignment, TsoOptions};
 use scnn_models::{resnet50, vgg19, ModelOptions};
 
-fn bench_planning(c: &mut Criterion) {
+fn main() {
     let model = CostModel::default();
-    let mut g = c.benchmark_group("planning");
+    let mut g = BenchGroup::new("planning");
     g.sample_size(10);
 
     for (name, desc) in [
         ("vgg19", vgg19(&ModelOptions::imagenet())),
         ("resnet50", resnet50(&ModelOptions::imagenet())),
     ] {
-        g.bench_function(format!("lower_unsplit/{name}"), |b| {
-            b.iter(|| lower_unsplit(&desc, 64))
-        });
-        g.bench_function(format!("plan_split/{name}"), |b| {
-            b.iter(|| plan_split(&desc, &SplitConfig::new(0.75, 2, 2)).unwrap())
+        g.bench(&format!("lower_unsplit/{name}"), || lower_unsplit(&desc, 64));
+        g.bench(&format!("plan_split/{name}"), || {
+            plan_split(&desc, &SplitConfig::new(0.75, 2, 2)).unwrap()
         });
 
         let graph = lower_unsplit(&desc, 64);
@@ -30,24 +29,19 @@ fn bench_planning(c: &mut Criterion) {
         let tape = Tape::new(&graph);
         let tso = TsoAssignment::new(&graph, &profile.workspace_bytes, TsoOptions::default());
         let opts = PlannerOptions::default();
-        g.bench_function(format!("plan_hmms/{name}"), |b| {
-            b.iter(|| plan_hmms(&graph, &tape, &tso, &profile, opts))
+        g.bench(&format!("plan_hmms/{name}"), || {
+            plan_hmms(&graph, &tape, &tso, &profile, opts)
         });
-        g.bench_function(format!("plan_vdnn/{name}"), |b| {
-            b.iter(|| plan_vdnn(&graph, &tape, &tso, &profile, opts))
+        g.bench(&format!("plan_vdnn/{name}"), || {
+            plan_vdnn(&graph, &tape, &tso, &profile, opts)
         });
         let plan = plan_hmms(&graph, &tape, &tso, &profile, opts);
-        g.bench_function(format!("first_fit_layout/{name}"), |b| {
-            b.iter(|| plan_layout(&graph, &plan, &tso))
+        g.bench(&format!("first_fit_layout/{name}"), || {
+            plan_layout(&graph, &plan, &tso).unwrap()
         });
-        g.bench_function(format!("simulate_step/{name}"), |b| {
-            let s = MemsysSetup::unsplit(&desc, 64, &model);
-            let p = s.plan("hmms");
-            b.iter(|| s.simulate(&p))
-        });
+        let s = MemsysSetup::unsplit(&desc, 64, &model);
+        let p = s.plan("hmms");
+        g.bench(&format!("simulate_step/{name}"), || s.simulate(&p));
     }
     g.finish();
 }
-
-criterion_group!(benches, bench_planning);
-criterion_main!(benches);

@@ -9,7 +9,8 @@ use std::collections::HashMap;
 /// ```
 /// use scnn_bench::Args;
 ///
-/// let a = Args::parse_from(["--scale", "0.25", "--epochs", "3"].iter().map(|s| s.to_string()));
+/// let a = Args::parse_from(["--scale", "0.25", "--epochs", "3"].iter().map(|s| s.to_string()))
+///     .unwrap();
 /// assert_eq!(a.f64("scale", 1.0), 0.25);
 /// assert_eq!(a.usize("epochs", 8), 3);
 /// assert_eq!(a.usize("batch", 16), 16);
@@ -19,53 +20,106 @@ pub struct Args {
     values: HashMap<String, String>,
 }
 
+/// Prints the error and the flag grammar to stderr, then exits nonzero —
+/// the experiment binaries are user-facing CLIs, so malformed flags must
+/// not produce a panic backtrace.
+fn usage_exit(err: &str) -> ! {
+    let bin = std::env::args().next().unwrap_or_else(|| "scnn-bench".into());
+    eprintln!("error: {err}");
+    eprintln!("usage: {bin} [--flag value]...");
+    eprintln!("       flags are `--name value` pairs; numeric values must parse");
+    std::process::exit(2);
+}
+
 impl Args {
-    /// Parses the process arguments.
+    /// Parses the process arguments, printing usage to stderr and exiting
+    /// with status 2 on malformed input.
     pub fn parse() -> Self {
-        Args::parse_from(std::env::args().skip(1))
+        match Args::parse_from(std::env::args().skip(1)) {
+            Ok(a) => a,
+            Err(e) => usage_exit(&e),
+        }
     }
 
     /// Parses an explicit iterator (for tests).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics on a flag without a value or an argument without `--`.
-    pub fn parse_from(args: impl Iterator<Item = String>) -> Self {
+    /// Returns a message on a flag without a value or an argument without
+    /// the `--` prefix.
+    pub fn parse_from(args: impl Iterator<Item = String>) -> Result<Self, String> {
         let mut values = HashMap::new();
         let mut it = args;
         while let Some(k) = it.next() {
             let key = k
                 .strip_prefix("--")
-                .unwrap_or_else(|| panic!("expected --flag, got {k}"))
+                .ok_or_else(|| format!("expected --flag, got `{k}`"))?
                 .to_string();
-            let v = it.next().unwrap_or_else(|| panic!("flag --{key} needs a value"));
+            let v = it
+                .next()
+                .ok_or_else(|| format!("flag --{key} needs a value"))?;
             values.insert(key, v);
         }
-        Args { values }
+        Ok(Args { values })
     }
 
-    /// Float flag with default.
+    /// Float flag with default; exits with usage on a malformed value.
     pub fn f64(&self, key: &str, default: f64) -> f64 {
-        self.values
-            .get(key)
-            .map(|v| v.parse().unwrap_or_else(|_| panic!("--{key} must be a number")))
-            .unwrap_or(default)
+        self.try_f64(key, default)
+            .unwrap_or_else(|e| usage_exit(&e))
     }
 
-    /// Integer flag with default.
+    /// Integer flag with default; exits with usage on a malformed value.
     pub fn usize(&self, key: &str, default: usize) -> usize {
-        self.values
-            .get(key)
-            .map(|v| v.parse().unwrap_or_else(|_| panic!("--{key} must be an integer")))
-            .unwrap_or(default)
+        self.try_usize(key, default)
+            .unwrap_or_else(|e| usage_exit(&e))
     }
 
-    /// Seed flag with default.
+    /// Seed flag with default; exits with usage on a malformed value.
     pub fn u64(&self, key: &str, default: u64) -> u64 {
-        self.values
-            .get(key)
-            .map(|v| v.parse().unwrap_or_else(|_| panic!("--{key} must be an integer")))
-            .unwrap_or(default)
+        self.try_u64(key, default)
+            .unwrap_or_else(|e| usage_exit(&e))
+    }
+
+    /// Fallible float accessor (for tests and library callers).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the flag is present but not a number.
+    pub fn try_f64(&self, key: &str, default: f64) -> Result<f64, String> {
+        self.get_parsed(key, "a number", default)
+    }
+
+    /// Fallible integer accessor.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the flag is present but not an integer.
+    pub fn try_usize(&self, key: &str, default: usize) -> Result<usize, String> {
+        self.get_parsed(key, "a non-negative integer", default)
+    }
+
+    /// Fallible seed accessor.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the flag is present but not an integer.
+    pub fn try_u64(&self, key: &str, default: u64) -> Result<u64, String> {
+        self.get_parsed(key, "a non-negative integer", default)
+    }
+
+    fn get_parsed<T: std::str::FromStr>(
+        &self,
+        key: &str,
+        kind: &str,
+        default: T,
+    ) -> Result<T, String> {
+        match self.values.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{key} must be {kind}, got `{v}`")),
+        }
     }
 }
 
@@ -73,17 +127,42 @@ impl Args {
 mod tests {
     use super::*;
 
+    fn parse(args: &[&str]) -> Result<Args, String> {
+        Args::parse_from(args.iter().map(|s| s.to_string()))
+    }
+
     #[test]
     fn defaults_apply() {
-        let a = Args::parse_from(std::iter::empty());
+        let a = parse(&[]).unwrap();
         assert_eq!(a.f64("x", 2.5), 2.5);
         assert_eq!(a.usize("y", 7), 7);
         assert_eq!(a.u64("seed", 42), 42);
     }
 
     #[test]
-    #[should_panic(expected = "needs a value")]
-    fn missing_value_panics() {
-        Args::parse_from(["--flag".to_string()].into_iter());
+    fn missing_value_is_an_error() {
+        let e = parse(&["--flag"]).unwrap_err();
+        assert!(e.contains("needs a value"), "{e}");
+    }
+
+    #[test]
+    fn missing_dashes_is_an_error() {
+        let e = parse(&["scale", "0.5"]).unwrap_err();
+        assert!(e.contains("expected --flag"), "{e}");
+    }
+
+    #[test]
+    fn malformed_numbers_are_errors_not_panics() {
+        let a = parse(&["--scale", "huge", "--epochs", "-3", "--seed", "1.5"]).unwrap();
+        assert!(a.try_f64("scale", 1.0).unwrap_err().contains("--scale"));
+        assert!(a.try_usize("epochs", 1).unwrap_err().contains("--epochs"));
+        assert!(a.try_u64("seed", 0).unwrap_err().contains("--seed"));
+    }
+
+    #[test]
+    fn well_formed_flags_parse() {
+        let a = parse(&["--scale", "0.25", "--epochs", "3"]).unwrap();
+        assert_eq!(a.try_f64("scale", 1.0), Ok(0.25));
+        assert_eq!(a.try_usize("epochs", 8), Ok(3));
     }
 }

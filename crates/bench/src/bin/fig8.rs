@@ -85,7 +85,7 @@ fn main() {
                 mem_streams: 2,
             },
         );
-        let layout = plan_layout(&s.graph, &plan, &tso);
+        let layout = plan_layout(&s.graph, &plan, &tso).expect("planner produced an illegal plan");
         let r = simulate(&s.graph, &tape, &tso, &plan, &s.profile);
         println!(
             "{:<18} device {:>6.2} GB, throughput {:>8.1} imgs/s",

@@ -1,0 +1,222 @@
+//! Minimal in-tree timing harness — the hermetic replacement for the
+//! `criterion` dev-dependency.
+//!
+//! Each benchmark group owns a `BENCH_<group>.json` file at the workspace
+//! root, written as JSON lines (one record per benchmark) so successive
+//! runs are trivially diffable and the perf trajectory can be tracked
+//! across PRs:
+//!
+//! ```json
+//! {"group":"kernels","name":"conv2d_fwd_8x16x32x32","median_ns":1234567,
+//!  "min_ns":1200000,"mean_ns":1250000,"samples":7,"warmup":2}
+//! ```
+//!
+//! Methodology: `warmup` untimed calls, then `samples` timed calls; the
+//! reported statistic is the **median** (robust to scheduler noise on a
+//! shared CPU host), with min and mean alongside. Very fast benchmarks are
+//! auto-batched: each timed sample runs enough inner iterations to last
+//! ≥ ~200 µs, and per-call time is the sample time divided by the batch.
+
+use std::hint::black_box;
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// Target minimum wall time per timed sample; calls faster than this get
+/// batched so clock granularity does not dominate.
+const MIN_SAMPLE_NS: u128 = 200_000;
+
+/// One measured benchmark.
+#[derive(Clone, Debug)]
+pub struct BenchRecord {
+    /// Group (file) the benchmark belongs to.
+    pub group: String,
+    /// Benchmark name within the group.
+    pub name: String,
+    /// Median per-call time, nanoseconds.
+    pub median_ns: u128,
+    /// Fastest per-call time, nanoseconds.
+    pub min_ns: u128,
+    /// Mean per-call time, nanoseconds.
+    pub mean_ns: u128,
+    /// Number of timed samples.
+    pub samples: usize,
+    /// Number of untimed warmup calls.
+    pub warmup: usize,
+}
+
+impl BenchRecord {
+    /// The JSON-line serialization (no external serializer needed: every
+    /// field is numeric except the two names, which we escape minimally).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"group\":\"{}\",\"name\":\"{}\",\"median_ns\":{},\"min_ns\":{},\
+             \"mean_ns\":{},\"samples\":{},\"warmup\":{}}}",
+            escape(&self.group),
+            escape(&self.name),
+            self.median_ns,
+            self.min_ns,
+            self.mean_ns,
+            self.samples,
+            self.warmup
+        )
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// A named group of benchmarks writing one `BENCH_<group>.json` file.
+pub struct BenchGroup {
+    group: String,
+    warmup: usize,
+    samples: usize,
+    records: Vec<BenchRecord>,
+}
+
+impl BenchGroup {
+    /// Starts a group. Defaults: 2 warmup calls, 7 timed samples.
+    pub fn new(group: &str) -> Self {
+        BenchGroup {
+            group: group.to_string(),
+            warmup: 2,
+            samples: 7,
+            records: Vec::new(),
+        }
+    }
+
+    /// Sets the number of timed samples (median-of-k).
+    pub fn sample_size(&mut self, k: usize) -> &mut Self {
+        self.samples = k.max(1);
+        self
+    }
+
+    /// Sets the number of untimed warmup calls.
+    pub fn warmup(&mut self, w: usize) -> &mut Self {
+        self.warmup = w;
+        self
+    }
+
+    /// Times `f` and records the result under `name`.
+    pub fn bench<T>(&mut self, name: &str, mut f: impl FnMut() -> T) -> &mut Self {
+        for _ in 0..self.warmup {
+            black_box(f());
+        }
+        // Calibrate an inner batch so each sample lasts ≥ MIN_SAMPLE_NS.
+        let probe = Instant::now();
+        black_box(f());
+        let once_ns = probe.elapsed().as_nanos().max(1);
+        let batch = (MIN_SAMPLE_NS / once_ns).clamp(0, 10_000) as usize + 1;
+
+        let mut per_call: Vec<u128> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            per_call.push(t.elapsed().as_nanos() / batch as u128);
+        }
+        per_call.sort_unstable();
+        let median_ns = per_call[per_call.len() / 2];
+        let min_ns = per_call[0];
+        let mean_ns = per_call.iter().sum::<u128>() / per_call.len() as u128;
+        let rec = BenchRecord {
+            group: self.group.clone(),
+            name: name.to_string(),
+            median_ns,
+            min_ns,
+            mean_ns,
+            samples: self.samples,
+            warmup: self.warmup,
+        };
+        println!(
+            "{:<40} median {:>12} ns   min {:>12} ns   ({} samples)",
+            format!("{}/{}", rec.group, rec.name),
+            rec.median_ns,
+            rec.min_ns,
+            rec.samples
+        );
+        self.records.push(rec);
+        self
+    }
+
+    /// The records measured so far.
+    pub fn records(&self) -> &[BenchRecord] {
+        &self.records
+    }
+
+    /// Where this group's JSON file goes: `SCNN_BENCH_DIR` if set,
+    /// otherwise the workspace root.
+    pub fn output_path(&self) -> PathBuf {
+        let dir = std::env::var("SCNN_BENCH_DIR")
+            .map(PathBuf::from)
+            .unwrap_or_else(|_| {
+                // crates/bench/../.. == workspace root.
+                PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..")
+            });
+        dir.join(format!("BENCH_{}.json", self.group))
+    }
+
+    /// Writes `BENCH_<group>.json` (overwriting any previous run) and
+    /// prints its location.
+    pub fn finish(&self) {
+        let path = self.output_path();
+        let mut out = String::new();
+        for r in &self.records {
+            out.push_str(&r.to_json());
+            out.push('\n');
+        }
+        match std::fs::File::create(&path).and_then(|mut f| f.write_all(out.as_bytes())) {
+            Ok(()) => println!("wrote {} records to {}", self.records.len(), path.display()),
+            Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_json_shape() {
+        let mut g = BenchGroup::new("selftest");
+        g.sample_size(3).warmup(1);
+        g.bench("busy_loop", || {
+            let mut acc = 0u64;
+            for i in 0..1000u64 {
+                acc = acc.wrapping_add(i * i);
+            }
+            acc
+        });
+        assert_eq!(g.records().len(), 1);
+        let r = &g.records()[0];
+        assert!(r.median_ns > 0);
+        assert!(r.min_ns <= r.median_ns);
+        let j = r.to_json();
+        assert!(j.starts_with("{\"group\":\"selftest\",\"name\":\"busy_loop\""), "{j}");
+        assert!(j.contains("\"median_ns\":"), "{j}");
+        assert!(j.ends_with('}'), "{j}");
+    }
+
+    #[test]
+    fn json_escapes_quotes() {
+        let r = BenchRecord {
+            group: "g".into(),
+            name: "we\"ird".into(),
+            median_ns: 1,
+            min_ns: 1,
+            mean_ns: 1,
+            samples: 1,
+            warmup: 0,
+        };
+        assert!(r.to_json().contains("we\\\"ird"));
+    }
+
+    #[test]
+    fn output_path_honors_env_dir() {
+        let g = BenchGroup::new("pathtest");
+        let p = g.output_path();
+        assert!(p.file_name().unwrap().to_str().unwrap() == "BENCH_pathtest.json");
+    }
+}

@@ -4,7 +4,9 @@
 //! EXPERIMENTS.md for recorded paper-vs-measured outcomes.
 
 pub mod args;
+pub mod harness;
 pub mod memsys;
 pub mod proxy;
 
 pub use args::Args;
+pub use harness::{BenchGroup, BenchRecord};

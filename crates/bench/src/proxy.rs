@@ -6,8 +6,7 @@
 //! channel widths and sample counts so a configuration trains on a CPU in
 //! about a minute (see DESIGN.md's substitution table).
 
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
+use scnn_rng::SplitRng;
 use scnn_core::{
     lower_unsplit, plan_split, plan_split_stochastic, ModelDesc, SplitConfig,
 };
@@ -90,7 +89,7 @@ pub struct ProxyResult {
 ///
 /// Panics if a requested split cannot be planned for the model.
 pub fn run_proxy(cfg: &ProxyConfig) -> ProxyResult {
-    let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
+    let mut rng = SplitRng::seed_from_u64(cfg.seed);
     let data = SyntheticDataset::new(cfg.dataset);
     let (train, test) = data.train_test(cfg.train_batches, cfg.test_batches, cfg.batch);
 
@@ -124,7 +123,7 @@ pub fn run_proxy(cfg: &ProxyConfig) -> ProxyResult {
         _ => base.clone(),
     };
 
-    let mut split_rng = ChaCha8Rng::seed_from_u64(cfg.seed ^ 0xD15C0);
+    let mut split_rng = SplitRng::seed_from_u64(cfg.seed ^ 0xD15C0);
     let mut history = Vec::with_capacity(cfg.epochs);
     for epoch in 0..cfg.epochs {
         opt.set_lr(sched.lr_at(epoch));

@@ -12,7 +12,7 @@
 //! weights transfer to the **unsplit** network at inference time — the
 //! property §5.2.3 evaluates. The paper fixes `ω = 0.2` without tuning.
 
-use rand::Rng;
+use scnn_rng::Rng;
 
 /// Draws a stochastic output split scheme for a dimension of length `len`
 /// into `n` patches with wiggle `omega`.
@@ -28,11 +28,10 @@ use rand::Rng;
 /// # Example
 ///
 /// ```
-/// use rand::SeedableRng;
-/// use rand_chacha::ChaCha8Rng;
+/// use scnn_rng::SplitRng;
 /// use scnn_core::stochastic_starts;
 ///
-/// let mut rng = ChaCha8Rng::seed_from_u64(0);
+/// let mut rng = SplitRng::seed_from_u64(0);
 /// let starts = stochastic_starts(32, 4, 0.2, &mut rng);
 /// assert_eq!(starts.len(), 4);
 /// assert_eq!(starts[0], 0);
@@ -61,19 +60,18 @@ pub fn stochastic_starts(len: usize, n: usize, omega: f32, rng: &mut impl Rng) -
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
-    use rand_chacha::ChaCha8Rng;
+    use scnn_rng::SplitRng;
 
     #[test]
     fn zero_omega_is_even_split() {
-        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let mut rng = SplitRng::seed_from_u64(1);
         let s = stochastic_starts(32, 4, 0.0, &mut rng);
         assert_eq!(s, crate::even_starts(32, 4));
     }
 
     #[test]
     fn boundaries_stay_within_wiggle_window() {
-        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let mut rng = SplitRng::seed_from_u64(2);
         for _ in 0..200 {
             let s = stochastic_starts(32, 4, 0.2, &mut rng);
             for (i, &v) in s.iter().enumerate().skip(1) {
@@ -89,7 +87,7 @@ mod tests {
 
     #[test]
     fn always_strictly_increasing_even_when_tiny() {
-        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let mut rng = SplitRng::seed_from_u64(3);
         for _ in 0..500 {
             let s = stochastic_starts(5, 4, 0.4, &mut rng);
             assert!(s.windows(2).all(|w| w[0] < w[1]), "{s:?}");
@@ -99,7 +97,7 @@ mod tests {
 
     #[test]
     fn varies_across_draws() {
-        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let mut rng = SplitRng::seed_from_u64(4);
         let draws: Vec<Vec<usize>> = (0..20)
             .map(|_| stochastic_starts(64, 4, 0.2, &mut rng))
             .collect();
@@ -111,14 +109,14 @@ mod tests {
 
     #[test]
     fn deterministic_given_seed() {
-        let a = stochastic_starts(64, 4, 0.3, &mut ChaCha8Rng::seed_from_u64(9));
-        let b = stochastic_starts(64, 4, 0.3, &mut ChaCha8Rng::seed_from_u64(9));
+        let a = stochastic_starts(64, 4, 0.3, &mut SplitRng::seed_from_u64(9));
+        let b = stochastic_starts(64, 4, 0.3, &mut SplitRng::seed_from_u64(9));
         assert_eq!(a, b);
     }
 
     #[test]
     #[should_panic(expected = "omega")]
     fn omega_half_rejected() {
-        stochastic_starts(32, 4, 0.5, &mut ChaCha8Rng::seed_from_u64(0));
+        stochastic_starts(32, 4, 0.5, &mut SplitRng::seed_from_u64(0));
     }
 }

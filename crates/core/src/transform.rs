@@ -13,7 +13,7 @@
 use std::collections::HashMap;
 use std::fmt;
 
-use rand::Rng;
+use scnn_rng::Rng;
 use scnn_graph::{Graph, NodeId, ParamId, ParamKind};
 use scnn_tensor::Padding2d;
 
@@ -520,8 +520,7 @@ fn lower_impl(desc: &ModelDesc, batch: usize, plan: Option<&SplitPlan>) -> Graph
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
-    use rand_chacha::ChaCha8Rng;
+    use scnn_rng::SplitRng;
     use scnn_graph::PoolKind;
 
     fn natural_desc() -> ModelDesc {
@@ -655,7 +654,7 @@ mod tests {
         // is wide enough to actually vary (at 8-wide it collapses to a
         // single legal boundary, which is correct but untestable here).
         let cfg = SplitConfig::new(0.3, 2, 2);
-        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let mut rng = SplitRng::seed_from_u64(5);
         let plans: Vec<SplitPlan> = (0..10)
             .map(|_| plan_split_stochastic(&d, &cfg, 0.2, &mut rng).unwrap())
             .collect();

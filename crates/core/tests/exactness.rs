@@ -9,8 +9,7 @@
 //!    replaces window halos) but output *shapes* and trainability are
 //!    preserved, and gradients flow into the same shared parameter table.
 
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
+use scnn_rng::SplitRng;
 use scnn_core::{lower_unsplit, plan_split, Block, LayerDesc, ModelDesc, SplitConfig};
 use scnn_graph::PoolKind;
 use scnn_nn::{BnState, Executor, Mode, ParamStore};
@@ -58,7 +57,7 @@ fn general_desc() -> ModelDesc {
 #[test]
 fn natural_split_is_bitwise_equivalent() {
     let desc = natural_desc();
-    let mut rng = ChaCha8Rng::seed_from_u64(42);
+    let mut rng = SplitRng::seed_from_u64(42);
     let plain = lower_unsplit(&desc, 3);
     let mut params = ParamStore::init(&plain, &mut rng);
     let x = uniform(&mut rng, &[3, 3, 32, 32], -1.0, 1.0);
@@ -100,7 +99,7 @@ fn natural_split_is_bitwise_equivalent() {
 #[test]
 fn general_split_trains_shared_parameters() {
     let desc = general_desc();
-    let mut rng = ChaCha8Rng::seed_from_u64(7);
+    let mut rng = SplitRng::seed_from_u64(7);
     let plain = lower_unsplit(&desc, 4);
     let plan = plan_split(&desc, &SplitConfig::new(0.5, 2, 2)).unwrap();
     let split = plan.lower(&desc, 4);

@@ -1,55 +1,66 @@
-//! Property tests over the split-scheme mathematics (§3.1).
+//! Property tests over the split-scheme mathematics (§3.1), driven by the
+//! in-tree `scnn-rng` property loop.
 
-use proptest::prelude::*;
 use scnn_core::{even_starts, input_starts, patch_paddings, SplitChoice, Window1d};
+use scnn_rng::prop::{check, Case};
+use scnn_rng::{prop_assert, prop_assert_eq, prop_assume, Rng, SplitRng};
 
-/// Strategy producing a valid window geometry and input length.
-fn window_and_len() -> impl Strategy<Value = (Window1d, usize)> {
-    (1usize..=7, 1usize..=4, 0usize..=3, 8usize..=64).prop_filter_map(
-        "k >= s mandate and fits input",
-        |(k, s, p, len)| {
-            if k < s || p > k {
-                return None;
-            }
-            let w = Window1d::symmetric(k, s, p);
-            if (len as i64 + 2 * p as i64) < k as i64 {
-                return None;
-            }
-            Some((w, len))
-        },
-    )
+/// Draws a valid window geometry and input length (k ≥ s mandate, padding
+/// within the kernel, window fits the padded input).
+fn window_and_len(rng: &mut SplitRng) -> Option<(Window1d, usize)> {
+    let k = rng.gen_range(1usize..=7);
+    let s = rng.gen_range(1usize..=4);
+    let p = rng.gen_range(0usize..=3);
+    let len = rng.gen_range(8usize..=64);
+    if k < s || p > k {
+        return None;
+    }
+    let w = Window1d::symmetric(k, s, p);
+    if (len as i64 + 2 * p as i64) < k as i64 {
+        return None;
+    }
+    Some((w, len))
 }
 
-proptest! {
-    /// Per-patch outputs always sum to the unsplit output length, for every
-    /// boundary-choice rule (patch_paddings debug-asserts per-patch sizes).
-    #[test]
-    fn patch_outputs_partition_the_output(
-        (win, len) in window_and_len(),
-        n in 1usize..=5,
-        choice_idx in 0usize..4,
-    ) {
+/// Per-patch outputs always sum to the unsplit output length, for every
+/// boundary-choice rule (patch_paddings debug-asserts per-patch sizes).
+#[test]
+fn patch_outputs_partition_the_output() {
+    check("patch outputs partition the output", 256, |rng| {
+        let Some((win, len)) = window_and_len(rng) else {
+            return Case::Discard;
+        };
+        let n = rng.gen_range(1usize..=5);
+        let choice = [
+            SplitChoice::Aligned,
+            SplitChoice::Lower,
+            SplitChoice::Upper,
+            SplitChoice::Mid,
+        ][rng.gen_range(0usize..4)];
         let out_len = win.out_len(len);
         prop_assume!(n <= out_len && n <= len);
-        let choice = [SplitChoice::Aligned, SplitChoice::Lower, SplitChoice::Upper, SplitChoice::Mid][choice_idx];
         let o = even_starts(out_len, n);
         let i = input_starts(&win, &o, len, choice);
         // Strictly increasing, in range.
-        prop_assert!(i.windows(2).all(|w| w[0] < w[1]));
+        prop_assert!(i.windows(2).all(|w| w[0] < w[1]), "{i:?}");
         prop_assert!(*i.last().unwrap() < len);
         // patch_paddings internally debug-asserts that each patch produces
         // exactly its share of outputs; reaching here means it held.
         let pads = patch_paddings(&win, &o, out_len, &i, len);
         prop_assert_eq!(pads.len(), n);
-    }
+        Case::Pass
+    });
+}
 
-    /// Within [lb, ub] the paddings are non-negative; first/last patches
-    /// keep the original boundary paddings.
-    #[test]
-    fn in_interval_choices_have_nonnegative_padding(
-        (win, len) in window_and_len(),
-        n in 2usize..=4,
-    ) {
+/// Within [lb, ub] the paddings are non-negative; first/last patches keep
+/// the original boundary paddings.
+#[test]
+fn in_interval_choices_have_nonnegative_padding() {
+    check("in-interval choices have non-negative padding", 256, |rng| {
+        let Some((win, len)) = window_and_len(rng) else {
+            return Case::Discard;
+        };
+        let n = rng.gen_range(2usize..=4);
         let out_len = win.out_len(len);
         prop_assume!(n <= out_len && n <= len);
         let o = even_starts(out_len, n);
@@ -64,22 +75,26 @@ proptest! {
                 let pads = patch_paddings(&win, &o, out_len, &i, len);
                 prop_assert!(
                     pads.iter().all(|&(b, e)| b >= 0 && e >= 0),
-                    "negative pad for in-interval choice {:?}: {:?}", choice, pads
+                    "negative pad for in-interval choice {:?}: {:?}",
+                    choice,
+                    pads
                 );
                 prop_assert_eq!(pads[0].0, win.p_b);
                 prop_assert_eq!(pads[n - 1].1, win.p_e);
             }
         }
-    }
+        Case::Pass
+    });
+}
 
-    /// Natural splitting (k == s, p == 0) at aligned boundaries pads
-    /// nothing at all.
-    #[test]
-    fn natural_split_never_pads(
-        ks in 1usize..=4,
-        len_mult in 2usize..=16,
-        n in 1usize..=4,
-    ) {
+/// Natural splitting (k == s, p == 0) at aligned boundaries pads nothing
+/// at all.
+#[test]
+fn natural_split_never_pads() {
+    check("natural split never pads", 256, |rng| {
+        let ks = rng.gen_range(1usize..=4);
+        let len_mult = rng.gen_range(2usize..=16);
+        let n = rng.gen_range(1usize..=4);
         let win = Window1d::symmetric(ks, ks, 0);
         let len = ks * len_mult;
         let out_len = win.out_len(len);
@@ -88,29 +103,41 @@ proptest! {
         let i = input_starts(&win, &o, len, SplitChoice::Aligned);
         let pads = patch_paddings(&win, &o, out_len, &i, len);
         prop_assert!(pads.iter().all(|&p| p == (0, 0)), "{:?}", pads);
-    }
+        Case::Pass
+    });
+}
 
-    /// lb/ub bracket: the interval is exactly k − s wide and aligned sits
-    /// inside it whenever p_b ≤ k − s.
-    #[test]
-    fn interval_geometry((win, _len) in window_and_len(), o in 1usize..50) {
+/// lb/ub bracket: the interval is exactly k − s wide and aligned sits
+/// inside it whenever p_b ≤ k − s.
+#[test]
+fn interval_geometry() {
+    check("lb/ub interval geometry", 256, |rng| {
+        let Some((win, _len)) = window_and_len(rng) else {
+            return Case::Discard;
+        };
+        let o = rng.gen_range(1usize..50);
         prop_assert_eq!(win.ub(o) - win.lb(o), win.k as i64 - win.s as i64);
         if win.p_b <= win.k as i64 - win.s as i64 {
             let aligned = (o * win.s) as i64;
             prop_assert!(win.lb(o) <= aligned && aligned <= win.ub(o));
         }
-    }
+        Case::Pass
+    });
+}
 
-    /// Stochastic schemes are always valid split schemes.
-    #[test]
-    fn stochastic_schemes_valid(len in 8usize..128, n in 2usize..6, seed in 0u64..50) {
+/// Stochastic schemes are always valid split schemes.
+#[test]
+fn stochastic_schemes_valid() {
+    check("stochastic schemes are valid", 256, |rng| {
+        let len = rng.gen_range(8usize..128);
+        let n = rng.gen_range(2usize..6);
         prop_assume!(n <= len);
-        use rand::SeedableRng;
-        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
-        let s = scnn_core::stochastic_starts(len, n, 0.2, &mut rng);
+        let mut draw_rng = SplitRng::seed_from_u64(rng.gen_range(0u64..50));
+        let s = scnn_core::stochastic_starts(len, n, 0.2, &mut draw_rng);
         prop_assert_eq!(s.len(), n);
         prop_assert_eq!(s[0], 0);
         prop_assert!(s.windows(2).all(|w| w[0] < w[1]));
         prop_assert!(*s.last().unwrap() < len);
-    }
+        Case::Pass
+    });
 }

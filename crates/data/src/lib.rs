@@ -12,9 +12,8 @@
 //!
 //! Everything is deterministic given the seed.
 
-use rand::Rng;
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
+use scnn_rng::Rng;
+use scnn_rng::SplitRng;
 use scnn_tensor::Tensor;
 
 /// Parameters of a synthetic dataset.
@@ -143,7 +142,7 @@ impl SyntheticDataset {
         test_batches: usize,
         batch_size: usize,
     ) -> (BatchList, BatchList) {
-        let mut rng = ChaCha8Rng::seed_from_u64(self.spec.seed.wrapping_add(0x5eed));
+        let mut rng = SplitRng::seed_from_u64(self.spec.seed.wrapping_add(0x5eed));
         let train = self.batches(train_batches, batch_size, &mut rng);
         let test = self.batches(test_batches, batch_size, &mut rng);
         (train, test)
@@ -159,7 +158,7 @@ fn gauss(rng: &mut impl Rng) -> f32 {
 
 /// Builds the class prototype: blobs + grating.
 fn prototype(spec: &SyntheticSpec, class: usize) -> Tensor {
-    let mut rng = ChaCha8Rng::seed_from_u64(spec.seed.wrapping_mul(1315423911) ^ class as u64);
+    let mut rng = SplitRng::seed_from_u64(spec.seed.wrapping_mul(1315423911) ^ class as u64);
     let hw = spec.hw;
     let mut t = Tensor::zeros(&[spec.channels, hw, hw]);
     let n_blobs = 3;
@@ -184,8 +183,8 @@ fn prototype(spec: &SyntheticSpec, class: usize) -> Tensor {
         }
     }
     // Class-specific grating.
-    let fy: f32 = rng.gen_range(1.0..4.0) / hw as f32;
-    let fx: f32 = rng.gen_range(1.0..4.0) / hw as f32;
+    let fy: f32 = rng.gen_range(1.0f32..4.0) / hw as f32;
+    let fx: f32 = rng.gen_range(1.0f32..4.0) / hw as f32;
     let phase: f32 = rng.gen_range(0.0..std::f32::consts::TAU);
     let gamp: f32 = 0.4;
     let dst = t.as_mut_slice();
@@ -237,7 +236,7 @@ mod tests {
     #[test]
     fn batches_have_right_shapes_and_labels() {
         let d = SyntheticDataset::new(SyntheticSpec::cifar_like(5));
-        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let mut rng = SplitRng::seed_from_u64(0);
         let bs = d.batches(3, 8, &mut rng);
         assert_eq!(bs.len(), 3);
         for (imgs, labels) in &bs {
@@ -259,7 +258,7 @@ mod tests {
             ..SyntheticSpec::cifar_like(9)
         };
         let d = SyntheticDataset::new(spec);
-        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let mut rng = SplitRng::seed_from_u64(1);
         let mut imgs = Tensor::zeros(&[1, 3, 32, 32]);
         d.sample_into(&mut imgs, 0, 4, &mut rng);
         let flat = imgs.reshape(&[3, 32, 32]);
@@ -270,7 +269,7 @@ mod tests {
     #[test]
     fn imagenet_like_spec() {
         let d = SyntheticDataset::new(SyntheticSpec::imagenet_like(0));
-        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let mut rng = SplitRng::seed_from_u64(0);
         let bs = d.batches(1, 2, &mut rng);
         assert_eq!(bs[0].0.shape().dims(), &[2, 3, 64, 64]);
     }

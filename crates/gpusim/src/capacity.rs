@@ -41,7 +41,7 @@ pub fn max_batch_size(
         let tape = Tape::new(&graph);
         let tso = TsoAssignment::new(&graph, &profile.workspace_bytes, Default::default());
         let p = plan(&graph, &tape, &tso, &profile);
-        let layout = plan_layout(&graph, &p, &tso);
+        let layout = plan_layout(&graph, &p, &tso).expect("planner produced an illegal plan");
         let bytes = layout.device_total_bytes();
         let fits = bytes <= capacity_bytes;
         (fits, bytes, Some((graph, tape, tso, p, profile)))

@@ -1,12 +1,14 @@
 //! Property tests for the discrete-event simulator: conservation laws that
-//! must hold for every plan on every profile.
+//! must hold for every plan on every profile, driven by the in-tree
+//! `scnn-rng` property loop.
 
-use proptest::prelude::*;
-use scnn_graph::{Graph, Tape};
 use scnn_gpusim::{simulate, StreamKind};
+use scnn_graph::{Graph, Tape};
 use scnn_hmms::{
     plan_hmms, plan_no_offload, plan_vdnn, PlannerOptions, Profile, TsoAssignment, TsoOptions,
 };
+use scnn_rng::prop::{check, Case};
+use scnn_rng::{prop_assert, prop_assert_eq, Rng};
 use scnn_tensor::Padding2d;
 
 fn chain(convs: usize, batch: usize) -> Graph {
@@ -23,26 +25,24 @@ fn chain(convs: usize, batch: usize) -> Graph {
     g
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(40))]
+/// For every planner and profile:
+/// - total time ≥ compute time; equality iff stall-free and no trailing
+///   transfer;
+/// - stall is exactly the gap budget (total ≥ compute + stall is NOT an
+///   identity because trailing transfers extend total, so ≥);
+/// - compute-stream busy time equals the profile's op-time sum;
+/// - prefetched bytes equal offloaded bytes;
+/// - memory-stream busy time equals (off+pre bytes)/bandwidth.
+#[test]
+fn conservation_laws() {
+    check("simulator conservation laws", 40, |rng| {
+        let convs = rng.gen_range(1usize..8);
+        let batch = rng.gen_range(1usize..4);
+        let t_op = rng.gen_range(1e-5f64..1e-2);
+        let bw_exp = rng.gen_range(6.0f64..11.0);
+        let cap = rng.gen_range(0.1f64..=1.0);
+        let which = rng.gen_range(0usize..3);
 
-    /// For every planner and profile:
-    /// - total time ≥ compute time; equality iff stall-free and no
-    ///   trailing transfer;
-    /// - stall is exactly the gap budget (total ≥ compute + stall is NOT
-    ///   an identity because trailing transfers extend total, so ≥);
-    /// - compute-stream busy time equals the profile's op-time sum;
-    /// - prefetched bytes equal offloaded bytes;
-    /// - memory-stream busy time equals (off+pre bytes)/bandwidth.
-    #[test]
-    fn conservation_laws(
-        convs in 1usize..8,
-        batch in 1usize..4,
-        t_op in 1e-5f64..1e-2,
-        bw_exp in 6.0f64..11.0,
-        cap in 0.1f64..=1.0,
-        which in 0usize..3,
-    ) {
         let g = chain(convs, batch);
         let tape = Tape::new(&g);
         let tso = TsoAssignment::new(&g, &vec![0; g.len()], TsoOptions::default());
@@ -77,16 +77,19 @@ proptest! {
 
         let compute_busy = r.timeline.busy(StreamKind::Compute);
         prop_assert!((compute_busy - r.compute_time).abs() < 1e-9);
-    }
+        Case::Pass
+    });
+}
 
-    /// Offloading can only shrink (never grow) the logical peak, and a
-    /// larger cap never yields a larger peak than a smaller cap.
-    #[test]
-    fn peak_monotone_in_offload_cap(
-        convs in 2usize..8,
-        lo in 0.1f64..0.5,
-        hi_delta in 0.1f64..0.5,
-    ) {
+/// Offloading can only shrink (never grow) the logical peak, and a larger
+/// cap never yields a larger peak than a smaller cap.
+#[test]
+fn peak_monotone_in_offload_cap() {
+    check("peak monotone in offload cap", 32, |rng| {
+        let convs = rng.gen_range(2usize..8);
+        let lo = rng.gen_range(0.1f64..0.5);
+        let hi_delta = rng.gen_range(0.1f64..0.5);
+
         let g = chain(convs, 2);
         let tape = Tape::new(&g);
         let tso = TsoAssignment::new(&g, &vec![0; g.len()], TsoOptions::default());
@@ -107,5 +110,6 @@ proptest! {
         let p_hi = peak((lo + hi_delta).min(1.0));
         prop_assert!(p_lo <= base);
         prop_assert!(p_hi <= p_lo);
-    }
+        Case::Pass
+    });
 }

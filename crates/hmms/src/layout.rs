@@ -40,13 +40,46 @@ impl StaticLayout {
     }
 }
 
+/// An illegal event sequence found while replaying a memory plan — a
+/// planner bug surfaced as a value instead of a panic, so callers (the
+/// planner API, the experiment binaries, the max-batch search) can report
+/// which plan was at fault and keep going.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LayoutError {
+    /// A TSO was allocated while already live.
+    DoubleAlloc(TsoId),
+    /// A TSO was freed while not live.
+    FreeOfDead(TsoId),
+    /// TSOs still live after the final step.
+    Leaked(Vec<TsoId>),
+}
+
+impl std::fmt::Display for LayoutError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LayoutError::DoubleAlloc(t) => write!(f, "double alloc of {t:?}"),
+            LayoutError::FreeOfDead(t) => write!(f, "free of dead {t:?}"),
+            LayoutError::Leaked(ts) => {
+                write!(f, "TSOs leaked past the end of the step: {ts:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LayoutError {}
+
 /// Runs first-fit placement for `plan`.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics on double-alloc or free-without-alloc, which indicate a planner
-/// bug — the tests rely on this as a legality check.
-pub fn plan_layout(graph: &Graph, plan: &MemoryPlan, tso: &TsoAssignment) -> StaticLayout {
+/// Returns a [`LayoutError`] on double-alloc, free-without-alloc, or a
+/// leak at the end of the step — all of which indicate a planner bug; the
+/// tests rely on this as a legality check.
+pub fn plan_layout(
+    graph: &Graph,
+    plan: &MemoryPlan,
+    tso: &TsoAssignment,
+) -> Result<StaticLayout, LayoutError> {
     let mut free = FreeList::new();
     let mut live: HashMap<TsoId, (usize, usize)> = HashMap::new(); // tso -> (addr, instance)
     let mut instance = vec![0usize; tso.len()];
@@ -55,10 +88,13 @@ pub fn plan_layout(graph: &Graph, plan: &MemoryPlan, tso: &TsoAssignment) -> Sta
 
     let mut handle = |e: &MemEvent,
                       live: &mut HashMap<TsoId, (usize, usize)>,
-                      free: &mut FreeList| {
+                      free: &mut FreeList|
+     -> Result<(), LayoutError> {
         match e {
             MemEvent::Alloc(t) => {
-                assert!(!live.contains_key(t), "double alloc of {t:?}");
+                if live.contains_key(t) {
+                    return Err(LayoutError::DoubleAlloc(*t));
+                }
                 let size = tso.size(*t);
                 let addr = free.alloc(size);
                 let inst = instance[t.0];
@@ -68,38 +104,39 @@ pub fn plan_layout(graph: &Graph, plan: &MemoryPlan, tso: &TsoAssignment) -> Sta
                 total_alloc_bytes += size;
             }
             MemEvent::Free(t) => {
-                let (addr, _) = live.remove(t).unwrap_or_else(|| panic!("free of dead {t:?}"));
+                let (addr, _) = live.remove(t).ok_or(LayoutError::FreeOfDead(*t))?;
                 free.free(addr, tso.size(*t));
             }
             _ => {}
         }
+        Ok(())
     };
 
     for step in &plan.steps {
         for e in &step.before {
-            handle(e, &mut live, &mut free);
+            handle(e, &mut live, &mut free)?;
         }
         for e in &step.after {
-            handle(e, &mut live, &mut free);
+            handle(e, &mut live, &mut free)?;
         }
     }
-    assert!(
-        live.is_empty(),
-        "TSOs leaked past the end of the step: {:?}",
-        live.keys().collect::<Vec<_>>()
-    );
+    if !live.is_empty() {
+        let mut leaked: Vec<TsoId> = live.keys().copied().collect();
+        leaked.sort_by_key(|t| t.0);
+        return Err(LayoutError::Leaked(leaked));
+    }
 
     let host_pool_bytes = plan.offloaded.iter().map(|&t| tso.size(t)).sum();
     // Parameters and their gradients live in the dedicated parameter pool.
     let device_param_bytes = 2 * graph.param_elems() * 4;
 
-    StaticLayout {
+    Ok(StaticLayout {
         device_general_bytes: free.high_water(),
         device_param_bytes,
         host_pool_bytes,
         addresses,
         total_alloc_bytes,
-    }
+    })
 }
 
 /// A simple first-fit free-list over an unbounded address space, tracking
@@ -229,12 +266,13 @@ mod tests {
     #[test]
     fn offloading_reduces_device_high_water() {
         let (g, tape, tso, profile) = setup();
-        let base = plan_layout(&g, &plan_no_offload(&g, &tape, &tso, &profile), &tso);
+        let base = plan_layout(&g, &plan_no_offload(&g, &tape, &tso, &profile), &tso).unwrap();
         let hmms = plan_layout(
             &g,
             &plan_hmms(&g, &tape, &tso, &profile, PlannerOptions::default()),
             &tso,
-        );
+        )
+        .unwrap();
         assert!(
             hmms.device_general_bytes < base.device_general_bytes,
             "offloading did not reduce peak: {} vs {}",
@@ -250,7 +288,7 @@ mod tests {
     fn layout_is_leak_free_and_instances_tracked() {
         let (g, tape, tso, profile) = setup();
         let plan = plan_hmms(&g, &tape, &tso, &profile, PlannerOptions::default());
-        let layout = plan_layout(&g, &plan, &tso);
+        let layout = plan_layout(&g, &plan, &tso).unwrap();
         // Every offloaded TSO has exactly two placed instances.
         for &t in &plan.offloaded {
             assert!(layout.addresses.contains_key(&(t, 0)));
@@ -263,7 +301,60 @@ mod tests {
     #[test]
     fn param_pool_matches_param_count() {
         let (g, tape, tso, profile) = setup();
-        let layout = plan_layout(&g, &plan_no_offload(&g, &tape, &tso, &profile), &tso);
+        let layout = plan_layout(&g, &plan_no_offload(&g, &tape, &tso, &profile), &tso).unwrap();
         assert_eq!(layout.device_param_bytes, 2 * g.param_elems() * 4);
+    }
+
+    #[test]
+    fn double_free_is_a_layout_error_not_a_panic() {
+        let (g, tape, tso, profile) = setup();
+        let mut plan = plan_no_offload(&g, &tape, &tso, &profile);
+        // Corrupt the plan: duplicate the first Free so the second one
+        // hits a dead TSO.
+        let dup = plan
+            .steps
+            .iter()
+            .flat_map(|s| s.before.iter().chain(&s.after))
+            .find_map(|e| match e {
+                MemEvent::Free(t) => Some(*t),
+                _ => None,
+            })
+            .expect("plan frees something");
+        plan.steps.last_mut().unwrap().after.push(MemEvent::Free(dup));
+        let err = plan_layout(&g, &plan, &tso).unwrap_err();
+        assert_eq!(err, LayoutError::FreeOfDead(dup));
+        assert!(err.to_string().contains("free of dead"));
+    }
+
+    #[test]
+    fn double_alloc_and_leak_are_layout_errors() {
+        let (g, tape, tso, profile) = setup();
+        let base = plan_no_offload(&g, &tape, &tso, &profile);
+
+        let mut doubled = base.clone();
+        let first_alloc = doubled
+            .steps
+            .iter()
+            .flat_map(|s| s.before.iter().chain(&s.after))
+            .find_map(|e| match e {
+                MemEvent::Alloc(t) => Some(*t),
+                _ => None,
+            })
+            .expect("plan allocates something");
+        doubled.steps[0].before.insert(0, MemEvent::Alloc(first_alloc));
+        assert!(matches!(
+            plan_layout(&g, &doubled, &tso).unwrap_err(),
+            LayoutError::DoubleAlloc(t) if t == first_alloc
+        ));
+
+        let mut leaky = base;
+        for s in &mut leaky.steps {
+            s.before.retain(|e| !matches!(e, MemEvent::Free(t) if *t == first_alloc));
+            s.after.retain(|e| !matches!(e, MemEvent::Free(t) if *t == first_alloc));
+        }
+        assert!(matches!(
+            plan_layout(&g, &leaky, &tso).unwrap_err(),
+            LayoutError::Leaked(ts) if ts == vec![first_alloc]
+        ));
     }
 }

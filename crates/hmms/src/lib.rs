@@ -27,7 +27,7 @@ mod plan;
 mod profile;
 mod tso;
 
-pub use layout::{plan_layout, StaticLayout};
+pub use layout::{plan_layout, LayoutError, StaticLayout};
 pub use offload::{
     plan_hmms, plan_no_offload, plan_vdnn, theoretical_offload_fraction, PlannerOptions,
 };

@@ -1,14 +1,22 @@
 //! Property tests: every memory plan, over randomized graphs and
 //! profiles, must satisfy the legality invariants the runtime depends on.
+//! Driven by the in-tree `scnn-rng` property loop.
 
-use proptest::prelude::*;
 use scnn_graph::{Graph, NodeId, PoolKind, Tape};
 use scnn_hmms::{
     plan_hmms, plan_no_offload, plan_vdnn, MemEvent, MemoryPlan, PlannerOptions, Profile,
     TsoAssignment, TsoId, TsoOptions,
 };
+use scnn_rng::prop::{check, Case};
+use scnn_rng::{prop_assert, prop_assert_eq, Rng, SplitRng};
 use scnn_tensor::Padding2d;
 use std::collections::{HashMap, HashSet};
+
+/// Draws a random layer-kind string for [`random_graph`].
+fn random_layers(rng: &mut SplitRng, lo: usize, hi: usize) -> Vec<u8> {
+    let n = rng.gen_range(lo..hi);
+    (0..n).map(|_| rng.gen_range(0u32..12) as u8).collect()
+}
 
 /// Builds a randomized CNN: a chain with optional residual joins.
 fn random_graph(layers: &[u8], batch: usize) -> Graph {
@@ -55,7 +63,7 @@ fn random_graph(layers: &[u8], batch: usize) -> Graph {
 /// - offload starts only on live TSOs and frees only after sync;
 /// - prefetch sync only after its start;
 /// - every TSO read by a step is allocated at that step.
-fn check_plan_legal(plan: &MemoryPlan, tso: &TsoAssignment) {
+fn check_plan_legal(plan: &MemoryPlan, tso: &TsoAssignment) -> Result<(), String> {
     let mut live: HashSet<TsoId> = HashSet::new();
     let mut offload_started: HashSet<TsoId> = HashSet::new();
     let mut offload_synced: HashSet<TsoId> = HashSet::new();
@@ -65,49 +73,70 @@ fn check_plan_legal(plan: &MemoryPlan, tso: &TsoAssignment) {
         for e in step.before.iter().chain(&step.after) {
             match e {
                 MemEvent::Alloc(t) => {
-                    assert!(live.insert(*t), "double alloc {t:?}");
+                    if !live.insert(*t) {
+                        return Err(format!("double alloc {t:?}"));
+                    }
                     *alloc_count.entry(*t).or_default() += 1;
                 }
                 MemEvent::Free(t) => {
-                    assert!(live.remove(t), "free of dead {t:?}");
+                    if !live.remove(t) {
+                        return Err(format!("free of dead {t:?}"));
+                    }
                 }
                 MemEvent::OffloadStart { tso: t, .. } => {
-                    assert!(live.contains(t), "offload of dead {t:?}");
-                    assert!(offload_started.insert(*t), "double offload {t:?}");
+                    if !live.contains(t) {
+                        return Err(format!("offload of dead {t:?}"));
+                    }
+                    if !offload_started.insert(*t) {
+                        return Err(format!("double offload {t:?}"));
+                    }
                 }
                 MemEvent::OffloadSync { tso: t } => {
-                    assert!(offload_started.contains(t), "sync before start {t:?}");
+                    if !offload_started.contains(t) {
+                        return Err(format!("sync before start {t:?}"));
+                    }
                     offload_synced.insert(*t);
                 }
                 MemEvent::PrefetchStart { tso: t, .. } => {
-                    assert!(offload_synced.contains(t), "prefetch before offload done {t:?}");
-                    assert!(live.contains(t), "prefetch into dead {t:?}");
+                    if !offload_synced.contains(t) {
+                        return Err(format!("prefetch before offload done {t:?}"));
+                    }
+                    if !live.contains(t) {
+                        return Err(format!("prefetch into dead {t:?}"));
+                    }
                     prefetch_started.insert(*t);
                 }
                 MemEvent::PrefetchSync { tso: t } => {
-                    assert!(prefetch_started.contains(t), "prefetch sync before start {t:?}");
+                    if !prefetch_started.contains(t) {
+                        return Err(format!("prefetch sync before start {t:?}"));
+                    }
                 }
             }
         }
     }
-    assert!(live.is_empty(), "leaked TSOs: {live:?}");
-    for &t in &plan.offloaded {
-        assert_eq!(alloc_count.get(&t), Some(&2), "offloaded {t:?} needs 2 instances");
-        assert!(tso.size(t) > 0, "offloaded empty TSO");
+    if !live.is_empty() {
+        return Err(format!("leaked TSOs: {live:?}"));
     }
+    for &t in &plan.offloaded {
+        if alloc_count.get(&t) != Some(&2) {
+            return Err(format!("offloaded {t:?} needs 2 instances"));
+        }
+        if tso.size(t) == 0 {
+            return Err(format!("offloaded empty TSO {t:?}"));
+        }
+    }
+    Ok(())
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+#[test]
+fn all_planners_produce_legal_plans() {
+    check("all planners produce legal plans", 48, |rng| {
+        let layers = random_layers(rng, 3, 20);
+        let batch = rng.gen_range(1usize..5);
+        let cap = rng.gen_range(0.0f64..=1.0);
+        let t_op = rng.gen_range(1e-5f64..1e-2);
+        let bw_exp = rng.gen_range(6.0f64..11.0);
 
-    #[test]
-    fn all_planners_produce_legal_plans(
-        layers in proptest::collection::vec(0u8..12, 3..20),
-        batch in 1usize..5,
-        cap in 0.0f64..=1.0,
-        t_op in 1e-5f64..1e-2,
-        bw_exp in 6.0f64..11.0,
-    ) {
         let g = random_graph(&layers, batch);
         let tape = Tape::new(&g);
         let mut ws = vec![0usize; g.len()];
@@ -124,22 +153,31 @@ proptest! {
             link_bandwidth: 10f64.powf(bw_exp),
         };
         let opts = PlannerOptions { offload_cap: cap, mem_streams: 2 };
-        check_plan_legal(&plan_no_offload(&g, &tape, &tso, &profile), &tso);
-        check_plan_legal(&plan_vdnn(&g, &tape, &tso, &profile, opts), &tso);
-        check_plan_legal(&plan_hmms(&g, &tape, &tso, &profile, opts), &tso);
-    }
+        for (which, plan) in [
+            ("no_offload", plan_no_offload(&g, &tape, &tso, &profile)),
+            ("vdnn", plan_vdnn(&g, &tape, &tso, &profile, opts)),
+            ("hmms", plan_hmms(&g, &tape, &tso, &profile, opts)),
+        ] {
+            if let Err(e) = check_plan_legal(&plan, &tso) {
+                return Case::Fail(format!("{which}: {e}"));
+            }
+        }
+        Case::Pass
+    });
+}
 
-    #[test]
-    fn layout_never_overlaps_live_tsos(
-        layers in proptest::collection::vec(0u8..12, 3..16),
-        batch in 1usize..4,
-    ) {
+#[test]
+fn layout_never_overlaps_live_tsos() {
+    check("layout never overlaps live TSOs", 32, |rng| {
+        let layers = random_layers(rng, 3, 16);
+        let batch = rng.gen_range(1usize..4);
+
         let g = random_graph(&layers, batch);
         let tape = Tape::new(&g);
         let tso = TsoAssignment::new(&g, &vec![0; g.len()], TsoOptions::default());
         let profile = Profile::uniform(&g, 1e-3, 10e9);
         let plan = plan_hmms(&g, &tape, &tso, &profile, PlannerOptions::default());
-        let layout = scnn_hmms::plan_layout(&g, &plan, &tso);
+        let layout = scnn_hmms::plan_layout(&g, &plan, &tso).expect("planner plan is legal");
 
         // Replay, tracking live address ranges; they must never overlap.
         let mut live: Vec<(usize, usize, TsoId)> = Vec::new();
@@ -170,14 +208,17 @@ proptest! {
             }
         }
         prop_assert!(live.is_empty());
-    }
+        Case::Pass
+    });
+}
 
-    #[test]
-    fn hmms_sim_never_slower_than_vdnn(
-        layers in proptest::collection::vec(0u8..12, 4..14),
-        t_op in 1e-5f64..1e-3,
-        bw_exp in 7.0f64..10.5,
-    ) {
+#[test]
+fn hmms_sim_never_slower_than_vdnn() {
+    check("hmms offloads as much as vdnn", 32, |rng| {
+        let layers = random_layers(rng, 4, 14);
+        let t_op = rng.gen_range(1e-5f64..1e-3);
+        let bw_exp = rng.gen_range(7.0f64..10.5);
+
         let g = random_graph(&layers, 2);
         let tape = Tape::new(&g);
         let tso = TsoAssignment::new(&g, &vec![0; g.len()], TsoOptions::default());
@@ -193,7 +234,8 @@ proptest! {
         let h = plan_hmms(&g, &tape, &tso, &profile, opts);
         let size = |t: TsoId| tso.size(t);
         prop_assert_eq!(v.offloaded_bytes(size), h.offloaded_bytes(size));
-    }
+        Case::Pass
+    });
 }
 
 /// `instance` map in the overlap test starts counting at the first alloc;
@@ -205,7 +247,7 @@ fn layout_instance_numbering_matches() {
     let tso = TsoAssignment::new(&g, &vec![0; g.len()], TsoOptions::default());
     let profile = Profile::uniform(&g, 1e-3, 1e9);
     let plan = plan_hmms(&g, &tape, &tso, &profile, PlannerOptions::default());
-    let layout = scnn_hmms::plan_layout(&g, &plan, &tso);
+    let layout = scnn_hmms::plan_layout(&g, &plan, &tso).expect("planner plan is legal");
     for &t in &plan.offloaded {
         assert!(layout.addresses.contains_key(&(t, 0)));
         assert!(layout.addresses.contains_key(&(t, 1)));

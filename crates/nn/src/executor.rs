@@ -1,6 +1,6 @@
 //! Graph executor: forward and backward passes with real tensors.
 
-use rand::Rng;
+use scnn_rng::Rng;
 use scnn_graph::{Graph, Node, Op, PoolKind};
 use scnn_tensor::Tensor;
 
@@ -59,8 +59,7 @@ enum Aux {
 /// # Example
 ///
 /// ```
-/// use rand::SeedableRng;
-/// use rand_chacha::ChaCha8Rng;
+/// use scnn_rng::SplitRng;
 /// use scnn_graph::Graph;
 /// use scnn_nn::{Executor, Mode, ParamStore, BnState};
 /// use scnn_tensor::{Padding2d, Tensor};
@@ -73,7 +72,7 @@ enum Aux {
 /// let l = g.linear(f, 10, "fc");
 /// g.softmax_cross_entropy(l, "loss");
 ///
-/// let mut rng = ChaCha8Rng::seed_from_u64(0);
+/// let mut rng = SplitRng::seed_from_u64(0);
 /// let mut params = ParamStore::init(&g, &mut rng);
 /// let mut bn = BnState::new();
 /// let exec = Executor::new();
@@ -434,8 +433,7 @@ impl Executor {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
-    use rand_chacha::ChaCha8Rng;
+    use scnn_rng::SplitRng;
     use scnn_graph::ParamId;
     use scnn_tensor::{uniform, Padding2d};
 
@@ -467,7 +465,7 @@ mod tests {
     #[test]
     fn forward_eval_runs() {
         let g = mlp_graph(4);
-        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let mut rng = SplitRng::seed_from_u64(0);
         let mut p = ParamStore::init(&g, &mut rng);
         let mut bn = BnState::new();
         let x = uniform(&mut rng, &[4, 1, 4, 4], -1.0, 1.0);
@@ -479,7 +477,7 @@ mod tests {
     #[test]
     fn train_step_reduces_loss() {
         let g = mlp_graph(8);
-        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let mut rng = SplitRng::seed_from_u64(1);
         let mut p = ParamStore::init(&g, &mut rng);
         let mut bn = BnState::new();
         let x = uniform(&mut rng, &[8, 1, 4, 4], -1.0, 1.0);
@@ -508,7 +506,7 @@ mod tests {
     #[test]
     fn cnn_graph_executes_and_learns() {
         let g = cnn_graph(6);
-        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let mut rng = SplitRng::seed_from_u64(2);
         let mut p = ParamStore::init(&g, &mut rng);
         let mut bn = BnState::new();
         let x = uniform(&mut rng, &[6, 2, 8, 8], -1.0, 1.0);
@@ -541,7 +539,7 @@ mod tests {
     fn executor_gradcheck_through_whole_graph() {
         // Finite-difference check of d(loss)/d(fc2 weight) through the MLP.
         let g = mlp_graph(2);
-        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let mut rng = SplitRng::seed_from_u64(3);
         let mut p = ParamStore::init(&g, &mut rng);
         let mut bn = BnState::new();
         let x = uniform(&mut rng, &[2, 1, 4, 4], -1.0, 1.0);
@@ -591,7 +589,7 @@ mod tests {
         let l = g.linear(f, 2, "fc");
         g.softmax_cross_entropy(l, "loss");
 
-        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let mut rng = SplitRng::seed_from_u64(4);
         let mut p = ParamStore::init(&g, &mut rng);
         let mut bn = BnState::new();
         let xs = uniform(&mut rng, &[2, 2, 4, 4], -1.0, 1.0);

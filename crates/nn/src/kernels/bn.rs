@@ -178,13 +178,12 @@ pub fn batch_norm_backward(
 mod tests {
     use super::*;
     use crate::kernels::gradcheck::check;
-    use rand::SeedableRng;
-    use rand_chacha::ChaCha8Rng;
+    use scnn_rng::SplitRng;
     use scnn_tensor::uniform;
 
     #[test]
     fn output_is_normalized() {
-        let mut r = ChaCha8Rng::seed_from_u64(1);
+        let mut r = SplitRng::seed_from_u64(1);
         let x = uniform(&mut r, &[4, 3, 5, 5], -3.0, 7.0);
         let gamma = Tensor::ones(&[3]);
         let beta = Tensor::zeros(&[3]);
@@ -210,7 +209,7 @@ mod tests {
 
     #[test]
     fn gamma_beta_affect_output() {
-        let x = uniform(&mut ChaCha8Rng::seed_from_u64(2), &[2, 1, 3, 3], -1.0, 1.0);
+        let x = uniform(&mut SplitRng::seed_from_u64(2), &[2, 1, 3, 3], -1.0, 1.0);
         let gamma = Tensor::full(&[1], 2.0);
         let beta = Tensor::full(&[1], 5.0);
         let (y, _) = batch_norm_forward(&x, &gamma, &beta, None);
@@ -220,7 +219,7 @@ mod tests {
 
     #[test]
     fn running_stats_updated() {
-        let x = uniform(&mut ChaCha8Rng::seed_from_u64(3), &[2, 2, 4, 4], 1.0, 3.0);
+        let x = uniform(&mut SplitRng::seed_from_u64(3), &[2, 2, 4, 4], 1.0, 3.0);
         let gamma = Tensor::ones(&[2]);
         let beta = Tensor::zeros(&[2]);
         let mut rm = vec![0.0; 2];
@@ -242,7 +241,7 @@ mod tests {
 
     #[test]
     fn gradcheck_x_gamma_beta() {
-        let mut r = ChaCha8Rng::seed_from_u64(4);
+        let mut r = SplitRng::seed_from_u64(4);
         let x = uniform(&mut r, &[3, 2, 3, 3], -1.0, 1.0);
         let gamma = uniform(&mut r, &[2], 0.5, 1.5);
         let beta = uniform(&mut r, &[2], -0.5, 0.5);

@@ -150,12 +150,11 @@ pub fn conv2d_backward(
 mod tests {
     use super::*;
     use crate::kernels::gradcheck::check;
-    use rand::SeedableRng;
-    use rand_chacha::ChaCha8Rng;
+    use scnn_rng::SplitRng;
     use scnn_tensor::uniform;
 
-    fn rng() -> ChaCha8Rng {
-        ChaCha8Rng::seed_from_u64(11)
+    fn rng() -> SplitRng {
+        SplitRng::seed_from_u64(11)
     }
 
     #[test]

@@ -58,8 +58,7 @@ pub fn linear_backward(x: &Tensor, w: &Tensor, dy: &Tensor) -> LinearGrads {
 mod tests {
     use super::*;
     use crate::kernels::gradcheck::check;
-    use rand::SeedableRng;
-    use rand_chacha::ChaCha8Rng;
+    use scnn_rng::SplitRng;
     use scnn_tensor::uniform;
 
     #[test]
@@ -73,7 +72,7 @@ mod tests {
 
     #[test]
     fn gradcheck_all() {
-        let mut r = ChaCha8Rng::seed_from_u64(6);
+        let mut r = SplitRng::seed_from_u64(6);
         let x = uniform(&mut r, &[3, 4], -1.0, 1.0);
         let w = uniform(&mut r, &[2, 4], -1.0, 1.0);
         let b = uniform(&mut r, &[2], -1.0, 1.0);

@@ -1,6 +1,6 @@
 //! Pointwise activations: ReLU and dropout.
 
-use rand::Rng;
+use scnn_rng::Rng;
 use scnn_tensor::Tensor;
 
 /// ReLU forward: `max(0, x)`.
@@ -41,8 +41,7 @@ pub fn dropout_backward(dy: &Tensor, mask: &Tensor) -> Tensor {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
-    use rand_chacha::ChaCha8Rng;
+    use scnn_rng::SplitRng;
 
     #[test]
     fn relu_clamps_negatives() {
@@ -59,7 +58,7 @@ mod tests {
 
     #[test]
     fn dropout_preserves_expectation() {
-        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let mut rng = SplitRng::seed_from_u64(1);
         let x = Tensor::ones(&[10_000]);
         let (y, _) = dropout_forward(&x, 0.3, &mut rng);
         let mean = y.mean();
@@ -68,7 +67,7 @@ mod tests {
 
     #[test]
     fn dropout_zero_p_is_identity() {
-        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let mut rng = SplitRng::seed_from_u64(2);
         let x = Tensor::from_vec(vec![1.0, -2.0], &[2]);
         let (y, mask) = dropout_forward(&x, 0.0, &mut rng);
         assert_eq!(y, x);
@@ -77,7 +76,7 @@ mod tests {
 
     #[test]
     fn dropout_backward_uses_same_mask() {
-        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let mut rng = SplitRng::seed_from_u64(3);
         let x = Tensor::ones(&[100]);
         let (y, mask) = dropout_forward(&x, 0.5, &mut rng);
         let dy = Tensor::ones(&[100]);

@@ -111,8 +111,7 @@ impl MultiStepLr {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
-    use rand_chacha::ChaCha8Rng;
+    use scnn_rng::SplitRng;
     use scnn_graph::{Graph, ParamId};
 
     fn store() -> ParamStore {
@@ -120,7 +119,7 @@ mod tests {
         let x = g.input(&[1, 1, 2, 2]);
         let f = g.flatten(x, "f");
         g.linear(f, 2, "fc");
-        ParamStore::init(&g, &mut ChaCha8Rng::seed_from_u64(0))
+        ParamStore::init(&g, &mut SplitRng::seed_from_u64(0))
     }
 
     #[test]

@@ -8,7 +8,7 @@
 
 use std::collections::HashMap;
 
-use rand::Rng;
+use scnn_rng::Rng;
 use scnn_graph::{Graph, ParamId, ParamKind};
 use scnn_tensor::{he_normal, Tensor};
 
@@ -138,8 +138,7 @@ impl BnState {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
-    use rand_chacha::ChaCha8Rng;
+    use scnn_rng::SplitRng;
     use scnn_tensor::Padding2d;
 
     fn graph() -> Graph {
@@ -154,7 +153,7 @@ mod tests {
     #[test]
     fn init_respects_kinds() {
         let g = graph();
-        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let mut rng = SplitRng::seed_from_u64(0);
         let p = ParamStore::init(&g, &mut rng);
         assert_eq!(p.len(), 4); // weight, bias, gamma, beta
         assert!(p.value(ParamId(0)).as_slice().iter().any(|&v| v != 0.0));
@@ -166,7 +165,7 @@ mod tests {
     #[test]
     fn grads_accumulate_and_clear() {
         let g = graph();
-        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let mut rng = SplitRng::seed_from_u64(0);
         let mut p = ParamStore::init(&g, &mut rng);
         let ones = Tensor::ones(&[4]);
         p.accumulate_grad(ParamId(1), &ones);
@@ -193,7 +192,7 @@ mod tests {
     #[test]
     fn scalar_count_sums_everything() {
         let g = graph();
-        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let mut rng = SplitRng::seed_from_u64(0);
         let p = ParamStore::init(&g, &mut rng);
         // conv weight 4*3*3*3=108 + bias 4 + gamma 4 + beta 4.
         assert_eq!(p.scalar_count(), 120);

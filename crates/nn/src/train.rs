@@ -7,7 +7,7 @@
 //! split transform preserves the parameter table, so one [`ParamStore`]
 //! serves every variant.
 
-use rand::Rng;
+use scnn_rng::Rng;
 use scnn_graph::Graph;
 use scnn_tensor::Tensor;
 
@@ -103,13 +103,12 @@ pub fn evaluate(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
-    use rand_chacha::ChaCha8Rng;
+    use scnn_rng::SplitRng;
     use scnn_tensor::Padding2d;
 
     /// A linearly-separable toy problem: class = sign pattern of two
     /// quadrant means.
-    fn toy_batches(rng: &mut ChaCha8Rng, n_batches: usize, bs: usize) -> Vec<(Tensor, Vec<usize>)> {
+    fn toy_batches(rng: &mut SplitRng, n_batches: usize, bs: usize) -> Vec<(Tensor, Vec<usize>)> {
         (0..n_batches)
             .map(|_| {
                 let mut imgs = Tensor::zeros(&[bs, 1, 4, 4]);
@@ -143,7 +142,7 @@ mod tests {
 
     #[test]
     fn training_reaches_low_error_on_separable_data() {
-        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let mut rng = SplitRng::seed_from_u64(9);
         let train = toy_batches(&mut rng, 8, 16);
         let test = toy_batches(&mut rng, 2, 16);
         let g = toy_graph(16);
@@ -160,7 +159,7 @@ mod tests {
 
     #[test]
     fn epoch_stats_are_finite_and_bounded() {
-        let mut rng = ChaCha8Rng::seed_from_u64(10);
+        let mut rng = SplitRng::seed_from_u64(10);
         let train = toy_batches(&mut rng, 2, 8);
         let g = toy_graph(8);
         let mut params = ParamStore::init(&g, &mut rng);
@@ -174,7 +173,7 @@ mod tests {
 
     #[test]
     fn provider_sees_batch_indices() {
-        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let mut rng = SplitRng::seed_from_u64(11);
         let train = toy_batches(&mut rng, 3, 4);
         let g = toy_graph(4);
         let mut params = ParamStore::init(&g, &mut rng);

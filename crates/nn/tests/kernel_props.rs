@@ -1,19 +1,15 @@
 //! Property tests for the kernels: gradient correctness and structural
-//! identities over randomized geometry.
+//! identities over randomized geometry, driven by the in-tree `scnn-rng`
+//! property loop.
 
-use proptest::prelude::*;
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
 use scnn_nn::kernels::{
     avg_pool_backward, avg_pool_forward, conv2d_backward, conv2d_forward, max_pool_backward,
     max_pool_forward, relu_backward, relu_forward, softmax_cross_entropy_backward,
     softmax_cross_entropy_forward, ConvAttrs, PoolAttrs,
 };
+use scnn_rng::prop::{check, Case};
+use scnn_rng::{prop_assert, prop_assert_eq, prop_assume, Rng};
 use scnn_tensor::{uniform, Padding2d, Tensor};
-
-fn rng(seed: u64) -> ChaCha8Rng {
-    ChaCha8Rng::seed_from_u64(seed)
-}
 
 /// Central finite differences against an analytic gradient.
 fn fd_check(x: &Tensor, grad: &Tensor, f: &mut dyn FnMut(&Tensor) -> f32) -> Result<(), String> {
@@ -33,48 +29,49 @@ fn fd_check(x: &Tensor, grad: &Tensor, f: &mut dyn FnMut(&Tensor) -> f32) -> Res
     Ok(())
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// Convolution gradients hold for arbitrary geometry, including
-    /// asymmetric and negative padding.
-    #[test]
-    fn conv_gradients_arbitrary_geometry(
-        seed in 0u64..500,
-        k in 1usize..4,
-        s in 1usize..3,
-        hb in -1i64..2,
-        we in -1i64..2,
-        h in 5usize..9,
-    ) {
+/// Convolution gradients hold for arbitrary geometry, including asymmetric
+/// and negative padding.
+#[test]
+fn conv_gradients_arbitrary_geometry() {
+    check("conv gradients, arbitrary geometry", 24, |rng| {
+        let k = rng.gen_range(1usize..4);
+        let s = rng.gen_range(1usize..3);
+        let hb = rng.gen_range(-1i64..2);
+        let we = rng.gen_range(-1i64..2);
+        let h = rng.gen_range(5usize..9);
         prop_assume!(k >= s);
         let pad = Padding2d::new(hb, 1, 0, we);
         // Geometry must stay valid after crop+pad.
         prop_assume!(h as i64 + hb + 1 >= k as i64 && h as i64 + we >= k as i64);
         prop_assume!(h as i64 + hb.min(0) > 0 && h as i64 + we.min(0) > 0);
         let attrs = ConvAttrs { kh: k, kw: k, sh: s, sw: s, pad };
-        let mut r = rng(seed);
-        let x = uniform(&mut r, &[1, 2, h, h], -1.0, 1.0);
-        let w = uniform(&mut r, &[2, 2, k, k], -0.5, 0.5);
+        let x = uniform(rng, &[1, 2, h, h], -1.0, 1.0);
+        let w = uniform(rng, &[2, 2, k, k], -0.5, 0.5);
         let y = conv2d_forward(&x, &w, None, &attrs);
         let dy = Tensor::ones(y.shape().dims());
         let g = conv2d_backward(&x, &w, false, &dy, &attrs);
         prop_assert_eq!(g.dx.shape(), x.shape());
-        fd_check(&x, &g.dx, &mut |xx| conv2d_forward(xx, &w, None, &attrs).sum())
-            .map_err(TestCaseError::fail)?;
-        fd_check(&w, &g.dw, &mut |ww| conv2d_forward(&x, ww, None, &attrs).sum())
-            .map_err(TestCaseError::fail)?;
-    }
+        if let Err(e) = fd_check(&x, &g.dx, &mut |xx| conv2d_forward(xx, &w, None, &attrs).sum()) {
+            return Case::Fail(format!("dx: {e}"));
+        }
+        if let Err(e) = fd_check(&w, &g.dw, &mut |ww| conv2d_forward(&x, ww, None, &attrs).sum()) {
+            return Case::Fail(format!("dw: {e}"));
+        }
+        Case::Pass
+    });
+}
 
-    /// Pooling: max-pool backward routes everything to argmaxes (gradient
-    /// mass conserved), avg-pool gradients pass finite differences.
-    #[test]
-    fn pooling_gradient_structure(seed in 0u64..500, k in 1usize..4, s in 1usize..3) {
-        let mut r = rng(seed);
-        let x = uniform(&mut r, &[2, 2, 7, 7], -1.0, 1.0);
+/// Pooling: max-pool backward routes everything to argmaxes (gradient mass
+/// conserved), avg-pool gradients pass finite differences.
+#[test]
+fn pooling_gradient_structure() {
+    check("pooling gradient structure", 32, |rng| {
+        let k = rng.gen_range(1usize..4);
+        let s = rng.gen_range(1usize..3);
+        let x = uniform(rng, &[2, 2, 7, 7], -1.0, 1.0);
         let attrs = PoolAttrs { kh: k, kw: k, sh: s, sw: s, pad: Padding2d::default() };
         let (y, mask) = max_pool_forward(&x, &attrs);
-        let dy = uniform(&mut r, y.shape().dims(), 0.1, 1.0);
+        let dy = uniform(rng, y.shape().dims(), 0.1, 1.0);
         let dx = max_pool_backward(&x, &dy, &mask, &attrs);
         // Gradient mass conservation (every window is non-empty here).
         prop_assert!((dx.sum() - dy.sum()).abs() < 1e-3);
@@ -82,15 +79,19 @@ proptest! {
         let ya = avg_pool_forward(&x, &attrs);
         let ones = Tensor::ones(ya.shape().dims());
         let da = avg_pool_backward(&x, &ones, &attrs);
-        fd_check(&x, &da, &mut |xx| avg_pool_forward(xx, &attrs).sum())
-            .map_err(TestCaseError::fail)?;
-    }
+        if let Err(e) = fd_check(&x, &da, &mut |xx| avg_pool_forward(xx, &attrs).sum()) {
+            return Case::Fail(e);
+        }
+        Case::Pass
+    });
+}
 
-    /// ReLU: idempotent forward, gradient zero exactly on the zero set.
-    #[test]
-    fn relu_properties(seed in 0u64..500, n in 1usize..64) {
-        let mut r = rng(seed);
-        let x = uniform(&mut r, &[n], -1.0, 1.0);
+/// ReLU: idempotent forward, gradient zero exactly on the zero set.
+#[test]
+fn relu_properties() {
+    check("relu properties", 64, |rng| {
+        let n = rng.gen_range(1usize..64);
+        let x = uniform(rng, &[n], -1.0, 1.0);
         let y = relu_forward(&x);
         let yy = relu_forward(&y);
         prop_assert_eq!(yy.as_slice(), y.as_slice());
@@ -99,15 +100,19 @@ proptest! {
         for i in 0..n {
             prop_assert_eq!(dx.as_slice()[i] == 0.0, x.as_slice()[i] <= 0.0);
         }
-    }
+        Case::Pass
+    });
+}
 
-    /// Softmax-CE: loss positive, probabilities normalized, gradient rows
-    /// sum to zero, and the gradient points away from the true class.
-    #[test]
-    fn loss_properties(seed in 0u64..500, n in 1usize..6, k in 2usize..8) {
-        let mut r = rng(seed);
-        let logits = uniform(&mut r, &[n, k], -3.0, 3.0);
-        let labels: Vec<usize> = (0..n).map(|i| (seed as usize + i) % k).collect();
+/// Softmax-CE: loss positive, probabilities normalized, gradient rows sum
+/// to zero, and the gradient points away from the true class.
+#[test]
+fn loss_properties() {
+    check("softmax cross-entropy properties", 64, |rng| {
+        let n = rng.gen_range(1usize..6);
+        let k = rng.gen_range(2usize..8);
+        let logits = uniform(rng, &[n, k], -3.0, 3.0);
+        let labels: Vec<usize> = (0..n).map(|_| rng.gen_range(0..k)).collect();
         let out = softmax_cross_entropy_forward(&logits, &labels);
         prop_assert!(out.loss > 0.0);
         for row in out.probs.as_slice().chunks(k) {
@@ -120,5 +125,6 @@ proptest! {
             prop_assert!(sum.abs() < 1e-5);
             prop_assert!(row[labels[b]] < 0.0, "true-class gradient must be negative");
         }
-    }
+        Case::Pass
+    });
 }

@@ -1,0 +1,190 @@
+//! A minimal seeded property-test loop — the in-tree replacement for the
+//! `proptest` dev-dependency.
+//!
+//! A property is a closure that draws its inputs from a [`SplitRng`] and
+//! returns a [`Case`]: `Pass`, `Discard` (precondition unmet — does not
+//! count against the case budget), or `Fail` with a message. [`check`]
+//! runs `cases` passing cases, each from an independently seeded
+//! generator, and panics on the first failure with the case seed so the
+//! exact inputs replay:
+//!
+//! ```
+//! use scnn_rng::prop::{check, Case};
+//! use scnn_rng::{prop_assert, prop_assume, Rng};
+//!
+//! check("addition commutes", 64, |rng| {
+//!     let a = rng.gen_range(0..1000u64);
+//!     let b = rng.gen_range(0..1000u64);
+//!     prop_assume!(a != b);
+//!     prop_assert!(a + b == b + a, "{a} + {b}");
+//!     Case::Pass
+//! });
+//! ```
+//!
+//! Reproducing a failure: the panic message names the failing case seed;
+//! rerun with `SCNN_PROP_SEED=<seed> SCNN_PROP_CASES=1` to replay exactly
+//! that case first. `SCNN_PROP_CASES` also globally raises the budget for
+//! soak runs.
+
+use crate::{splitmix64, SplitRng};
+
+/// Outcome of one property case.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Case {
+    /// The property held.
+    Pass,
+    /// A precondition failed; draw fresh inputs without consuming budget.
+    Discard,
+    /// The property was violated.
+    Fail(String),
+}
+
+/// Default number base seed for the case-seed sequence; override with
+/// `SCNN_PROP_SEED`.
+const DEFAULT_SEED: u64 = 0xC0FF_EE5E_ED00_0001;
+
+fn env_u64(name: &str) -> Option<u64> {
+    std::env::var(name).ok()?.parse().ok()
+}
+
+/// Runs `cases` passing cases of the property `f`, panicking on the first
+/// failure with the case seed and message.
+///
+/// # Panics
+///
+/// Panics when a case fails, or when more than `50 × cases` draws are
+/// discarded (a degenerate generator that never meets its precondition).
+pub fn check(name: &str, cases: usize, mut f: impl FnMut(&mut SplitRng) -> Case) {
+    let base = env_u64("SCNN_PROP_SEED").unwrap_or(DEFAULT_SEED);
+    let cases = env_u64("SCNN_PROP_CASES").map(|c| c as usize).unwrap_or(cases);
+    let mut state = base;
+    let mut case_seed = base; // case 0 replays SCNN_PROP_SEED verbatim
+    let mut passed = 0usize;
+    let mut tried = 0usize;
+    while passed < cases {
+        assert!(
+            tried <= cases.saturating_mul(50),
+            "property '{name}': {tried} draws produced only {passed}/{cases} \
+             valid cases — precondition discards nearly everything"
+        );
+        tried += 1;
+        let mut rng = SplitRng::seed_from_u64(case_seed);
+        match f(&mut rng) {
+            Case::Pass => passed += 1,
+            Case::Discard => {}
+            Case::Fail(msg) => panic!(
+                "property '{name}' failed on case {passed} (case seed {case_seed:#x}): {msg}\n\
+                 replay with: SCNN_PROP_SEED={case_seed} SCNN_PROP_CASES=1"
+            ),
+        }
+        case_seed = splitmix64(&mut state);
+    }
+}
+
+/// Fails the surrounding property case unless `cond` holds. Use inside a
+/// closure passed to [`check`]; expands to an early `return` of
+/// [`Case::Fail`].
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return $crate::prop::Case::Fail(format!(
+                "assertion failed: {}", stringify!($cond)
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return $crate::prop::Case::Fail(format!(
+                "assertion failed: {} — {}", stringify!($cond), format!($($fmt)+)
+            ));
+        }
+    };
+}
+
+/// Equality form of [`prop_assert!`], printing both sides on failure.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        if a != b {
+            return $crate::prop::Case::Fail(format!(
+                "{} != {}: {:?} vs {:?}", stringify!($a), stringify!($b), a, b
+            ));
+        }
+    }};
+}
+
+/// Discards the case (without failing) unless the precondition holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return $crate::prop::Case::Discard;
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Rng;
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let mut n = 0;
+        check("tautology", 25, |rng| {
+            n += 1;
+            let _ = rng.next_u64();
+            Case::Pass
+        });
+        assert_eq!(n, 25);
+    }
+
+    #[test]
+    fn discards_do_not_consume_budget() {
+        let mut passes = 0;
+        check("half discarded", 20, |rng| {
+            if rng.gen::<bool>() {
+                return Case::Discard;
+            }
+            passes += 1;
+            Case::Pass
+        });
+        assert_eq!(passes, 20);
+    }
+
+    #[test]
+    fn failure_reports_case_seed() {
+        let err = std::panic::catch_unwind(|| {
+            check("always fails", 10, |_| Case::Fail("boom".into()));
+        })
+        .unwrap_err();
+        let msg = err.downcast_ref::<String>().expect("string panic");
+        assert!(msg.contains("always fails"), "{msg}");
+        assert!(msg.contains("boom"), "{msg}");
+        assert!(msg.contains("SCNN_PROP_SEED="), "{msg}");
+    }
+
+    #[test]
+    fn hopeless_preconditions_abort() {
+        let err = std::panic::catch_unwind(|| {
+            check("all discarded", 5, |_| Case::Discard);
+        })
+        .unwrap_err();
+        let msg = err.downcast_ref::<String>().expect("string panic");
+        assert!(msg.contains("discards"), "{msg}");
+    }
+
+    #[test]
+    fn macros_expand_to_case_control_flow() {
+        check("macro forms", 10, |rng| {
+            let v = rng.gen_range(0..100usize);
+            prop_assume!(v != 13);
+            prop_assert!(v < 100);
+            prop_assert!(v < 100, "v was {v}");
+            prop_assert_eq!(v, v);
+            Case::Pass
+        });
+    }
+}

@@ -1,9 +1,9 @@
 //! Deterministic weight initializers.
 //!
 //! All randomness in the workspace flows through caller-provided RNGs
-//! (seeded `ChaCha8Rng` in practice) so experiments reproduce bit-for-bit.
+//! (seeded `SplitRng` in practice) so experiments reproduce bit-for-bit.
 
-use rand::Rng;
+use scnn_rng::Rng;
 
 use crate::Tensor;
 
@@ -48,12 +48,11 @@ fn gaussian(rng: &mut impl Rng, dims: &[usize], std: f32) -> Tensor {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
-    use rand_chacha::ChaCha8Rng;
+    use scnn_rng::SplitRng;
 
     #[test]
     fn he_normal_has_expected_scale() {
-        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let mut rng = SplitRng::seed_from_u64(7);
         let t = he_normal(&mut rng, &[64, 64], 64);
         let mean = t.mean();
         let var = t.map(|v| (v - mean) * (v - mean)).mean();
@@ -67,7 +66,7 @@ mod tests {
 
     #[test]
     fn uniform_respects_bounds() {
-        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let mut rng = SplitRng::seed_from_u64(3);
         let t = uniform(&mut rng, &[1000], -0.5, 0.25);
         assert!(t.as_slice().iter().all(|&v| (-0.5..0.25).contains(&v)));
     }
@@ -75,7 +74,7 @@ mod tests {
     #[test]
     fn deterministic_given_seed() {
         let mk = || {
-            let mut rng = ChaCha8Rng::seed_from_u64(42);
+            let mut rng = SplitRng::seed_from_u64(42);
             he_normal(&mut rng, &[3, 3], 9)
         };
         assert_eq!(mk(), mk());
@@ -83,7 +82,7 @@ mod tests {
 
     #[test]
     fn xavier_bounds() {
-        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let mut rng = SplitRng::seed_from_u64(1);
         let a = (6.0f32 / 20.0).sqrt();
         let t = xavier_uniform(&mut rng, &[10, 10], 10, 10);
         assert!(t.as_slice().iter().all(|&v| v.abs() <= a));

@@ -60,7 +60,7 @@ fn main() {
             ),
         ),
     ] {
-        let layout = plan_layout(&graph, &plan, &tso);
+        let layout = plan_layout(&graph, &plan, &tso).expect("planner produced an illegal plan");
         let sim = simulate(&graph, &tape, &tso, &plan, &profile);
         println!(
             "{name:9} device {:>6.2} GB (+{:.2} GB params) | host {:>5.2} GB | {:>7.1} imgs/s | stall {:>6.2} ms",

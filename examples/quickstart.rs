@@ -5,8 +5,7 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
+use scnn_rng::SplitRng;
 use split_cnn::core::{lower_unsplit, plan_split, ModelDesc, SplitConfig};
 use split_cnn::data::{SyntheticDataset, SyntheticSpec};
 use split_cnn::nn::{evaluate, train_epoch, BnState, ParamStore, Sgd};
@@ -39,7 +38,7 @@ fn main() {
     );
 
     // 4. Train the split network on synthetic data...
-    let mut rng = ChaCha8Rng::seed_from_u64(7);
+    let mut rng = SplitRng::seed_from_u64(7);
     let spec = SyntheticSpec {
         hw: 16,
         classes: 4,

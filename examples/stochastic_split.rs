@@ -7,8 +7,7 @@
 //! cargo run --release --example stochastic_split
 //! ```
 
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
+use scnn_rng::SplitRng;
 use split_cnn::core::{lower_unsplit, plan_split_stochastic, SplitConfig};
 use split_cnn::data::{SyntheticDataset, SyntheticSpec};
 use split_cnn::models::{resnet18, ModelOptions};
@@ -24,8 +23,8 @@ fn main() {
     let (train, test) = data.train_test(16, 5, batch);
 
     let unsplit = lower_unsplit(&desc, batch);
-    let mut rng = ChaCha8Rng::seed_from_u64(23);
-    let mut split_rng = ChaCha8Rng::seed_from_u64(99);
+    let mut rng = SplitRng::seed_from_u64(23);
+    let mut split_rng = SplitRng::seed_from_u64(99);
     let mut params = ParamStore::init(&unsplit, &mut rng);
     let mut bn = BnState::new();
     let mut opt = Sgd::new(&params, 0.05, 0.9, 1e-4);

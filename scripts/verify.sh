@@ -1,0 +1,9 @@
+#!/usr/bin/env bash
+# Tier-1 verification gate (see ROADMAP.md): hermetic build + full test
+# suite, offline. The workspace has zero external dependencies, so
+# --offline must succeed even against an empty cargo registry.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --workspace --release --offline
+cargo test -q --workspace --offline
