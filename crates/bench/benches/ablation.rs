@@ -10,17 +10,30 @@
 //! - number of memory streams in the planner.
 
 use scnn_bench::memsys::MemsysSetup;
-use scnn_bench::BenchGroup;
+use scnn_bench::{Args, BenchGroup};
 use scnn_core::{plan_split, SplitChoice, SplitConfig};
 use scnn_gpusim::CostModel;
 use scnn_hmms::{plan_hmms, PlannerOptions};
 use scnn_models::{vgg19, ModelOptions};
 
 fn main() {
+    let smoke = Args::parse().bool("smoke");
     let model = CostModel::default();
-    let desc = vgg19(&ModelOptions::imagenet());
+    // Smoke mode: CIFAR-sized VGG and one cold sample — just prove the
+    // ablation paths run and emit parseable records.
+    let desc = if smoke {
+        vgg19(&ModelOptions::cifar())
+    } else {
+        vgg19(&ModelOptions::imagenet())
+    };
+    let batch = if smoke { 4 } else { 32 };
     let mut g = BenchGroup::new("ablation");
-    g.sample_size(10);
+    if smoke {
+        g.sample_size(1);
+        g.warmup(0);
+    } else {
+        g.sample_size(10);
+    }
 
     for choice in [
         SplitChoice::Aligned,
@@ -33,20 +46,20 @@ fn main() {
             ..SplitConfig::new(0.5, 2, 2)
         };
         let plan = plan_split(&desc, &cfg).unwrap();
-        let s = MemsysSetup::split(&desc, &plan, 32, &model);
+        let s = MemsysSetup::split(&desc, &plan, batch, &model);
         let p = s.plan("hmms");
         g.bench(&format!("boundary_choice/{choice:?}"), || s.simulate(&p));
     }
 
     for (label, nh, nw) in [("1x1", 1, 1), ("2x2", 2, 2), ("3x3", 3, 3)] {
         let plan = plan_split(&desc, &SplitConfig::new(0.5, nh, nw)).unwrap();
-        let s = MemsysSetup::split(&desc, &plan, 32, &model);
+        let s = MemsysSetup::split(&desc, &plan, batch, &model);
         let p = s.plan("hmms");
         g.bench(&format!("patch_grid/{label}"), || s.simulate(&p));
     }
 
     for streams in [1usize, 2, 4] {
-        let s = MemsysSetup::unsplit(&desc, 32, &model);
+        let s = MemsysSetup::unsplit(&desc, batch, &model);
         let p = plan_hmms(
             &s.graph,
             &s.tape,

@@ -1,19 +1,27 @@
 //! Micro-benchmarks for the CPU kernels that back the proxy training
 //! runs, on the in-tree timing harness (`scnn_bench::harness`). Results
 //! land in `BENCH_kernels.json` at the workspace root.
+//!
+//! `--smoke` shrinks every shape and takes a single sample with no warmup:
+//! `scripts/verify.sh` uses it to prove each bench binary still runs and
+//! emits parseable records without paying full measurement cost.
 
-use scnn_bench::BenchGroup;
+use scnn_bench::{Args, BenchGroup};
 use scnn_nn::kernels::{
-    avg_pool_forward, batch_norm_forward, conv2d_backward, conv2d_forward, max_pool_forward,
-    ConvAttrs, PoolAttrs,
+    avg_pool_forward, batch_norm_forward, conv2d_backward, conv2d_forward, linear_backward,
+    linear_forward, max_pool_forward, ConvAttrs, PoolAttrs,
 };
 use scnn_rng::SplitRng;
-use scnn_tensor::{matmul, uniform, Padding2d, Tensor};
+use scnn_tensor::{col2im, im2col, matmul, uniform, Conv2dGeometry, Padding2d, Tensor};
 
 fn main() {
+    let smoke = Args::parse().bool("smoke");
     let mut rng = SplitRng::seed_from_u64(1);
-    let x = uniform(&mut rng, &[8, 16, 32, 32], -1.0, 1.0);
-    let w = uniform(&mut rng, &[32, 16, 3, 3], -0.5, 0.5);
+
+    // Smoke mode: tiny shapes, one cold sample — just prove the paths run.
+    let (n, c, oc, hw) = if smoke { (1, 2, 4, 8) } else { (8, 16, 32, 32) };
+    let x = uniform(&mut rng, &[n, c, hw, hw], -1.0, 1.0);
+    let w = uniform(&mut rng, &[oc, c, 3, 3], -0.5, 0.5);
     let attrs = ConvAttrs {
         kh: 3,
         kw: 3,
@@ -23,7 +31,12 @@ fn main() {
     };
 
     let mut g = BenchGroup::new("kernels");
-    g.sample_size(10);
+    if smoke {
+        g.sample_size(1);
+        g.warmup(0);
+    } else {
+        g.sample_size(10);
+    }
 
     g.bench("conv2d_fwd_8x16x32x32", || conv2d_forward(&x, &w, None, &attrs));
 
@@ -33,8 +46,14 @@ fn main() {
         conv2d_backward(&x, &w, false, &dy, &attrs)
     });
 
-    let gamma = Tensor::ones(&[16]);
-    let beta = Tensor::zeros(&[16]);
+    // The lowering stages of the conv above, measured on their own.
+    let geo = Conv2dGeometry::new(c, hw, hw, 3, 3, 1, 1, Padding2d::symmetric(1));
+    g.bench("im2col_8x16x32x32", || im2col(&x, &geo));
+    let cols = im2col(&x, &geo);
+    g.bench("col2im_8x16x32x32", || col2im(&cols, n, &geo));
+
+    let gamma = Tensor::ones(&[c]);
+    let beta = Tensor::zeros(&[c]);
     g.bench("batchnorm_fwd", || batch_norm_forward(&x, &gamma, &beta, None));
 
     let pool = PoolAttrs {
@@ -47,8 +66,24 @@ fn main() {
     g.bench("maxpool_fwd", || max_pool_forward(&x, &pool));
     g.bench("avgpool_fwd", || avg_pool_forward(&x, &pool));
 
-    let a = uniform(&mut rng, &[256, 256], -1.0, 1.0);
-    let bm = uniform(&mut rng, &[256, 256], -1.0, 1.0);
+    // A classifier-head-sized linear layer: batch 128, 512 -> 256.
+    let (lb, lin, lout) = if smoke { (4, 16, 8) } else { (128, 512, 256) };
+    let lx = uniform(&mut rng, &[lb, lin], -1.0, 1.0);
+    let lw = uniform(&mut rng, &[lout, lin], -0.5, 0.5);
+    let lbias = uniform(&mut rng, &[lout], -0.1, 0.1);
+    g.bench("linear_fwd_128x512x256", || linear_forward(&lx, &lw, &lbias));
+    let ldy = uniform(&mut rng, &[lb, lout], -1.0, 1.0);
+    g.bench("linear_bwd_128x512x256", || linear_backward(&lx, &lw, &ldy));
+
+    let msz = if smoke { 16 } else { 256 };
+    let a = uniform(&mut rng, &[msz, msz], -1.0, 1.0);
+    let bm = uniform(&mut rng, &[msz, msz], -1.0, 1.0);
     g.bench("matmul_256", || matmul(&a, &bm));
+
+    // One cache-capacity-straddling square GEMM (512³ ≈ 268 MFLOP).
+    let m2 = if smoke { 24 } else { 512 };
+    let a2 = uniform(&mut rng, &[m2, m2], -1.0, 1.0);
+    let b2 = uniform(&mut rng, &[m2, m2], -1.0, 1.0);
+    g.bench("matmul_512", || matmul(&a2, &b2));
     g.finish();
 }

@@ -1,0 +1,112 @@
+//! Ad-hoc component timing for the conv2d path (not a committed benchmark).
+use scnn_nn::kernels::{conv2d_backward, conv2d_forward, ConvAttrs};
+use scnn_rng::SplitRng;
+use scnn_tensor::{
+    col2im, im2col, matmul, matmul_a_bt, matmul_at_b, uniform, Conv2dGeometry, Padding2d, Tensor,
+};
+use std::time::Instant;
+
+fn time<F: FnMut()>(name: &str, mut f: F) {
+    f();
+    let n = 10;
+    let t0 = Instant::now();
+    for _ in 0..n {
+        f();
+    }
+    let el = t0.elapsed().as_nanos() / n;
+    println!("{name:42} {el:>12} ns");
+}
+
+fn main() {
+    let mut r = SplitRng::seed_from_u64(7);
+    let x = uniform(&mut r, &[8, 16, 32, 32], -1.0, 1.0);
+    let w = uniform(&mut r, &[32, 16, 3, 3], -0.5, 0.5);
+    let b = uniform(&mut r, &[32], -0.1, 0.1);
+    let attrs = ConvAttrs { kh: 3, kw: 3, sh: 1, sw: 1, pad: Padding2d::symmetric(1) };
+    let g = Conv2dGeometry::new(16, 32, 32, 3, 3, 1, 1, Padding2d::symmetric(1));
+    let n = 8usize;
+    let xc = x.clone();
+    let cols = im2col(&xc, &g);
+    let w_mat = w.clone().reshape(&[32, 16 * 9]);
+    let rows_m = n * g.out_h() * g.out_w();
+
+    time("im2col", || {
+        let _ = im2col(&xc, &g);
+    });
+    time("matmul_a_bt [8192,144]x[32,144]T", || {
+        let _ = matmul_a_bt(&cols, &w_mat);
+    });
+    time("conv2d_forward total", || {
+        let _ = conv2d_forward(&x, &w, Some(&b), &attrs);
+    });
+
+    let dy = uniform(&mut r, &[8, 32, 32, 32], -1.0, 1.0);
+    let mut dy_rows = Tensor::zeros(&[rows_m, 32]);
+    {
+        let dyv = dy.as_slice();
+        let hw = g.out_h() * g.out_w();
+        let dr = dy_rows.as_mut_slice();
+        for bi in 0..n {
+            for c in 0..32 {
+                for p in 0..hw {
+                    dr[(bi * hw + p) * 32 + c] = dyv[(bi * 32 + c) * hw + p];
+                }
+            }
+        }
+    }
+    time("matmul_at_b dw [8192,32]T x [8192,144]", || {
+        let _ = matmul_at_b(&dy_rows, &cols);
+    });
+    time("matmul dcols [8192,32]x[32,144]", || {
+        let _ = matmul(&dy_rows, &w_mat);
+    });
+    let dcols = matmul(&dy_rows, &w_mat);
+    time("col2im", || {
+        let _ = col2im(&dcols, n, &g);
+    });
+    time("conv2d_backward total", || {
+        let _ = conv2d_backward(&x, &w, true, &dy, &attrs);
+    });
+    time("pad2d zero-crop", || {
+        let _ = x.pad2d(Padding2d { h_begin: 0, h_end: 0, w_begin: 0, w_end: 0 });
+    });
+    time("dy transpose", || {
+        let mut dymat = vec![0.0f32; 8 * 1024 * 32];
+        let dsrc = dy.as_slice();
+        let hw = 1024;
+        let oc = 32;
+        scnn_par::par_chunks_mut(&mut dymat, hw * oc, |bidx, rows| {
+            let img = &dsrc[bidx * oc * hw..(bidx + 1) * oc * hw];
+            for p0 in (0..hw).step_by(32) {
+                let p1 = (p0 + 32).min(hw);
+                for c0 in (0..oc).step_by(32) {
+                    let c1 = (c0 + 32).min(oc);
+                    for p in p0..p1 {
+                        let drow = &mut rows[p * oc + c0..p * oc + c1];
+                        for (d, c) in drow.iter_mut().zip(c0..c1) {
+                            *d = img[c * hw + p];
+                        }
+                    }
+                }
+            }
+        });
+        std::hint::black_box(&dymat);
+    });
+    time("db reduction", || {
+        let dsrc = dy.as_slice();
+        let mut db = vec![0.0f32; 32];
+        let hw = 1024;
+        for bidx in 0..8usize {
+            for (c, acc) in db.iter_mut().enumerate() {
+                let base = (bidx * 32 + c) * hw;
+                *acc += dsrc[base..base + hw].iter().sum::<f32>();
+            }
+        }
+        std::hint::black_box(&db);
+    });
+    time("dx zeros + col2im_into", || {
+        let mut dx = Tensor::zeros(x.shape().dims());
+        scnn_tensor::col2im_into(&dcols, n, &g, &mut dx, 0, 0);
+        std::hint::black_box(&dx);
+    });
+}

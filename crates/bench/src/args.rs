@@ -2,18 +2,23 @@
 
 use std::collections::HashMap;
 
-/// Parsed `--key value` arguments with typed accessors.
+/// Parsed `--key value` arguments with typed accessors. A flag followed by
+/// another flag (or by nothing) is a boolean switch, e.g. `--smoke`.
 ///
 /// # Example
 ///
 /// ```
 /// use scnn_bench::Args;
 ///
-/// let a = Args::parse_from(["--scale", "0.25", "--epochs", "3"].iter().map(|s| s.to_string()))
-///     .unwrap();
+/// let a = Args::parse_from(
+///     ["--scale", "0.25", "--smoke", "--epochs", "3"].iter().map(|s| s.to_string()),
+/// )
+/// .unwrap();
 /// assert_eq!(a.f64("scale", 1.0), 0.25);
 /// assert_eq!(a.usize("epochs", 8), 3);
 /// assert_eq!(a.usize("batch", 16), 16);
+/// assert!(a.bool("smoke"));
+/// assert!(!a.bool("verbose"));
 /// ```
 #[derive(Clone, Debug, Default)]
 pub struct Args {
@@ -26,8 +31,9 @@ pub struct Args {
 fn usage_exit(err: &str) -> ! {
     let bin = std::env::args().next().unwrap_or_else(|| "scnn-bench".into());
     eprintln!("error: {err}");
-    eprintln!("usage: {bin} [--flag value]...");
-    eprintln!("       flags are `--name value` pairs; numeric values must parse");
+    eprintln!("usage: {bin} [--flag value | --switch]...");
+    eprintln!("       flags are `--name value` pairs (numeric values must parse);");
+    eprintln!("       a flag with no value, e.g. `--smoke`, is a boolean switch");
     std::process::exit(2);
 }
 
@@ -45,22 +51,36 @@ impl Args {
     ///
     /// # Errors
     ///
-    /// Returns a message on a flag without a value or an argument without
-    /// the `--` prefix.
+    /// Returns a message on an argument without the `--` prefix.
     pub fn parse_from(args: impl Iterator<Item = String>) -> Result<Self, String> {
         let mut values = HashMap::new();
-        let mut it = args;
+        let mut it = args.peekable();
         while let Some(k) = it.next() {
             let key = k
                 .strip_prefix("--")
                 .ok_or_else(|| format!("expected --flag, got `{k}`"))?
                 .to_string();
-            let v = it
-                .next()
-                .ok_or_else(|| format!("flag --{key} needs a value"))?;
+            // A flag immediately followed by another flag (or by the end of
+            // the arguments) is a boolean switch.
+            let v = match it.peek() {
+                Some(next) if !next.starts_with("--") => it.next().expect("peeked"),
+                _ => "true".to_string(),
+            };
             values.insert(key, v);
         }
         Ok(Args { values })
+    }
+
+    /// Boolean switch: `true` iff the flag was present bare or with the
+    /// literal value `true`.
+    pub fn bool(&self, key: &str) -> bool {
+        matches!(self.values.get(key), Some(v) if v == "true")
+    }
+
+    /// Raw string flag, `None` when absent (for paths and other
+    /// free-form values).
+    pub fn str(&self, key: &str) -> Option<&str> {
+        self.values.get(key).map(String::as_str)
     }
 
     /// Float flag with default; exits with usage on a malformed value.
@@ -140,9 +160,12 @@ mod tests {
     }
 
     #[test]
-    fn missing_value_is_an_error() {
-        let e = parse(&["--flag"]).unwrap_err();
-        assert!(e.contains("needs a value"), "{e}");
+    fn bare_flag_is_a_boolean_switch() {
+        let a = parse(&["--smoke", "--scale", "0.5", "--fast"]).unwrap();
+        assert!(a.bool("smoke"));
+        assert!(a.bool("fast"));
+        assert!(!a.bool("absent"));
+        assert_eq!(a.try_f64("scale", 1.0), Ok(0.5));
     }
 
     #[test]

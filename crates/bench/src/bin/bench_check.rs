@@ -1,0 +1,104 @@
+//! Validates a `BENCH_<group>.json` file and, optionally, gates median
+//! regressions against a committed baseline. `scripts/verify.sh` uses it
+//! two ways:
+//!
+//! ```text
+//! bench_check --file /tmp/x/BENCH_kernels.json
+//!     # every line must parse as a BenchRecord; exits 1 otherwise
+//! bench_check --file /tmp/x/BENCH_kernels.json \
+//!     --baseline BENCH_kernels.json --tolerance 0.25
+//!     # additionally: any baseline benchmark whose fresh time is more
+//!     # than 25% above the baseline median (or missing from the fresh
+//!     # run) exits 1
+//! ```
+//!
+//! The gated statistic is the **fastest fresh sample vs the baseline
+//! median**: a genuine regression slows every sample, including the
+//! fastest, while transient load on a shared host rarely contaminates
+//! all of them — so min-vs-median keeps the gate sensitive to real
+//! slowdowns without flaking on scheduler noise. The median is still
+//! printed for context.
+//!
+//! Benchmarks present only in the fresh file are reported but never fail
+//! the gate — adding a benchmark must not require touching the baseline
+//! in the same commit.
+
+use scnn_bench::{Args, BenchRecord};
+
+/// Reads a JSON-lines bench file; exits 1 on the first malformed line.
+fn load(path: &str) -> Vec<BenchRecord> {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("error: cannot read {path}: {e}");
+        std::process::exit(1);
+    });
+    let records: Vec<BenchRecord> = text
+        .lines()
+        .enumerate()
+        .map(|(i, line)| {
+            BenchRecord::from_json(line).unwrap_or_else(|e| {
+                eprintln!("error: {path}:{}: {e}", i + 1);
+                std::process::exit(1);
+            })
+        })
+        .collect();
+    if records.is_empty() {
+        eprintln!("error: {path} contains no benchmark records");
+        std::process::exit(1);
+    }
+    records
+}
+
+fn main() {
+    let args = Args::parse();
+    let Some(file) = args.str("file") else {
+        eprintln!("usage: bench_check --file <BENCH_x.json> [--baseline <BENCH_x.json>] [--tolerance 0.25]");
+        std::process::exit(2);
+    };
+    let fresh = load(file);
+    println!("{file}: {} records parse", fresh.len());
+
+    let Some(baseline_path) = args.str("baseline") else {
+        return;
+    };
+    let tolerance = args.f64("tolerance", 0.25);
+    let baseline = load(baseline_path);
+
+    let mut failed = false;
+    for b in &baseline {
+        match fresh.iter().find(|r| r.name == b.name) {
+            None => {
+                eprintln!("REGRESSION: `{}` is in the baseline but was not measured", b.name);
+                failed = true;
+            }
+            Some(r) => {
+                let ratio = r.min_ns as f64 / b.median_ns.max(1) as f64;
+                let verdict = if ratio > 1.0 + tolerance {
+                    failed = true;
+                    "REGRESSED"
+                } else {
+                    "ok"
+                };
+                println!(
+                    "{:<40} {:>12} -> {:>12} ns  (min {:>12}, {:+6.1}%)  {verdict}",
+                    b.name,
+                    b.median_ns,
+                    r.median_ns,
+                    r.min_ns,
+                    (ratio - 1.0) * 100.0
+                );
+            }
+        }
+    }
+    for r in &fresh {
+        if !baseline.iter().any(|b| b.name == r.name) {
+            println!("{:<40} {:>12} ns  (new, no baseline)", r.name, r.median_ns);
+        }
+    }
+    if failed {
+        eprintln!(
+            "error: median regression beyond {:.0}% against {baseline_path}",
+            tolerance * 100.0
+        );
+        std::process::exit(1);
+    }
+}

@@ -63,8 +63,146 @@ impl BenchRecord {
     }
 }
 
+impl BenchRecord {
+    /// Parses one JSON line previously produced by [`BenchRecord::to_json`].
+    /// The accepted grammar is exactly the record shape (all seven fields,
+    /// any order) — deliberately stricter than general JSON, so a corrupt
+    /// or truncated bench file fails loudly in `scripts/verify.sh`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the first syntax problem, unknown field,
+    /// or missing field.
+    pub fn from_json(line: &str) -> Result<Self, String> {
+        let mut p = JsonCursor::new(line);
+        p.expect('{')?;
+        let (mut group, mut name) = (None, None);
+        let (mut median_ns, mut min_ns, mut mean_ns) = (None, None, None);
+        let (mut samples, mut warmup) = (None, None);
+        loop {
+            let key = p.string()?;
+            p.expect(':')?;
+            match key.as_str() {
+                "group" => group = Some(p.string()?),
+                "name" => name = Some(p.string()?),
+                "median_ns" => median_ns = Some(p.number()?),
+                "min_ns" => min_ns = Some(p.number()?),
+                "mean_ns" => mean_ns = Some(p.number()?),
+                "samples" => samples = Some(p.number()? as usize),
+                "warmup" => warmup = Some(p.number()? as usize),
+                other => return Err(format!("unknown field `{other}`")),
+            }
+            if p.eat(',') {
+                continue;
+            }
+            p.expect('}')?;
+            break;
+        }
+        p.end()?;
+        let missing = |f: &str| format!("missing field `{f}`");
+        Ok(BenchRecord {
+            group: group.ok_or_else(|| missing("group"))?,
+            name: name.ok_or_else(|| missing("name"))?,
+            median_ns: median_ns.ok_or_else(|| missing("median_ns"))?,
+            min_ns: min_ns.ok_or_else(|| missing("min_ns"))?,
+            mean_ns: mean_ns.ok_or_else(|| missing("mean_ns"))?,
+            samples: samples.ok_or_else(|| missing("samples"))?,
+            warmup: warmup.ok_or_else(|| missing("warmup"))?,
+        })
+    }
+}
+
 fn escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Byte cursor over one JSON line, with just the pieces the record shape
+/// needs: `"string"` (with `\\` and `\"` escapes), unsigned integers, and
+/// fixed punctuation. Whitespace is allowed around every token.
+struct JsonCursor<'a> {
+    s: &'a [u8],
+    i: usize,
+}
+
+impl<'a> JsonCursor<'a> {
+    fn new(s: &'a str) -> Self {
+        JsonCursor { s: s.as_bytes(), i: 0 }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.s.get(self.i).is_some_and(u8::is_ascii_whitespace) {
+            self.i += 1;
+        }
+    }
+
+    fn expect(&mut self, ch: char) -> Result<(), String> {
+        if self.eat(ch) {
+            Ok(())
+        } else {
+            Err(format!("expected `{ch}` at byte {}", self.i))
+        }
+    }
+
+    fn eat(&mut self, ch: char) -> bool {
+        self.skip_ws();
+        if self.s.get(self.i) == Some(&(ch as u8)) {
+            self.i += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect('"')?;
+        let mut out = String::new();
+        loop {
+            match self.s.get(self.i) {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    self.i += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    let esc = self.s.get(self.i + 1);
+                    match esc {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        _ => return Err(format!("bad escape at byte {}", self.i)),
+                    }
+                    self.i += 2;
+                }
+                Some(&b) => {
+                    out.push(b as char);
+                    self.i += 1;
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<u128, String> {
+        self.skip_ws();
+        let start = self.i;
+        while self.s.get(self.i).is_some_and(u8::is_ascii_digit) {
+            self.i += 1;
+        }
+        if self.i == start {
+            return Err(format!("expected a number at byte {start}"));
+        }
+        std::str::from_utf8(&self.s[start..self.i])
+            .expect("digits are utf-8")
+            .parse()
+            .map_err(|e| format!("bad number at byte {start}: {e}"))
+    }
+
+    fn end(&mut self) -> Result<(), String> {
+        self.skip_ws();
+        if self.i == self.s.len() {
+            Ok(())
+        } else {
+            Err(format!("trailing data at byte {}", self.i))
+        }
+    }
 }
 
 /// A named group of benchmarks writing one `BENCH_<group>.json` file.
@@ -211,6 +349,52 @@ mod tests {
             warmup: 0,
         };
         assert!(r.to_json().contains("we\\\"ird"));
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let r = BenchRecord {
+            group: "kernels".into(),
+            name: "we\"ird\\name".into(),
+            median_ns: 123456789,
+            min_ns: 120000000,
+            mean_ns: 125000000,
+            samples: 7,
+            warmup: 2,
+        };
+        let back = BenchRecord::from_json(&r.to_json()).unwrap();
+        assert_eq!(back.group, r.group);
+        assert_eq!(back.name, r.name);
+        assert_eq!(back.median_ns, r.median_ns);
+        assert_eq!(back.min_ns, r.min_ns);
+        assert_eq!(back.mean_ns, r.mean_ns);
+        assert_eq!(back.samples, r.samples);
+        assert_eq!(back.warmup, r.warmup);
+    }
+
+    #[test]
+    fn from_json_rejects_malformed_lines() {
+        for (line, why) in [
+            ("", "no opening brace"),
+            ("{\"group\":\"g\"}", "missing fields"),
+            (
+                "{\"group\":\"g\",\"name\":\"n\",\"median_ns\":1,\"min_ns\":1,\
+                 \"mean_ns\":1,\"samples\":1,\"warmup\":1} extra",
+                "trailing data",
+            ),
+            (
+                "{\"group\":\"g\",\"name\":\"n\",\"median_ns\":-1,\"min_ns\":1,\
+                 \"mean_ns\":1,\"samples\":1,\"warmup\":1}",
+                "negative number",
+            ),
+            (
+                "{\"group\":\"g\",\"name\":\"n\",\"median_ns\":1,\"min_ns\":1,\
+                 \"mean_ns\":1,\"samples\":1,\"bogus\":1}",
+                "unknown field",
+            ),
+        ] {
+            assert!(BenchRecord::from_json(line).is_err(), "accepted {why}: {line}");
+        }
     }
 
     #[test]

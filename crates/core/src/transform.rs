@@ -481,6 +481,7 @@ fn lower_impl(desc: &ModelDesc, batch: usize, plan: Option<&SplitPlan>) -> Graph
             let mut row = Vec::with_capacity(plan.n_w);
             for pj in 0..plan.n_w {
                 let tag = format!("/p{pi}x{pj}");
+                let first_patch_node = g.len();
                 let sh = g.slice(input, 2, starts_h[pi], len_h(pi), &format!("sliceh{tag}"));
                 let mut x = g.slice(sh, 3, starts_w[pj], len_w(pj), &format!("slicew{tag}"));
                 for (bi, block) in desc.blocks[..plan.region_blocks].iter().enumerate() {
@@ -491,6 +492,12 @@ fn lower_impl(desc: &ModelDesc, batch: usize, plan: Option<&SplitPlan>) -> Graph
                         })
                     };
                     x = run_block(&mut g, x, bi, block, &pad_for, &tag);
+                }
+                // Every node added for this patch forms one sibling branch;
+                // tag the whole range so the parallel executor's wave
+                // structure can be inspected patch-by-patch.
+                for nid in first_patch_node..g.len() {
+                    g.set_group(NodeId(nid), pi * plan.n_w + pj);
                 }
                 row.push(x);
             }

@@ -69,6 +69,12 @@ pub struct Node {
     pub out_shape: Vec<usize>,
     /// Human-readable label, e.g. `"conv3_2/patch1"`.
     pub name: String,
+    /// Sibling-branch tag: nodes sharing a `Some` value belong to the same
+    /// independent branch (the split transform tags each patch chain with
+    /// its patch index). Purely informational — the executor derives
+    /// concurrency from topology — but lets tools and tests identify which
+    /// nodes a given patch produced.
+    pub group: Option<usize>,
 }
 
 impl Node {
@@ -201,8 +207,18 @@ impl Graph {
             inputs: inputs.to_vec(),
             out_shape,
             name: name.to_string(),
+            group: None,
         });
         id
+    }
+
+    /// Tags `id` as belonging to sibling branch `group` (see [`Node::group`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn set_group(&mut self, id: NodeId, group: usize) {
+        self.nodes[id.0].group = Some(group);
     }
 
     // ---- convenience builders -------------------------------------------

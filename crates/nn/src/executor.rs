@@ -1,18 +1,19 @@
 //! Graph executor: forward and backward passes with real tensors.
 
 use scnn_rng::Rng;
-use scnn_graph::{Graph, Node, Op, PoolKind};
+use scnn_graph::{Graph, Node, NodeId, Op, ParamId, PoolKind};
 use scnn_tensor::Tensor;
 
 use crate::kernels::{
-    avg_pool_backward, avg_pool_forward, batch_norm_backward, batch_norm_forward,
-    conv2d_backward, conv2d_forward, dropout_backward, dropout_forward,
+    avg_pool_backward, avg_pool_forward, batch_norm_backward, batch_norm_inference,
+    batch_norm_train, conv2d_backward, conv2d_forward, dropout_backward, dropout_mask,
     global_avg_pool_backward, global_avg_pool_forward, linear_backward, linear_forward,
     max_pool_backward, max_pool_forward, relu_backward, relu_forward,
-    batch_norm_inference, softmax_cross_entropy_backward, softmax_cross_entropy_forward, BnSaved,
+    softmax_cross_entropy_backward, softmax_cross_entropy_forward, update_running, BnSaved,
     ConvAttrs, PoolAttrs,
 };
 use crate::params::{BnState, ParamStore};
+use crate::schedule::Schedule;
 
 /// Whether a pass trains (batch statistics, dropout active, gradients) or
 /// evaluates (running statistics, dropout off).
@@ -49,6 +50,23 @@ enum Aux {
     DropMask(Tensor),
     Bn(BnSaved),
     Probs(Tensor),
+}
+
+/// Side effects a node's forward pass would have performed in serial
+/// execution. Segments run concurrently and side-effect-free; the executor
+/// replays these in node-id order after each wave, so state mutations land
+/// in exactly the order the old sequential loop produced.
+enum Deferred {
+    None,
+    /// BN running-statistics momentum update (train mode).
+    BnRunning {
+        gamma: ParamId,
+        channels: usize,
+        mean: Vec<f32>,
+        var: Vec<f32>,
+    },
+    /// Loss and accuracy from the graph's loss node.
+    Result(BatchResult),
 }
 
 /// Executes [`Graph`]s with real tensors.
@@ -94,6 +112,13 @@ impl Executor {
     /// `params` (call [`ParamStore::zero_grads`] first, or rely on the
     /// optimizer to do so).
     ///
+    /// The forward pass executes the [`Schedule`]'s waves: independent
+    /// segments (e.g. sibling split-patch branches) of a wave run
+    /// concurrently on the `scnn-par` pool. Dropout masks are pre-drawn in
+    /// node-id order and BN running-statistics updates are deferred and
+    /// replayed in node-id order after each wave, so every observable state
+    /// matches serial execution bit-for-bit at any `SCNN_THREADS`.
+    ///
     /// # Panics
     ///
     /// Panics if the graph has no input or no loss node, or if the batch
@@ -110,15 +135,76 @@ impl Executor {
         rng: &mut impl Rng,
     ) -> BatchResult {
         let n_nodes = graph.len();
+        let schedule = Schedule::build(graph);
+
+        // Pre-draw dropout masks serially, in node-id order: the RNG stream
+        // is then identical to the old inline draws no matter how segments
+        // are later interleaved.
+        let mut drop_masks: Vec<Option<Tensor>> = vec![None; n_nodes];
+        if mode == Mode::Train {
+            for node in graph.nodes() {
+                if let Op::Dropout { p } = &node.op {
+                    drop_masks[node.id.0] = Some(dropout_mask(&node.out_shape, *p, rng));
+                }
+            }
+        }
+
         let mut outputs: Vec<Option<Tensor>> = vec![None; n_nodes];
         let mut aux: Vec<Aux> = (0..n_nodes).map(|_| Aux::None).collect();
-
         let mut result = None;
-        for node in graph.nodes() {
-            let (out, a) = self.forward_node(node, graph, params, bn, images, labels, mode, rng,
-                &outputs, &mut result);
-            outputs[node.id.0] = Some(out);
-            aux[node.id.0] = a;
+        for wave in &schedule.waves {
+            // Immutable reborrows the parallel closure can capture.
+            let (params_ref, bn_ref, outputs_ref, masks_ref) =
+                (&*params, &*bn, &outputs, &drop_masks);
+            let run_seg = |si: usize| {
+                self.run_segment(
+                    &schedule.segments[wave[si]],
+                    graph,
+                    params_ref,
+                    bn_ref,
+                    images,
+                    labels,
+                    mode,
+                    masks_ref,
+                    outputs_ref,
+                )
+            };
+            // Single-segment waves run inline so the kernels' own data
+            // parallelism keeps the whole pool; multi-segment waves trade
+            // that for branch-level concurrency.
+            let produced = if wave.len() == 1 {
+                vec![run_seg(0)]
+            } else {
+                scnn_par::parallel_map(wave.len(), run_seg)
+            };
+
+            // Scatter outputs, then replay side effects in node-id order.
+            let mut deferred: Vec<(usize, Deferred)> = Vec::new();
+            for seg in produced {
+                for (id, out, a, d) in seg {
+                    outputs[id] = Some(out);
+                    aux[id] = a;
+                    if !matches!(d, Deferred::None) {
+                        deferred.push((id, d));
+                    }
+                }
+            }
+            deferred.sort_by_key(|(id, _)| *id);
+            for (_, d) in deferred {
+                match d {
+                    Deferred::None => {}
+                    Deferred::BnRunning {
+                        gamma,
+                        channels,
+                        mean,
+                        var,
+                    } => {
+                        let (rm, rv) = bn.entry(gamma, channels);
+                        update_running(rm, rv, &mean, &var);
+                    }
+                    Deferred::Result(r) => result = Some(r),
+                }
+            }
         }
         let result = result.expect("graph has no SoftmaxCrossEntropy loss node");
 
@@ -128,25 +214,62 @@ impl Executor {
         result
     }
 
+    /// Runs one segment's nodes in order, reading cross-segment inputs from
+    /// `outputs` (completed in earlier waves) and in-segment inputs from
+    /// the local results. Returns `(node id, output, aux, deferred)` per
+    /// node; mutations of shared state are returned, never performed.
+    #[allow(clippy::too_many_arguments)]
+    fn run_segment(
+        &self,
+        segment: &[usize],
+        graph: &Graph,
+        params: &ParamStore,
+        bn: &BnState,
+        images: &Tensor,
+        labels: &[usize],
+        mode: Mode,
+        drop_masks: &[Option<Tensor>],
+        outputs: &[Option<Tensor>],
+    ) -> Vec<(usize, Tensor, Aux, Deferred)> {
+        let mut local: Vec<(usize, Tensor, Aux, Deferred)> = Vec::with_capacity(segment.len());
+        for &id in segment {
+            let node = graph.node(NodeId(id));
+            let (out, a, d) = self.forward_node(
+                node, graph, params, bn, images, labels, mode, drop_masks, outputs, &local,
+            );
+            local.push((id, out, a, d));
+        }
+        local
+    }
+
     #[allow(clippy::too_many_arguments)]
     fn forward_node(
         &self,
         node: &Node,
         _graph: &Graph,
-        params: &mut ParamStore,
-        bn: &mut BnState,
+        params: &ParamStore,
+        bn: &BnState,
         images: &Tensor,
         labels: &[usize],
         mode: Mode,
-        rng: &mut impl Rng,
+        drop_masks: &[Option<Tensor>],
         outputs: &[Option<Tensor>],
-        result: &mut Option<BatchResult>,
-    ) -> (Tensor, Aux) {
-        let input = |i: usize| {
-            outputs[node.inputs[i].0]
-                .as_ref()
-                .expect("topological order guarantees inputs are computed")
-        };
+        local: &[(usize, Tensor, Aux, Deferred)],
+    ) -> (Tensor, Aux, Deferred) {
+        fn resolve<'a>(
+            outputs: &'a [Option<Tensor>],
+            local: &'a [(usize, Tensor, Aux, Deferred)],
+            id: usize,
+        ) -> &'a Tensor {
+            local
+                .iter()
+                .rev()
+                .find(|(lid, ..)| *lid == id)
+                .map(|(_, t, ..)| t)
+                .or_else(|| outputs[id].as_ref())
+                .expect("schedule guarantees inputs are computed")
+        }
+        let input = |i: usize| resolve(outputs, local, node.inputs[i].0);
         match &node.op {
             Op::Input { shape } => {
                 assert_eq!(
@@ -155,7 +278,7 @@ impl Executor {
                     "batch shape {:?} does not match graph input {shape:?}",
                     images.shape().dims()
                 );
-                (images.clone(), Aux::None)
+                (images.clone(), Aux::None, Deferred::None)
             }
             Op::Conv2d {
                 kh,
@@ -177,7 +300,7 @@ impl Executor {
                 let w = params.value(*weight).clone();
                 let b = bias.map(|id| params.value(id).clone());
                 let y = conv2d_forward(input(0), &w, b.as_ref(), &attrs);
-                (y, Aux::None)
+                (y, Aux::None, Deferred::None)
             }
             Op::Pool2d {
                 kind,
@@ -197,70 +320,98 @@ impl Executor {
                 match kind {
                     PoolKind::Max => {
                         let (y, mask) = max_pool_forward(input(0), &attrs);
-                        (y, Aux::MaxMask(mask))
+                        (y, Aux::MaxMask(mask), Deferred::None)
                     }
-                    PoolKind::Avg => (avg_pool_forward(input(0), &attrs), Aux::None),
+                    PoolKind::Avg => {
+                        (avg_pool_forward(input(0), &attrs), Aux::None, Deferred::None)
+                    }
                 }
             }
-            Op::GlobalAvgPool => (global_avg_pool_forward(input(0)), Aux::None),
+            Op::GlobalAvgPool => (global_avg_pool_forward(input(0)), Aux::None, Deferred::None),
             Op::BatchNorm { gamma, beta, .. } => {
                 let x = input(0);
                 let c = x.dim(1);
-                let gv = params.value(*gamma).clone();
-                let bv = params.value(*beta).clone();
+                let gv = params.value(*gamma);
+                let bv = params.value(*beta);
                 match mode {
                     Mode::Train => {
-                        let (rm, rv) = bn.entry(*gamma, c);
-                        let (y, saved) = batch_norm_forward(x, &gv, &bv, Some((rm, rv)));
-                        (y, Aux::Bn(saved))
+                        // Side-effect-free forward; the running-stat update
+                        // is replayed after the wave in node-id order.
+                        let (y, saved, var) = batch_norm_train(x, gv, bv);
+                        let mean = saved.mean.clone();
+                        (
+                            y,
+                            Aux::Bn(saved),
+                            Deferred::BnRunning {
+                                gamma: *gamma,
+                                channels: c,
+                                mean,
+                                var,
+                            },
+                        )
                     }
                     Mode::Eval => {
                         let (rm, rv) = bn.get(*gamma, c);
-                        (batch_norm_inference(x, &gv, &bv, &rm, &rv), Aux::None)
+                        (
+                            batch_norm_inference(x, gv, bv, &rm, &rv),
+                            Aux::None,
+                            Deferred::None,
+                        )
                     }
                 }
             }
-            Op::Relu => (relu_forward(input(0)), Aux::None),
+            Op::Relu => (relu_forward(input(0)), Aux::None, Deferred::None),
             Op::Dropout { p } => match mode {
                 Mode::Train => {
-                    let (y, mask) = dropout_forward(input(0), *p, rng);
-                    (y, Aux::DropMask(mask))
+                    let mask = drop_masks[node.id.0]
+                        .as_ref()
+                        .expect("dropout masks pre-drawn in train mode")
+                        .clone();
+                    let y = if *p == 0.0 {
+                        input(0).clone()
+                    } else {
+                        input(0).mul(&mask)
+                    };
+                    (y, Aux::DropMask(mask), Deferred::None)
                 }
-                Mode::Eval => (input(0).clone(), Aux::None),
+                Mode::Eval => (input(0).clone(), Aux::None, Deferred::None),
             },
             Op::Linear { weight, bias, .. } => {
-                let w = params.value(*weight).clone();
-                let b = params.value(*bias).clone();
-                (linear_forward(input(0), &w, &b), Aux::None)
+                let w = params.value(*weight);
+                let b = params.value(*bias);
+                (linear_forward(input(0), w, b), Aux::None, Deferred::None)
             }
             Op::Add => {
                 let mut acc = input(0).clone();
                 for i in 1..node.inputs.len() {
                     acc.add_assign(input(i));
                 }
-                (acc, Aux::None)
+                (acc, Aux::None, Deferred::None)
             }
             Op::Concat { dim } => {
                 let parts: Vec<&Tensor> = (0..node.inputs.len()).map(input).collect();
-                (Tensor::concat(&parts, *dim), Aux::None)
+                (Tensor::concat(&parts, *dim), Aux::None, Deferred::None)
             }
-            Op::Slice { dim, start, len } => (input(0).slice_dim(*dim, *start, *len), Aux::None),
+            Op::Slice { dim, start, len } => {
+                (input(0).slice_dim(*dim, *start, *len), Aux::None, Deferred::None)
+            }
             Op::Flatten => {
                 let x = input(0);
                 let n = x.dim(0);
                 let rest: usize = x.shape().dims()[1..].iter().product();
-                (x.clone().reshape(&[n, rest]), Aux::None)
+                (x.clone().reshape(&[n, rest]), Aux::None, Deferred::None)
             }
             Op::SoftmaxCrossEntropy => {
                 let out = softmax_cross_entropy_forward(input(0), labels);
-                *result = Some(BatchResult {
+                let result = BatchResult {
                     loss: out.loss,
                     correct: out.correct,
                     n: labels.len(),
-                });
+                };
                 (
                     Tensor::from_vec(vec![out.loss], &[1]),
                     Aux::Probs(out.probs),
+                    Deferred::Result(result),
                 )
             }
         }

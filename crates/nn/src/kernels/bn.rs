@@ -36,44 +36,51 @@ pub fn batch_norm_forward(
     beta: &Tensor,
     running: Option<(&mut Vec<f32>, &mut Vec<f32>)>,
 ) -> (Tensor, BnSaved) {
+    let (y, saved, var) = batch_norm_train(x, gamma, beta);
+    if let Some((rm, rv)) = running {
+        update_running(rm, rv, &saved.mean, &var);
+    }
+    (y, saved)
+}
+
+/// [`batch_norm_forward`] without the running-statistics side effect: also
+/// returns the batch variance so the caller can apply the momentum update
+/// later. The parallel executor uses this to defer updates to a
+/// deterministic point (sorted by node id after each wave), keeping the
+/// forward computation itself side-effect-free and safe to run on sibling
+/// split-patch branches concurrently.
+pub fn batch_norm_train(x: &Tensor, gamma: &Tensor, beta: &Tensor) -> (Tensor, BnSaved, Vec<f32>) {
     let (n, c, h, w) = (x.dim(0), x.dim(1), x.dim(2), x.dim(3));
     assert_eq!(gamma.len(), c, "gamma length mismatch");
     assert_eq!(beta.len(), c, "beta length mismatch");
     let m = (n * h * w) as f32;
-    let mut mean = vec![0.0f32; c];
-    let mut var = vec![0.0f32; c];
     let src = x.as_slice();
     let hw = h * w;
-    for b in 0..n {
-        for (ch, m) in mean.iter_mut().enumerate() {
+    // Parallel over channels; each channel keeps the original b-ascending
+    // accumulation order, so sums are bit-identical to the serial pass.
+    let mut mean = vec![0.0f32; c];
+    scnn_par::par_chunks_mut(&mut mean, 1, |ch, slot| {
+        let mut acc = 0.0f32;
+        for b in 0..n {
             let base = (b * c + ch) * hw;
             for &v in &src[base..base + hw] {
-                *m += v;
+                acc += v;
             }
         }
-    }
-    for mch in &mut mean {
-        *mch /= m;
-    }
-    for b in 0..n {
-        for ch in 0..c {
+        slot[0] = acc / m;
+    });
+    let mut var = vec![0.0f32; c];
+    scnn_par::par_chunks_mut(&mut var, 1, |ch, slot| {
+        let mut acc = 0.0f32;
+        for b in 0..n {
             let base = (b * c + ch) * hw;
             for &v in &src[base..base + hw] {
                 let d = v - mean[ch];
-                var[ch] += d * d;
+                acc += d * d;
             }
         }
-    }
-    for vch in &mut var {
-        *vch /= m;
-    }
-    if let Some((rm, rv)) = running {
-        assert_eq!(rm.len(), c, "running mean length mismatch");
-        for ch in 0..c {
-            rm[ch] = 0.9 * rm[ch] + 0.1 * mean[ch];
-            rv[ch] = 0.9 * rv[ch] + 0.1 * var[ch];
-        }
-    }
+        slot[0] = acc / m;
+    });
     let inv_std: Vec<f32> = var.iter().map(|&v| 1.0 / (v + EPS).sqrt()).collect();
     let (y, xhat) = normalize(x, &mean, &inv_std, gamma, beta);
     (
@@ -83,7 +90,22 @@ pub fn batch_norm_forward(
             inv_std,
             xhat,
         },
+        var,
     )
+}
+
+/// Momentum-0.1 update of running statistics from batch statistics.
+///
+/// # Panics
+///
+/// Panics if lengths disagree.
+pub fn update_running(rm: &mut [f32], rv: &mut [f32], mean: &[f32], var: &[f32]) {
+    assert_eq!(rm.len(), mean.len(), "running mean length mismatch");
+    assert_eq!(rv.len(), var.len(), "running var length mismatch");
+    for ch in 0..mean.len() {
+        rm[ch] = 0.9 * rm[ch] + 0.1 * mean[ch];
+        rv[ch] = 0.9 * rv[ch] + 0.1 * var[ch];
+    }
 }
 
 /// Batch-norm inference using frozen running statistics.
@@ -115,18 +137,18 @@ fn normalize(
     let g = gamma.as_slice();
     let be = beta.as_slice();
     {
-        let yd = y.as_mut_slice();
-        let xd = xh.as_mut_slice();
-        for b in 0..n {
-            for ch in 0..c {
-                let base = (b * c + ch) * hw;
-                for i in base..base + hw {
-                    let v = (src[i] - mean[ch]) * inv_std[ch];
-                    xd[i] = v;
-                    yd[i] = g[ch] * v + be[ch];
-                }
+        let xd = scnn_par::DisjointMut::new(xh.as_mut_slice());
+        // Parallel over (b, ch) planes; purely elementwise.
+        scnn_par::par_chunks_mut(y.as_mut_slice(), hw, |img, yplane| {
+            let ch = img % c;
+            let base = img * hw;
+            let xplane = unsafe { xd.range(base, base + hw) };
+            for i in 0..hw {
+                let v = (src[base + i] - mean[ch]) * inv_std[ch];
+                xplane[i] = v;
+                yplane[i] = g[ch] * v + be[ch];
             }
-        }
+        });
     }
     (y, xh)
 }
@@ -144,29 +166,37 @@ pub fn batch_norm_backward(
     let xh = saved.xhat.as_slice();
     let g = gamma.as_slice();
 
+    // Channel-parallel reductions preserving the b-ascending order, then a
+    // plane-parallel elementwise dx pass.
     let mut dgamma = vec![0.0f32; c];
     let mut dbeta = vec![0.0f32; c];
-    for b in 0..n {
-        for ch in 0..c {
-            let base = (b * c + ch) * hw;
-            for i in base..base + hw {
-                dgamma[ch] += dyv[i] * xh[i];
-                dbeta[ch] += dyv[i];
+    {
+        let db = scnn_par::DisjointMut::new(&mut dbeta);
+        scnn_par::par_chunks_mut(&mut dgamma, 1, |ch, dg| {
+            let (mut ag, mut ab) = (0.0f32, 0.0f32);
+            for b in 0..n {
+                let base = (b * c + ch) * hw;
+                for i in base..base + hw {
+                    ag += dyv[i] * xh[i];
+                    ab += dyv[i];
+                }
             }
-        }
+            dg[0] = ag;
+            let slot = unsafe { db.range(ch, ch + 1) };
+            slot[0] = ab;
+        });
     }
 
     let mut dx = Tensor::zeros(&[n, c, h, w]);
-    let d = dx.as_mut_slice();
-    for b in 0..n {
-        for ch in 0..c {
-            let base = (b * c + ch) * hw;
-            let k = g[ch] * saved.inv_std[ch] / m;
-            for i in base..base + hw {
-                d[i] = k * (m * dyv[i] - dbeta[ch] - xh[i] * dgamma[ch]);
-            }
+    scnn_par::par_chunks_mut(dx.as_mut_slice(), hw, |img, plane| {
+        let ch = img % c;
+        let base = img * hw;
+        let k = g[ch] * saved.inv_std[ch] / m;
+        for (off, d) in plane.iter_mut().enumerate() {
+            let i = base + off;
+            *d = k * (m * dyv[i] - dbeta[ch] - xh[i] * dgamma[ch]);
         }
-    }
+    });
     (
         dx,
         Tensor::from_vec(dgamma, &[c]),

@@ -1,9 +1,13 @@
 //! 2-D convolution via `im2col` + GEMM, with the asymmetric and negative
 //! padding the Split-CNN per-patch formulation requires.
 
-use scnn_tensor::{col2im, im2col, matmul, matmul_a_bt, matmul_at_b, Conv2dGeometry, Padding2d, Tensor};
+use scnn_tensor::{col2im_into, im2col, matmul, matmul_a_bt, matmul_at_b, Conv2dGeometry, Padding2d, Tensor};
 
 use super::split_padding;
+
+/// Square tile edge for the `[n·oh·ow, oc] ↔ NCHW` transposes; 32×32 f32
+/// tiles (4 KiB) keep both the strided and the sequential side in L1.
+const TILE: usize = 32;
 
 /// Static attributes of a convolution node.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -66,20 +70,29 @@ pub fn conv2d_forward(x: &Tensor, w: &Tensor, b: Option<&Tensor>, attrs: &ConvAt
     let w2 = w.clone().reshape(&[oc, g.patch_len()]);
     let ymat = matmul_a_bt(&cols, &w2); // [n*oh*ow, oc]
 
-    // Reorder [n*oh*ow, oc] -> [n, oc, oh, ow], adding bias on the way.
+    // Reorder [n*oh*ow, oc] -> [n, oc, oh, ow] as one blocked transpose
+    // per batch image (parallel: images are disjoint), fusing the bias add
+    // with the lookup hoisted out of the inner loops.
     let mut out = Tensor::zeros(&[n, oc, oh, ow]);
-    let dst = out.as_mut_slice();
     let src = ymat.as_slice();
+    let bias = b.map(Tensor::as_slice);
     let hw = oh * ow;
-    for bidx in 0..n {
-        for p in 0..hw {
-            let row = (bidx * hw + p) * oc;
-            for c in 0..oc {
-                let bias = b.map_or(0.0, |bb| bb.as_slice()[c]);
-                dst[(bidx * oc + c) * hw + p] = src[row + c] + bias;
+    scnn_par::par_chunks_mut(out.as_mut_slice(), oc * hw, |bidx, img| {
+        let rows = &src[bidx * hw * oc..(bidx + 1) * hw * oc];
+        for c0 in (0..oc).step_by(TILE) {
+            let c1 = (c0 + TILE).min(oc);
+            for p0 in (0..hw).step_by(TILE) {
+                let p1 = (p0 + TILE).min(hw);
+                for c in c0..c1 {
+                    let add = bias.map_or(0.0, |bb| bb[c]);
+                    let drow = &mut img[c * hw + p0..c * hw + p1];
+                    for (d, p) in drow.iter_mut().zip(p0..p1) {
+                        *d = rows[p * oc + c] + add;
+                    }
+                }
             }
         }
-    }
+    });
     out
 }
 
@@ -109,17 +122,25 @@ pub fn conv2d_backward(
         "conv dy shape mismatch"
     );
 
-    // [n, oc, oh, ow] -> [n*oh*ow, oc]
+    // [n, oc, oh, ow] -> [n*hw, oc], blocked and parallel over images.
     let hw = oh * ow;
     let mut dymat = vec![0.0f32; n * hw * oc];
     let dsrc = dy.as_slice();
-    for bidx in 0..n {
-        for c in 0..oc {
-            for p in 0..hw {
-                dymat[(bidx * hw + p) * oc + c] = dsrc[(bidx * oc + c) * hw + p];
+    scnn_par::par_chunks_mut(&mut dymat, hw * oc, |bidx, rows| {
+        let img = &dsrc[bidx * oc * hw..(bidx + 1) * oc * hw];
+        for p0 in (0..hw).step_by(TILE) {
+            let p1 = (p0 + TILE).min(hw);
+            for c0 in (0..oc).step_by(TILE) {
+                let c1 = (c0 + TILE).min(oc);
+                for p in p0..p1 {
+                    let drow = &mut rows[p * oc + c0..p * oc + c1];
+                    for (d, c) in drow.iter_mut().zip(c0..c1) {
+                        *d = img[c * hw + p];
+                    }
+                }
             }
         }
-    }
+    });
     let dymat = Tensor::from_vec(dymat, &[n * hw, oc]);
 
     let cols = im2col(&xc, &g);
@@ -128,9 +149,11 @@ pub fn conv2d_backward(
 
     let w2 = w.clone().reshape(&[oc, g.patch_len()]);
     let dcols = matmul(&dymat, &w2); // [n*hw, plen]
-    let dxc = col2im(&dcols, n, &g);
-    // Undo the crop: zero-fill gradient for cropped-away (abandoned) rows.
-    let dx = dxc.pad2d(crop.invert());
+    // Fold gradients straight into the full-size dx at the crop offset:
+    // cropped-away (abandoned) rows keep their single zero fill, replacing
+    // the old col2im + pad2d pair that allocated and zeroed twice.
+    let mut dx = Tensor::zeros(x.shape().dims());
+    col2im_into(&dcols, n, &g, &mut dx, (-crop.h_begin) as usize, (-crop.w_begin) as usize);
 
     let db = has_bias.then(|| {
         let mut db = vec![0.0f32; oc];

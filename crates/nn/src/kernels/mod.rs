@@ -12,11 +12,14 @@ mod loss;
 mod pointwise;
 mod pool;
 
-pub use bn::{batch_norm_backward, batch_norm_forward, batch_norm_inference, BnSaved};
+pub use bn::{
+    batch_norm_backward, batch_norm_forward, batch_norm_inference, batch_norm_train,
+    update_running, BnSaved,
+};
 pub use conv::{conv2d_backward, conv2d_forward, ConvAttrs, ConvGrads};
 pub use linear::{linear_backward, linear_forward, LinearGrads};
 pub use loss::{softmax_cross_entropy_backward, softmax_cross_entropy_forward, LossOut};
-pub use pointwise::{dropout_backward, dropout_forward, relu_backward, relu_forward};
+pub use pointwise::{dropout_backward, dropout_forward, dropout_mask, relu_backward, relu_forward};
 pub use pool::{
     avg_pool_backward, avg_pool_forward, global_avg_pool_backward, global_avg_pool_forward,
     max_pool_backward, max_pool_forward, PoolAttrs,

@@ -3,15 +3,60 @@
 use scnn_rng::Rng;
 use scnn_tensor::Tensor;
 
+/// Elementwise chunk length for the parallel pointwise ops — a constant,
+/// so chunking depends only on tensor size.
+const ELEM_CHUNK: usize = 16 * 1024;
+
 /// ReLU forward: `max(0, x)`.
 pub fn relu_forward(x: &Tensor) -> Tensor {
-    x.map(|v| v.max(0.0))
+    let src = x.as_slice();
+    let mut out = Tensor::zeros(x.shape().dims());
+    scnn_par::par_chunks_mut(out.as_mut_slice(), ELEM_CHUNK, |ci, chunk| {
+        let base = ci * ELEM_CHUNK;
+        for (off, o) in chunk.iter_mut().enumerate() {
+            *o = src[base + off].max(0.0);
+        }
+    });
+    out
 }
 
 /// ReLU backward, computed from the *output* — the property that makes
 /// ReLU in-place-capable (the input is never re-read; §4.2 optimization 1).
 pub fn relu_backward(y: &Tensor, dy: &Tensor) -> Tensor {
-    y.zip(dy, |yv, dv| if yv > 0.0 { dv } else { 0.0 })
+    assert_eq!(y.shape(), dy.shape(), "relu backward shape mismatch");
+    let yv = y.as_slice();
+    let dv = dy.as_slice();
+    let mut out = Tensor::zeros(y.shape().dims());
+    scnn_par::par_chunks_mut(out.as_mut_slice(), ELEM_CHUNK, |ci, chunk| {
+        let base = ci * ELEM_CHUNK;
+        for (off, o) in chunk.iter_mut().enumerate() {
+            let i = base + off;
+            *o = if yv[i] > 0.0 { dv[i] } else { 0.0 };
+        }
+    });
+    out
+}
+
+/// Draws an inverted-dropout keep mask (already scaled by `1/(1−p)`),
+/// consuming exactly `len` RNG draws when `p > 0` and none when `p == 0`.
+/// Split out of [`dropout_forward`] so the executor can pre-draw all masks
+/// serially in node-id order before running branches concurrently —
+/// keeping the RNG stream identical to fully serial execution.
+///
+/// # Panics
+///
+/// Panics unless `0 ≤ p < 1`.
+pub fn dropout_mask(dims: &[usize], p: f32, rng: &mut impl Rng) -> Tensor {
+    assert!((0.0..1.0).contains(&p), "dropout p must be in [0, 1), got {p}");
+    if p == 0.0 {
+        return Tensor::ones(dims);
+    }
+    let scale = 1.0 / (1.0 - p);
+    let len: usize = dims.iter().product();
+    let mask_data: Vec<f32> = (0..len)
+        .map(|_| if rng.gen::<f32>() < p { 0.0 } else { scale })
+        .collect();
+    Tensor::from_vec(mask_data, dims)
 }
 
 /// Inverted-dropout forward: zero with probability `p`, scale survivors by
@@ -21,15 +66,10 @@ pub fn relu_backward(y: &Tensor, dy: &Tensor) -> Tensor {
 ///
 /// Panics unless `0 ≤ p < 1`.
 pub fn dropout_forward(x: &Tensor, p: f32, rng: &mut impl Rng) -> (Tensor, Tensor) {
-    assert!((0.0..1.0).contains(&p), "dropout p must be in [0, 1), got {p}");
+    let mask = dropout_mask(x.shape().dims(), p, rng);
     if p == 0.0 {
-        return (x.clone(), Tensor::ones(x.shape().dims()));
+        return (x.clone(), mask);
     }
-    let scale = 1.0 / (1.0 - p);
-    let mask_data: Vec<f32> = (0..x.len())
-        .map(|_| if rng.gen::<f32>() < p { 0.0 } else { scale })
-        .collect();
-    let mask = Tensor::from_vec(mask_data, x.shape().dims());
     (x.mul(&mask), mask)
 }
 

@@ -62,9 +62,13 @@ pub fn max_pool_forward(x: &Tensor, attrs: &PoolAttrs) -> (Tensor, Vec<usize>) {
     let mut out = Tensor::zeros(&[n, c, g.oh, g.ow]);
     let mut mask = vec![usize::MAX; n * c * g.oh * g.ow];
     let src = xc.as_slice();
-    let dst = out.as_mut_slice();
-    for img in 0..n * c {
+    let ohw = g.oh * g.ow;
+    // Parallel over (n, c) image planes; each plane's output and mask
+    // stripes are disjoint.
+    let mask_shared = scnn_par::DisjointMut::new(&mut mask);
+    scnn_par::par_chunks_mut(out.as_mut_slice(), ohw, |img, dst| {
         let base = img * g.h * g.w;
+        let mplane = unsafe { mask_shared.range(img * ohw, (img + 1) * ohw) };
         for oy in 0..g.oh {
             let iy0 = oy as i64 * attrs.sh as i64 - g.pos.h_begin;
             for ox in 0..g.ow {
@@ -88,12 +92,12 @@ pub fn max_pool_forward(x: &Tensor, attrs: &PoolAttrs) -> (Tensor, Vec<usize>) {
                         }
                     }
                 }
-                let o = (img * g.oh + oy) * g.ow + ox;
+                let o = oy * g.ow + ox;
                 dst[o] = if best_idx == usize::MAX { 0.0 } else { best };
-                mask[o] = best_idx;
+                mplane[o] = best_idx;
             }
         }
-    }
+    });
     (out, mask)
 }
 
@@ -108,12 +112,19 @@ pub fn max_pool_backward(
     let (n, c) = (x.dim(0), x.dim(1));
     assert_eq!(dy.shape().dims(), &[n, c, g.oh, g.ow], "pool dy shape mismatch");
     let mut dxc = Tensor::zeros(&[n, c, g.h, g.w]);
-    let d = dxc.as_mut_slice();
-    for (o, &m) in mask.iter().enumerate() {
-        if m != usize::MAX {
-            d[m] += dy.as_slice()[o];
+    let ohw = g.oh * g.ow;
+    let dyv = dy.as_slice();
+    // Plane-parallel: mask indices for image `img` always point into its
+    // own h·w slab, so scatter writes stay disjoint.
+    scnn_par::par_chunks_mut(dxc.as_mut_slice(), g.h * g.w, |img, d| {
+        let base = img * g.h * g.w;
+        for o in img * ohw..(img + 1) * ohw {
+            let m = mask[o];
+            if m != usize::MAX {
+                d[m - base] += dyv[o];
+            }
         }
-    }
+    });
     dxc.pad2d(g.crop.invert())
 }
 
@@ -125,9 +136,8 @@ pub fn avg_pool_forward(x: &Tensor, attrs: &PoolAttrs) -> Tensor {
     let (n, c) = (x.dim(0), x.dim(1));
     let mut out = Tensor::zeros(&[n, c, g.oh, g.ow]);
     let src = xc.as_slice();
-    let dst = out.as_mut_slice();
     let scale = 1.0 / (attrs.kh * attrs.kw) as f32;
-    for img in 0..n * c {
+    scnn_par::par_chunks_mut(out.as_mut_slice(), g.oh * g.ow, |img, dst| {
         let base = img * g.h * g.w;
         for oy in 0..g.oh {
             let iy0 = oy as i64 * attrs.sh as i64 - g.pos.h_begin;
@@ -147,10 +157,10 @@ pub fn avg_pool_forward(x: &Tensor, attrs: &PoolAttrs) -> Tensor {
                         acc += src[base + iy as usize * g.w + ix as usize];
                     }
                 }
-                dst[(img * g.oh + oy) * g.ow + ox] = acc * scale;
+                dst[oy * g.ow + ox] = acc * scale;
             }
         }
-    }
+    });
     out
 }
 
@@ -161,11 +171,9 @@ pub fn avg_pool_backward(x: &Tensor, dy: &Tensor, attrs: &PoolAttrs) -> Tensor {
     let (n, c) = (x.dim(0), x.dim(1));
     assert_eq!(dy.shape().dims(), &[n, c, g.oh, g.ow], "pool dy shape mismatch");
     let mut dxc = Tensor::zeros(&[n, c, g.h, g.w]);
-    let d = dxc.as_mut_slice();
     let s = dy.as_slice();
     let scale = 1.0 / (attrs.kh * attrs.kw) as f32;
-    for img in 0..n * c {
-        let base = img * g.h * g.w;
+    scnn_par::par_chunks_mut(dxc.as_mut_slice(), g.h * g.w, |img, d| {
         for oy in 0..g.oh {
             let iy0 = oy as i64 * attrs.sh as i64 - g.pos.h_begin;
             for ox in 0..g.ow {
@@ -181,12 +189,12 @@ pub fn avg_pool_backward(x: &Tensor, dy: &Tensor, attrs: &PoolAttrs) -> Tensor {
                         if ix < 0 || ix >= g.w as i64 {
                             continue;
                         }
-                        d[base + iy as usize * g.w + ix as usize] += gval;
+                        d[iy as usize * g.w + ix as usize] += gval;
                     }
                 }
             }
         }
-    }
+    });
     dxc.pad2d(g.crop.invert())
 }
 
@@ -197,10 +205,9 @@ pub fn global_avg_pool_forward(x: &Tensor) -> Tensor {
     let mut out = Tensor::zeros(&[n, c, 1, 1]);
     let scale = 1.0 / (h * w) as f32;
     let src = x.as_slice();
-    let dst = out.as_mut_slice();
-    for img in 0..n * c {
-        dst[img] = src[img * h * w..(img + 1) * h * w].iter().sum::<f32>() * scale;
-    }
+    scnn_par::par_chunks_mut(out.as_mut_slice(), 1, |img, dst| {
+        dst[0] = src[img * h * w..(img + 1) * h * w].iter().sum::<f32>() * scale;
+    });
     out
 }
 
@@ -210,13 +217,13 @@ pub fn global_avg_pool_backward(x: &Tensor, dy: &Tensor) -> Tensor {
     assert_eq!(dy.shape().dims(), &[n, c, 1, 1], "global pool dy mismatch");
     let scale = 1.0 / (h * w) as f32;
     let mut dx = Tensor::zeros(&[n, c, h, w]);
-    let d = dx.as_mut_slice();
-    for img in 0..n * c {
-        let g = dy.as_slice()[img] * scale;
-        for v in &mut d[img * h * w..(img + 1) * h * w] {
+    let dyv = dy.as_slice();
+    scnn_par::par_chunks_mut(dx.as_mut_slice(), h * w, |img, plane| {
+        let g = dyv[img] * scale;
+        for v in plane {
             *v = g;
         }
-    }
+    });
     dx
 }
 

@@ -22,9 +22,11 @@ pub mod executor;
 pub mod kernels;
 pub mod optim;
 pub mod params;
+pub mod schedule;
 pub mod train;
 
 pub use executor::{BatchResult, Executor, Mode};
+pub use schedule::Schedule;
 pub use optim::{MultiStepLr, Sgd};
 pub use params::{BnState, ParamStore};
 pub use train::{evaluate, train_epoch, EpochStats, TrainConfig};

@@ -1,0 +1,155 @@
+//! Property tests: every parallel `scnn-nn` kernel produces bit-identical
+//! results at every thread count, including the convolution path with the
+//! split transform's negative (cropping) padding.
+
+use scnn_nn::kernels::{
+    avg_pool_backward, avg_pool_forward, batch_norm_backward, batch_norm_forward,
+    conv2d_backward, conv2d_forward, global_avg_pool_backward, global_avg_pool_forward,
+    linear_backward, linear_forward, max_pool_backward, max_pool_forward, relu_backward,
+    relu_forward, ConvAttrs, PoolAttrs,
+};
+use scnn_rng::prop::{check, Case};
+use scnn_rng::Rng;
+use scnn_tensor::{uniform, Padding2d, Tensor};
+
+const THREADS: [usize; 4] = [1, 2, 4, 7];
+
+/// Runs `f` under each thread count; all returned tensors must match the
+/// single-thread run bit-for-bit.
+fn bitwise_invariant(what: &str, f: impl Fn() -> Vec<Tensor>) -> Case {
+    let reference = scnn_par::with_threads(1, &f);
+    for &t in &THREADS[1..] {
+        let got = scnn_par::with_threads(t, &f);
+        if got.len() != reference.len() {
+            return Case::Fail(format!("{what}: output count changed under {t} threads"));
+        }
+        for (ti, (a, b)) in reference.iter().zip(&got).enumerate() {
+            if a.shape() != b.shape() {
+                return Case::Fail(format!(
+                    "{what}: tensor {ti} shape changed under {t} threads"
+                ));
+            }
+            for (i, (x, y)) in a.as_slice().iter().zip(b.as_slice()).enumerate() {
+                if x.to_bits() != y.to_bits() {
+                    return Case::Fail(format!(
+                        "{what}: tensor {ti} element {i} differs under {t} threads: {x} vs {y}"
+                    ));
+                }
+            }
+        }
+    }
+    Case::Pass
+}
+
+#[test]
+fn conv2d_bitwise_thread_invariant_incl_negative_padding() {
+    check("conv2d fwd+bwd thread-invariant", 12, |rng| {
+        let n = rng.gen_range(1..3usize);
+        let ic = rng.gen_range(1..4usize);
+        let oc = rng.gen_range(1..5usize);
+        let h = rng.gen_range(6..12usize);
+        let w = rng.gen_range(6..12usize);
+        let kh = rng.gen_range(1..4usize);
+        let kw = rng.gen_range(1..4usize);
+        // Mix positive (zero-pad) and negative (crop) components, the way
+        // per-patch convolutions do at interior patch edges.
+        let pad = Padding2d::new(
+            rng.gen_range(-1..2i64),
+            rng.gen_range(-1..2i64),
+            rng.gen_range(-1..2i64),
+            rng.gen_range(-1..2i64),
+        );
+        let full_h = h as i64 + pad.h_begin + pad.h_end;
+        let full_w = w as i64 + pad.w_begin + pad.w_end;
+        if full_h < kh as i64 || full_w < kw as i64 {
+            return Case::Discard;
+        }
+        let attrs = ConvAttrs { kh, kw, sh: 1, sw: 1, pad };
+        let x = uniform(rng, &[n, ic, h, w], -1.0, 1.0);
+        let wt = uniform(rng, &[oc, ic, kh, kw], -0.7, 0.7);
+        let b = uniform(rng, &[oc], -0.2, 0.2);
+        let y = conv2d_forward(&x, &wt, Some(&b), &attrs);
+        let dy = uniform(rng, y.shape().dims(), -1.0, 1.0);
+        bitwise_invariant("conv2d", || {
+            let y = conv2d_forward(&x, &wt, Some(&b), &attrs);
+            let g = conv2d_backward(&x, &wt, true, &dy, &attrs);
+            vec![y, g.dx, g.dw, g.db.expect("bias grad present")]
+        })
+    });
+}
+
+#[test]
+fn batch_norm_bitwise_thread_invariant() {
+    check("batch_norm fwd+bwd thread-invariant", 12, |rng| {
+        let n = rng.gen_range(2..5usize);
+        let c = rng.gen_range(1..6usize);
+        let h = rng.gen_range(2..8usize);
+        let w = rng.gen_range(2..8usize);
+        let x = uniform(rng, &[n, c, h, w], -2.0, 2.0);
+        let gamma = uniform(rng, &[c], 0.5, 1.5);
+        let beta = uniform(rng, &[c], -0.5, 0.5);
+        let dy = uniform(rng, &[n, c, h, w], -1.0, 1.0);
+        bitwise_invariant("batch_norm", || {
+            let mut rm = vec![0.0; c];
+            let mut rv = vec![1.0; c];
+            let (y, saved) = batch_norm_forward(&x, &gamma, &beta, Some((&mut rm, &mut rv)));
+            let (dx, dgamma, dbeta) = batch_norm_backward(&dy, &gamma, &saved);
+            vec![
+                y,
+                dx,
+                dgamma,
+                dbeta,
+                Tensor::from_vec(rm, &[c]),
+                Tensor::from_vec(rv, &[c]),
+            ]
+        })
+    });
+}
+
+#[test]
+fn pools_bitwise_thread_invariant() {
+    check("pooling thread-invariant", 12, |rng| {
+        let n = rng.gen_range(1..4usize);
+        let c = rng.gen_range(1..5usize);
+        let h = rng.gen_range(4..10usize);
+        let w = rng.gen_range(4..10usize);
+        let k = rng.gen_range(2..4usize);
+        let attrs = PoolAttrs { kh: k, kw: k, sh: k, sw: k, pad: Padding2d::default() };
+        if h < k || w < k {
+            return Case::Discard;
+        }
+        let x = uniform(rng, &[n, c, h, w], -1.0, 1.0);
+        let (ym, _) = max_pool_forward(&x, &attrs);
+        let dy = uniform(rng, ym.shape().dims(), -1.0, 1.0);
+        let dyg = uniform(rng, &[n, c, 1, 1], -1.0, 1.0);
+        bitwise_invariant("pools", || {
+            let (ym, mask) = max_pool_forward(&x, &attrs);
+            let dxm = max_pool_backward(&x, &dy, &mask, &attrs);
+            let ya = avg_pool_forward(&x, &attrs);
+            let dxa = avg_pool_backward(&x, &dy, &attrs);
+            let yg = global_avg_pool_forward(&x);
+            let dxg = global_avg_pool_backward(&x, &dyg);
+            vec![ym, dxm, ya, dxa, yg, dxg]
+        })
+    });
+}
+
+#[test]
+fn relu_and_linear_bitwise_thread_invariant() {
+    check("relu+linear thread-invariant", 12, |rng| {
+        let n = rng.gen_range(1..9usize);
+        let d_in = rng.gen_range(1..80usize);
+        let d_out = rng.gen_range(1..40usize);
+        let x = uniform(rng, &[n, d_in], -1.0, 1.0);
+        let w = uniform(rng, &[d_out, d_in], -0.5, 0.5);
+        let b = uniform(rng, &[d_out], -0.2, 0.2);
+        let dy = uniform(rng, &[n, d_out], -1.0, 1.0);
+        bitwise_invariant("relu+linear", || {
+            let y = linear_forward(&x, &w, &b);
+            let r = relu_forward(&y);
+            let dr = relu_backward(&r, &dy);
+            let g = linear_backward(&x, &w, &dr);
+            vec![y, r, dr, g.dx, g.dw, g.db]
+        })
+    });
+}

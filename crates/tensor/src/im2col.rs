@@ -133,12 +133,19 @@ pub fn im2col(x: &Tensor, g: &Conv2dGeometry) -> Tensor {
     let mut out = vec![0.0f32; n * oh * ow * plen];
     let src = x.as_slice();
     let (h, w) = (g.in_h, g.in_w);
-    for b in 0..n {
-        for oy in 0..oh {
+    // Parallel over the n·out_h dimension: each (b, oy) row group fills a
+    // disjoint `ow·plen` stripe of the patch matrix. Grouping several rows
+    // per chunk (a function of the row count only) amortizes dispatch.
+    let rows_per_chunk = scnn_par::grain(n * oh, 2);
+    let stripe = ow * plen;
+    scnn_par::par_chunks_mut(&mut out, rows_per_chunk * stripe, |ci, chunk| {
+        let first_row = ci * rows_per_chunk;
+        for (r, rowbuf) in chunk.chunks_mut(stripe).enumerate() {
+            let (b, oy) = ((first_row + r) / oh, (first_row + r) % oh);
             let iy0 = oy as i64 * g.sh as i64 - g.pad.h_begin;
             for ox in 0..ow {
                 let ix0 = ox as i64 * g.sw as i64 - g.pad.w_begin;
-                let row = ((b * oh + oy) * ow + ox) * plen;
+                let row = ox * plen;
                 for c in 0..g.in_c {
                     let cbase = (b * g.in_c + c) * h * w;
                     for ky in 0..g.kh {
@@ -152,14 +159,14 @@ pub fn im2col(x: &Tensor, g: &Conv2dGeometry) -> Tensor {
                             if ix < 0 || ix >= w as i64 {
                                 continue;
                             }
-                            out[row + (c * g.kh + ky) * g.kw + kx] =
+                            rowbuf[row + (c * g.kh + ky) * g.kw + kx] =
                                 src[cbase + iy * w + ix as usize];
                         }
                     }
                 }
             }
         }
-    }
+    });
     Tensor::from_vec(out, &[n * oh * ow, plen])
 }
 
@@ -171,6 +178,35 @@ pub fn im2col(x: &Tensor, g: &Conv2dGeometry) -> Tensor {
 ///
 /// Panics if `cols` does not have shape `[n·out_h·out_w, c·kh·kw]`.
 pub fn col2im(cols: &Tensor, n: usize, g: &Conv2dGeometry) -> Tensor {
+    let mut out = Tensor::zeros(&[n, g.in_c, g.in_h, g.in_w]);
+    col2im_into(cols, n, g, &mut out, 0, 0);
+    out
+}
+
+/// [`col2im`] accumulating into a caller-provided destination at spatial
+/// offset `(off_h, off_w)` — `dst: [n, c, H, W]` with the geometry's
+/// `in_h × in_w` window placed at that offset. Convolution backward uses
+/// this to fold gradients of a *cropped* input (negative split padding)
+/// directly into the full-size `dx`, replacing a separate `col2im`
+/// allocation plus a zero-filled `pad2d` copy with a single zeroed buffer.
+///
+/// Accumulation order per destination element is `(oy, ox, ky, kx)`
+/// ascending — identical for every thread count (tasks are whole batch
+/// images, the only decomposition whose writes stay disjoint: neighboring
+/// `oy` windows overlap in `iy`) and identical to a plain `col2im`.
+///
+/// # Panics
+///
+/// Panics if `cols` or `dst` disagree with the geometry or the offset
+/// window hangs outside `dst`.
+pub fn col2im_into(
+    cols: &Tensor,
+    n: usize,
+    g: &Conv2dGeometry,
+    dst: &mut Tensor,
+    off_h: usize,
+    off_w: usize,
+) {
     let (oh, ow) = (g.out_h(), g.out_w());
     let plen = g.patch_len();
     assert_eq!(
@@ -178,38 +214,52 @@ pub fn col2im(cols: &Tensor, n: usize, g: &Conv2dGeometry) -> Tensor {
         &[n * oh * ow, plen],
         "col matrix shape mismatch"
     );
+    assert_eq!(dst.rank(), 4, "col2im destination must be NCHW");
+    assert_eq!(
+        (dst.dim(0), dst.dim(1)),
+        (n, g.in_c),
+        "col2im destination batch/channel mismatch"
+    );
+    let (full_h, full_w) = (dst.dim(2), dst.dim(3));
+    assert!(
+        off_h + g.in_h <= full_h && off_w + g.in_w <= full_w,
+        "col2im window {}x{} at offset ({off_h}, {off_w}) exceeds {full_h}x{full_w}",
+        g.in_h,
+        g.in_w
+    );
     let (h, w) = (g.in_h, g.in_w);
-    let mut out = Tensor::zeros(&[n, g.in_c, h, w]);
-    let dst = out.as_mut_slice();
     let src = cols.as_slice();
-    for b in 0..n {
+    // Parallel over whole batch images: each task owns a disjoint
+    // c·full_h·full_w slab of dst and reads its stripe of `cols` exactly
+    // once, sequentially, in the original (oy, ox, c, ky, kx) order.
+    let plane = full_h * full_w;
+    scnn_par::par_chunks_mut(dst.as_mut_slice(), g.in_c * plane, |b, img| {
         for oy in 0..oh {
             let iy0 = oy as i64 * g.sh as i64 - g.pad.h_begin;
             for ox in 0..ow {
                 let ix0 = ox as i64 * g.sw as i64 - g.pad.w_begin;
                 let row = ((b * oh + oy) * ow + ox) * plen;
                 for c in 0..g.in_c {
-                    let cbase = (b * g.in_c + c) * h * w;
+                    let cbase = c * plane;
                     for ky in 0..g.kh {
                         let iy = iy0 + ky as i64;
                         if iy < 0 || iy >= h as i64 {
                             continue;
                         }
-                        let iy = iy as usize;
+                        let iy = iy as usize + off_h;
                         for kx in 0..g.kw {
                             let ix = ix0 + kx as i64;
                             if ix < 0 || ix >= w as i64 {
                                 continue;
                             }
-                            dst[cbase + iy * w + ix as usize] +=
+                            img[cbase + iy * full_w + (ix as usize + off_w)] +=
                                 src[row + (c * g.kh + ky) * g.kw + kx];
                         }
                     }
                 }
             }
         }
-    }
-    out
+    });
 }
 
 #[cfg(test)]
@@ -268,5 +318,44 @@ mod tests {
     #[should_panic(expected = "non-negative")]
     fn negative_pad_rejected() {
         Conv2dGeometry::new(1, 4, 4, 3, 3, 1, 1, Padding2d::new(-1, 0, 0, 0));
+    }
+
+    #[test]
+    fn col2im_into_offset_matches_padded_col2im() {
+        // Folding into a larger buffer at (1, 2) must equal col2im followed
+        // by zero-padding 1 row above / 2 columns left — the fusion the
+        // conv backward path relies on.
+        let g = Conv2dGeometry::new(2, 3, 4, 2, 2, 1, 1, Padding2d::symmetric(1));
+        let rows = 2 * g.patch_count();
+        let cols = Tensor::from_vec(
+            (0..rows * g.patch_len()).map(|i| (i % 11) as f32 - 5.0).collect(),
+            &[rows, g.patch_len()],
+        );
+        let small = col2im(&cols, 2, &g);
+        let mut big = Tensor::zeros(&[2, 2, 5, 7]);
+        col2im_into(&cols, 2, &g, &mut big, 1, 2);
+        for b in 0..2 {
+            for c in 0..2 {
+                for y in 0..5 {
+                    for x in 0..7 {
+                        let expect = if (1..4).contains(&y) && (2..6).contains(&x) {
+                            small.at(&[b, c, y - 1, x - 2])
+                        } else {
+                            0.0
+                        };
+                        assert_eq!(big.at(&[b, c, y, x]), expect, "at {b},{c},{y},{x}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn col2im_into_rejects_overhanging_window() {
+        let g = Conv2dGeometry::new(1, 4, 4, 2, 2, 1, 1, Padding2d::default());
+        let cols = Tensor::zeros(&[g.patch_count(), g.patch_len()]);
+        let mut dst = Tensor::zeros(&[1, 1, 4, 4]);
+        col2im_into(&cols, 1, &g, &mut dst, 1, 0);
     }
 }

@@ -30,7 +30,7 @@ mod shape;
 mod slice;
 mod tensor;
 
-pub use im2col::{col2im, im2col, Conv2dGeometry};
+pub use im2col::{col2im, col2im_into, im2col, Conv2dGeometry};
 pub use init::{he_normal, uniform, xavier_uniform};
 pub use linalg::{matmul, matmul_a_bt, matmul_at_b};
 pub use pad::Padding2d;

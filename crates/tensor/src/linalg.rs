@@ -1,11 +1,32 @@
 //! Small dense linear-algebra kernels (2-D matrix products).
 //!
 //! Convolution (via `im2col`) and fully-connected layers reduce to these
-//! three product variants. They are written as straightforward ikj loops,
-//! which the compiler auto-vectorizes well enough for the proxy-scale
-//! training this workspace performs.
+//! three product variants. Each is cache-blocked (MC row chunks × KC×NC
+//! tiles) and parallelized over *size-derived* chunks via `scnn_par`, so
+//! results are bit-identical at every `SCNN_THREADS`:
+//!
+//! - [`matmul`] accumulates along the shared dimension in strictly
+//!   ascending order per output element — the same order the naive loop
+//!   used, so its results did not change at all.
+//! - [`matmul_at_b`] folds KC-sized shared-dimension blocks in block
+//!   order; the block structure depends only on `k`.
+//! - [`matmul_a_bt`] (the convolution-forward workhorse) replaces the
+//!   scalar dot product — whose serial FP dependency chain defeats
+//!   auto-vectorization, since f32 addition is not reassociable — with an
+//!   8-lane accumulator reduced by a fixed pairwise tree. The summation
+//!   order is a function of the shared dimension `k` only, which preserves
+//!   the paper's split-vs-unsplit exactness argument (both graphs reduce
+//!   identical `k = c·kh·kw` patch rows).
 
 use crate::Tensor;
+
+/// Shared-dimension tile: keeps a KC×NC panel of `B` and the live output
+/// rows resident while streaming `A`.
+const KC: usize = 256;
+/// Output-column tile width for [`matmul`].
+const NC: usize = 128;
+/// Minimum rows per parallel chunk (amortizes task-claim overhead).
+const MIN_ROWS: usize = 8;
 
 /// `C = A · B` for `A: [m, k]`, `B: [k, n]`.
 ///
@@ -29,24 +50,50 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
     let mut out = vec![0.0f32; m * n];
     let av = a.as_slice();
     let bv = b.as_slice();
-    for i in 0..m {
-        for p in 0..k {
-            let aip = av[i * k + p];
-            if aip == 0.0 {
-                continue;
-            }
-            let brow = &bv[p * n..(p + 1) * n];
-            let orow = &mut out[i * n..(i + 1) * n];
-            for (o, &bb) in orow.iter_mut().zip(brow) {
-                *o += aip * bb;
+    let row_grain = scnn_par::grain(m, MIN_ROWS);
+    scnn_par::par_chunks_mut(&mut out, row_grain * n, |ci, ochunk| {
+        let i0 = ci * row_grain;
+        let rows = ochunk.len() / n.max(1);
+        // p ascends globally per output element (KC blocks in order, p in
+        // order within each), matching the naive ikj loop bit-for-bit.
+        // Skip column blocking when n barely exceeds NC: a lone narrow
+        // tail block re-streams the A rows for little locality benefit.
+        // Block boundaries partition independent output elements, so the
+        // choice (a function of n only) cannot affect any element's value.
+        let nc = if n <= NC + NC / 2 { n.max(1) } else { NC };
+        for p0 in (0..k).step_by(KC) {
+            let p1 = (p0 + KC).min(k);
+            for j0 in (0..n).step_by(nc) {
+                let j1 = (j0 + nc).min(n);
+                for r in 0..rows {
+                    let arow = &av[(i0 + r) * k..(i0 + r) * k + k];
+                    let orow = &mut ochunk[r * n + j0..r * n + j1];
+                    for p in p0..p1 {
+                        let aip = arow[p];
+                        if aip == 0.0 {
+                            continue;
+                        }
+                        let brow = &bv[p * n + j0..p * n + j1];
+                        for (o, &bb) in orow.iter_mut().zip(brow) {
+                            *o += aip * bb;
+                        }
+                    }
+                }
             }
         }
-    }
+    });
     Tensor::from_vec(out, &[m, n])
 }
 
 /// `C = Aᵀ · B` for `A: [k, m]`, `B: [k, n]` — used by convolution weight
 /// gradients without materializing a transpose.
+///
+/// The shared dimension is split into KC-sized blocks (a function of `k`
+/// only); each block accumulates a partial `[m, n]` with `p` ascending,
+/// and the partials are folded in block order. Both the block structure
+/// and the fold order are size-derived, so the result is bit-identical at
+/// every thread count — each block streams its slice of `A` and `B`
+/// exactly once, like the naive single pass.
 ///
 /// # Panics
 ///
@@ -55,27 +102,40 @@ pub fn matmul_at_b(a: &Tensor, b: &Tensor) -> Tensor {
     let (k, m) = dims2(a, "matmul_at_b lhs");
     let (k2, n) = dims2(b, "matmul_at_b rhs");
     assert_eq!(k, k2, "matmul_at_b shared dimension mismatch: {k} vs {k2}");
-    let mut out = vec![0.0f32; m * n];
     let av = a.as_slice();
     let bv = b.as_slice();
-    for p in 0..k {
-        let arow = &av[p * m..(p + 1) * m];
-        let brow = &bv[p * n..(p + 1) * n];
-        for (i, &aa) in arow.iter().enumerate() {
-            if aa == 0.0 {
-                continue;
+    let nblocks = k.div_ceil(KC).max(1);
+    let partials = scnn_par::parallel_map(nblocks, |bi| {
+        let p0 = bi * KC;
+        let p1 = (p0 + KC).min(k);
+        let mut part = vec![0.0f32; m * n];
+        for p in p0..p1 {
+            let arow = &av[p * m..(p + 1) * m];
+            let brow = &bv[p * n..(p + 1) * n];
+            for (i, &aa) in arow.iter().enumerate() {
+                if aa == 0.0 {
+                    continue;
+                }
+                let orow = &mut part[i * n..(i + 1) * n];
+                for (o, &bb) in orow.iter_mut().zip(brow) {
+                    *o += aa * bb;
+                }
             }
-            let orow = &mut out[i * n..(i + 1) * n];
-            for (o, &bb) in orow.iter_mut().zip(brow) {
-                *o += aa * bb;
-            }
+        }
+        part
+    });
+    let mut iter = partials.into_iter();
+    let mut out = iter.next().expect("at least one k block");
+    for part in iter {
+        for (o, p) in out.iter_mut().zip(&part) {
+            *o += p;
         }
     }
     Tensor::from_vec(out, &[m, n])
 }
 
-/// `C = A · Bᵀ` for `A: [m, k]`, `B: [n, k]` — used by convolution input
-/// gradients without materializing a transpose.
+/// `C = A · Bᵀ` for `A: [m, k]`, `B: [n, k]` — the `im2col`-GEMM used by
+/// convolution and linear forward passes.
 ///
 /// # Panics
 ///
@@ -87,18 +147,117 @@ pub fn matmul_a_bt(a: &Tensor, b: &Tensor) -> Tensor {
     let mut out = vec![0.0f32; m * n];
     let av = a.as_slice();
     let bv = b.as_slice();
-    for i in 0..m {
-        let arow = &av[i * k..(i + 1) * k];
-        for j in 0..n {
-            let brow = &bv[j * k..(j + 1) * k];
-            let mut acc = 0.0f32;
-            for (aa, bb) in arow.iter().zip(brow) {
-                acc += aa * bb;
+    let row_grain = scnn_par::grain(m, MIN_ROWS);
+    scnn_par::par_chunks_mut(&mut out, row_grain * n, |ci, ochunk| {
+        let i0 = ci * row_grain;
+        let rows = ochunk.len() / n.max(1);
+        for r in 0..rows {
+            let arow = &av[(i0 + r) * k..(i0 + r) * k + k];
+            let orow = &mut ochunk[r * n..r * n + n];
+            // Quads share the A-row pass (4 B rows per sweep) purely for
+            // register reuse; each dot still reduces in dot8 lane order.
+            let mut j = 0;
+            while j + 4 <= n {
+                let q = dot8_x4(
+                    arow,
+                    &bv[j * k..(j + 1) * k],
+                    &bv[(j + 1) * k..(j + 2) * k],
+                    &bv[(j + 2) * k..(j + 3) * k],
+                    &bv[(j + 3) * k..(j + 4) * k],
+                );
+                orow[j..j + 4].copy_from_slice(&q);
+                j += 4;
             }
-            out[i * n + j] = acc;
+            while j < n {
+                orow[j] = dot8(arow, &bv[j * k..(j + 1) * k]);
+                j += 1;
+            }
+        }
+    });
+    Tensor::from_vec(out, &[m, n])
+}
+
+/// Number of independent accumulator lanes in the blocked dot product.
+const LANES: usize = 8;
+
+/// Reduces the 8 lanes with a fixed pairwise tree, then folds the scalar
+/// tail. The evaluation order depends only on `k`, never on threads or on
+/// which caller (quad or single) produced the lanes.
+#[inline]
+fn lane_sum(acc: [f32; LANES], tail: f32) -> f32 {
+    let s0 = acc[0] + acc[4];
+    let s1 = acc[1] + acc[5];
+    let s2 = acc[2] + acc[6];
+    let s3 = acc[3] + acc[7];
+    ((s0 + s2) + (s1 + s3)) + tail
+}
+
+/// Fixed-size view of the next 8-lane block; the `&[f32; 8]` conversion
+/// lets the compiler drop per-element bounds checks in the hot loops.
+#[inline]
+fn block8(s: &[f32], base: usize) -> &[f32; LANES] {
+    s[base..base + LANES].try_into().unwrap()
+}
+
+/// 8-lane blocked dot product: lane `l` accumulates elements `p ≡ l (mod
+/// 8)`, breaking the serial FP dependency chain so the loop vectorizes.
+#[inline]
+fn dot8(a: &[f32], b: &[f32]) -> f32 {
+    let mut acc = [0.0f32; LANES];
+    let blocks = a.len() / LANES;
+    for ci in 0..blocks {
+        let base = ci * LANES;
+        let ka = block8(a, base);
+        let kb = block8(b, base);
+        for l in 0..LANES {
+            acc[l] += ka[l] * kb[l];
         }
     }
-    Tensor::from_vec(out, &[m, n])
+    let mut tail = 0.0f32;
+    for p in blocks * LANES..a.len() {
+        tail += a[p] * b[p];
+    }
+    lane_sum(acc, tail)
+}
+
+/// Four simultaneous [`dot8`]s sharing one pass over `a` (so the A-row is
+/// loaded once per quad instead of once per dot). Bit-identical to four
+/// independent `dot8` calls.
+#[inline]
+fn dot8_x4(a: &[f32], b0: &[f32], b1: &[f32], b2: &[f32], b3: &[f32]) -> [f32; 4] {
+    let mut acc0 = [0.0f32; LANES];
+    let mut acc1 = [0.0f32; LANES];
+    let mut acc2 = [0.0f32; LANES];
+    let mut acc3 = [0.0f32; LANES];
+    let blocks = a.len() / LANES;
+    for ci in 0..blocks {
+        let base = ci * LANES;
+        let ka = block8(a, base);
+        let k0 = block8(b0, base);
+        let k1 = block8(b1, base);
+        let k2 = block8(b2, base);
+        let k3 = block8(b3, base);
+        for l in 0..LANES {
+            acc0[l] += ka[l] * k0[l];
+            acc1[l] += ka[l] * k1[l];
+            acc2[l] += ka[l] * k2[l];
+            acc3[l] += ka[l] * k3[l];
+        }
+    }
+    let rem = blocks * LANES;
+    let mut tails = [0.0f32; 4];
+    for p in rem..a.len() {
+        tails[0] += a[p] * b0[p];
+        tails[1] += a[p] * b1[p];
+        tails[2] += a[p] * b2[p];
+        tails[3] += a[p] * b3[p];
+    }
+    [
+        lane_sum(acc0, tails[0]),
+        lane_sum(acc1, tails[1]),
+        lane_sum(acc2, tails[2]),
+        lane_sum(acc3, tails[3]),
+    ]
 }
 
 fn dims2(t: &Tensor, what: &str) -> (usize, usize) {
@@ -151,5 +310,92 @@ mod tests {
     #[should_panic(expected = "inner dimension mismatch")]
     fn mismatched_inner_dims_panic() {
         matmul(&Tensor::zeros(&[2, 3]), &Tensor::zeros(&[2, 3]));
+    }
+
+    /// Deterministic pseudo-random fill (no RNG dependency in unit tests).
+    fn fill(dims: &[usize], seed: u32) -> Tensor {
+        let len: usize = dims.iter().product();
+        let mut state = seed.wrapping_mul(2654435761).wrapping_add(1);
+        let data = (0..len)
+            .map(|_| {
+                state = state.wrapping_mul(1664525).wrapping_add(1013904223);
+                (state >> 8) as f32 / (1u32 << 24) as f32 - 0.5
+            })
+            .collect();
+        Tensor::from_vec(data, dims)
+    }
+
+    /// Textbook triple loop, kept as the oracle for the blocked kernels.
+    fn reference_matmul(a: &Tensor, b: &Tensor) -> Tensor {
+        let (m, k) = (a.dim(0), a.dim(1));
+        let n = b.dim(1);
+        let mut out = vec![0.0f64; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0f64;
+                for p in 0..k {
+                    acc += a.as_slice()[i * k + p] as f64 * b.as_slice()[p * n + j] as f64;
+                }
+                out[i * n + j] = acc;
+            }
+        }
+        Tensor::from_vec(out.into_iter().map(|v| v as f32).collect(), &[m, n])
+    }
+
+    #[test]
+    fn blocked_kernels_match_reference_on_awkward_shapes() {
+        // Sizes straddle the KC/NC/LANES boundaries (tails everywhere).
+        for &(m, k, n) in &[(1, 1, 1), (3, 9, 5), (17, 300, 33), (40, 129, 130)] {
+            let a = fill(&[m, k], (m * 1000 + k) as u32);
+            let b = fill(&[k, n], (k * 1000 + n) as u32);
+            let c = matmul(&a, &b);
+            let r = reference_matmul(&a, &b);
+            assert!(c.max_abs_diff(&r) < 1e-4 * k as f32, "matmul {m}x{k}x{n}");
+
+            let at = fill(&[k, m], (m + n) as u32);
+            let mut att = vec![0.0f32; m * k];
+            for p in 0..k {
+                for i in 0..m {
+                    att[i * k + p] = at.as_slice()[p * m + i];
+                }
+            }
+            let att = Tensor::from_vec(att, &[m, k]);
+            let c2 = matmul_at_b(&at, &b);
+            let r2 = reference_matmul(&att, &b);
+            assert!(c2.max_abs_diff(&r2) < 1e-4 * k as f32, "at_b {m}x{k}x{n}");
+
+            let bt = fill(&[n, k], (n * 7 + k) as u32);
+            let mut btt = vec![0.0f32; k * n];
+            for j in 0..n {
+                for p in 0..k {
+                    btt[p * n + j] = bt.as_slice()[j * k + p];
+                }
+            }
+            let btt = Tensor::from_vec(btt, &[k, n]);
+            let c3 = matmul_a_bt(&a, &bt);
+            let r3 = reference_matmul(&a, &btt);
+            assert!(c3.max_abs_diff(&r3) < 1e-4 * k as f32, "a_bt {m}x{k}x{n}");
+        }
+    }
+
+    #[test]
+    fn a_bt_quad_and_remainder_columns_agree() {
+        // n = 6 exercises both the 4-wide quad path (j 0..4) and the
+        // single-dot remainder (j 4..6); both must use the same dot8
+        // reduction order, so column values must not depend on the path.
+        let a = fill(&[5, 37], 3);
+        let b = fill(&[6, 37], 4);
+        let full = matmul_a_bt(&a, &b);
+        for j in 0..6 {
+            let bj = Tensor::from_vec(b.as_slice()[j * 37..(j + 1) * 37].to_vec(), &[1, 37]);
+            let col = matmul_a_bt(&a, &bj);
+            for i in 0..5 {
+                assert_eq!(
+                    full.as_slice()[i * 6 + j].to_bits(),
+                    col.as_slice()[i].to_bits(),
+                    "column {j} differs between quad and single paths"
+                );
+            }
+        }
     }
 }

@@ -2,8 +2,44 @@
 # Tier-1 verification gate (see ROADMAP.md): hermetic build + full test
 # suite, offline. The workspace has zero external dependencies, so
 # --offline must succeed even against an empty cargo registry.
+#
+# After the tests, the benchmark harness itself is verified: every bench
+# binary must run in `--smoke` mode and emit parseable JSON records, and
+# a full `kernels` run is gated against the committed baseline.
+#
+#   SCNN_VERIFY_SKIP_BENCH=1 ./scripts/verify.sh
+#       skips the full kernels run + regression gate (smoke runs and JSON
+#       validation still happen) — for loaded or throttled hosts where
+#       wall-clock medians are meaningless.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo build --workspace --release --offline
 cargo test -q --workspace --offline
+
+# Smoke every bench binary: tiny shapes, one cold sample — proves the
+# full code path still runs and the emitted records parse.
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+for bench in kernels planning ablation; do
+  SCNN_BENCH_DIR="$tmp" cargo bench -q -p scnn-bench --bench "$bench" --offline -- --smoke
+  cargo run -q --release -p scnn-bench --bin bench_check --offline -- \
+    --file "$tmp/BENCH_$bench.json"
+done
+
+# Full runs, gated against the committed baselines (fastest fresh sample
+# vs baseline median — see bench_check). The ms-scale kernels group gets
+# the strict 25% bound; the µs-scale planning/ablation sims are far more
+# exposed to scheduler noise on a shared single-core host, so they get a
+# looser tripwire that still catches algorithmic regressions.
+if [[ "${SCNN_VERIFY_SKIP_BENCH:-0}" != 1 ]]; then
+  for spec in kernels:0.25 planning:0.60 ablation:0.60; do
+    bench="${spec%%:*}"
+    tol="${spec##*:}"
+    SCNN_BENCH_DIR="$tmp" cargo bench -q -p scnn-bench --bench "$bench" --offline
+    cargo run -q --release -p scnn-bench --bin bench_check --offline -- \
+      --file "$tmp/BENCH_$bench.json" --baseline "BENCH_$bench.json" --tolerance "$tol"
+  done
+fi
+
+echo "verify: OK"

@@ -19,4 +19,5 @@ pub use scnn_graph as graph;
 pub use scnn_hmms as hmms;
 pub use scnn_models as models;
 pub use scnn_nn as nn;
+pub use scnn_par as par;
 pub use scnn_tensor as tensor;

@@ -231,6 +231,35 @@ fn whole_stack_is_deterministic() {
     assert_eq!(run(), run());
 }
 
+/// The `scnn-par` chunking contract, end to end: one training epoch over a
+/// split ResNet must produce a bit-identical loss whether the kernels run
+/// fully serial or on four pool workers. Chunk boundaries, RNG draw order
+/// and BN running-stat updates are all functions of problem size / node id
+/// only, so the thread count may never leak into a single output bit.
+#[test]
+fn epoch_is_bit_identical_across_thread_counts() {
+    let epoch_loss = || {
+        let desc = resnet18(&ModelOptions::cifar().with_width(0.125));
+        let plan = plan_split(&desc, &SplitConfig::new(0.5, 2, 2)).unwrap();
+        let g = plan.lower(&desc, 4);
+        let mut spec = SyntheticSpec::cifar_like(5);
+        spec.classes = 3;
+        let data = SyntheticDataset::new(spec);
+        let (train, _) = data.train_test(3, 1, 4);
+        let mut rng = SplitRng::seed_from_u64(42);
+        let mut params = ParamStore::init(&g, &mut rng);
+        let mut bn = BnState::new();
+        let mut opt = Sgd::new(&params, 0.05, 0.9, 1e-4);
+        let mut provider = |_| g.clone();
+        train_epoch(&mut provider, &mut params, &mut bn, &mut opt, &train, &mut rng)
+            .loss
+            .to_bits()
+    };
+    let serial = split_cnn::par::with_threads(1, epoch_loss);
+    let threaded = split_cnn::par::with_threads(4, epoch_loss);
+    assert_eq!(serial, threaded, "thread count changed the epoch loss bits");
+}
+
 /// Regression test for the hermetic RNG migration: two identically-seeded
 /// multi-epoch runs must agree bit-for-bit on every per-epoch loss, and
 /// identically-seeded stochastic planners must emit the same scheme
