@@ -1,0 +1,121 @@
+//! Peak activation memory of one real training step, per memory strategy,
+//! on a split model — the live counterpart of the planning-time Figure 9
+//! numbers. Results land in `BENCH_memory.json`; each record carries both
+//! the step time and a `peak_bytes` annotation:
+//!
+//! - `train_step/vec_baseline` — the unmanaged Vec-per-node executor path,
+//!   peak measured by [`MeterProvider`];
+//! - `train_step/{baseline,vdnn,hmms}` — the same step under
+//!   [`PlanRuntime`], peak = physically resident activation bytes under
+//!   that plan's lifetimes.
+//!
+//! Device-pool and host-pool plan peaks are printed alongside for context.
+//! With `--features heap-track` the process-wide heap high-water is also
+//! printed per strategy (the allocator counter includes params, grads and
+//! kernel scratch, so it is strictly larger than the activation numbers).
+
+use scnn_bench::{Args, BenchGroup};
+use scnn_core::{plan_split, SplitConfig};
+use scnn_graph::{NodeId, Tape};
+use scnn_gpusim::{profile_graph, CostModel};
+use scnn_hmms::{
+    plan_hmms, plan_no_offload, plan_vdnn, MemoryPlan, PlannerOptions, TsoAssignment, TsoOptions,
+};
+use scnn_models::{resnet18, ModelOptions};
+use scnn_nn::{BnState, BufferProvider, Executor, Mode, ParamStore};
+use scnn_rng::SplitRng;
+use scnn_runtime::{MeterProvider, PlanRuntime};
+use scnn_tensor::uniform;
+
+#[cfg(feature = "heap-track")]
+#[global_allocator]
+static ALLOC: scnn_bench::heap::CountingAlloc = scnn_bench::heap::CountingAlloc;
+
+fn main() {
+    let smoke = Args::parse().bool("smoke");
+    let mut g = BenchGroup::new("memory");
+    if smoke {
+        g.sample_size(1);
+        g.warmup(0);
+    } else {
+        g.sample_size(3);
+        g.warmup(1);
+    }
+
+    let (width, batch) = if smoke { (0.125, 2) } else { (0.5, 8) };
+    let desc = resnet18(&ModelOptions::cifar().with_width(width));
+    let graph = plan_split(&desc, &SplitConfig::new(0.5, 2, 2))
+        .expect("resnet splits")
+        .lower(&desc, batch);
+
+    let tape = Tape::new(&graph);
+    let model = CostModel::default();
+    let profile = profile_graph(&graph, &model);
+    let tso = TsoAssignment::new(&graph, &profile.workspace_bytes, TsoOptions::default());
+    let opts = PlannerOptions::default();
+    let plans: Vec<MemoryPlan> = vec![
+        plan_no_offload(&graph, &tape, &tso, &profile),
+        plan_vdnn(&graph, &tape, &tso, &profile, opts),
+        plan_hmms(&graph, &tape, &tso, &profile, opts),
+    ];
+
+    let dims = graph.node(NodeId(0)).out_shape.clone();
+    let images = uniform(&mut SplitRng::seed_from_u64(11), &dims, -1.0, 1.0);
+    let labels: Vec<usize> = (0..batch).map(|i| (i * 3 + 1) % 10).collect();
+    let exec = Executor::new();
+
+    // One fresh training state per strategy: every measured step starts
+    // from the same parameters, so times and peaks are comparable.
+    let step = |provider: &mut dyn BufferProvider| {
+        let mut params = ParamStore::init(&graph, &mut SplitRng::seed_from_u64(7));
+        let mut bn = BnState::new();
+        let mut rng = SplitRng::seed_from_u64(13);
+        exec.run_with(
+            &graph, &mut params, &mut bn, &images, &labels, Mode::Train, &mut rng, provider,
+        )
+        .loss
+    };
+
+    #[cfg(feature = "heap-track")]
+    scnn_bench::heap::reset_peak();
+    let mut meter = MeterProvider::new();
+    g.bench("train_step/vec_baseline", || step(&mut meter));
+    g.set_peak_bytes(meter.peak_bytes());
+    println!(
+        "  vec_baseline: resident activation peak {} B{}",
+        meter.peak_bytes(),
+        heap_note()
+    );
+
+    for plan in &plans {
+        let mut rt = PlanRuntime::from_plan(&graph, &tape, plan, &tso).expect("plan is legal");
+        #[cfg(feature = "heap-track")]
+        scnn_bench::heap::reset_peak();
+        g.bench(&format!("train_step/{}", plan.strategy), || step(&mut rt));
+        let stats = rt.stats();
+        g.set_peak_bytes(stats.resident_peak_bytes);
+        println!(
+            "  {}: resident {} B, device pool {} B, host pool {} B, \
+             {} offloads / {} prefetches{}",
+            plan.strategy,
+            stats.resident_peak_bytes,
+            stats.plan_device_peak_bytes,
+            stats.host_bytes,
+            stats.offloads,
+            stats.prefetches,
+            heap_note()
+        );
+    }
+
+    g.finish();
+}
+
+#[cfg(feature = "heap-track")]
+fn heap_note() -> String {
+    format!(" (process heap peak {} B)", scnn_bench::heap::peak_bytes())
+}
+
+#[cfg(not(feature = "heap-track"))]
+fn heap_note() -> String {
+    String::new()
+}

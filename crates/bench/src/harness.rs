@@ -43,15 +43,23 @@ pub struct BenchRecord {
     pub samples: usize,
     /// Number of untimed warmup calls.
     pub warmup: usize,
+    /// Peak memory the benchmark touched, in bytes — present only for
+    /// memory benchmarks (the `memory` group annotates resident
+    /// activation peaks via [`BenchGroup::set_peak_bytes`]).
+    pub peak_bytes: Option<u128>,
 }
 
 impl BenchRecord {
     /// The JSON-line serialization (no external serializer needed: every
     /// field is numeric except the two names, which we escape minimally).
     pub fn to_json(&self) -> String {
+        let peak = self
+            .peak_bytes
+            .map(|b| format!(",\"peak_bytes\":{b}"))
+            .unwrap_or_default();
         format!(
             "{{\"group\":\"{}\",\"name\":\"{}\",\"median_ns\":{},\"min_ns\":{},\
-             \"mean_ns\":{},\"samples\":{},\"warmup\":{}}}",
+             \"mean_ns\":{},\"samples\":{},\"warmup\":{}{peak}}}",
             escape(&self.group),
             escape(&self.name),
             self.median_ns,
@@ -79,6 +87,7 @@ impl BenchRecord {
         let (mut group, mut name) = (None, None);
         let (mut median_ns, mut min_ns, mut mean_ns) = (None, None, None);
         let (mut samples, mut warmup) = (None, None);
+        let mut peak_bytes = None;
         loop {
             let key = p.string()?;
             p.expect(':')?;
@@ -90,6 +99,7 @@ impl BenchRecord {
                 "mean_ns" => mean_ns = Some(p.number()?),
                 "samples" => samples = Some(p.number()? as usize),
                 "warmup" => warmup = Some(p.number()? as usize),
+                "peak_bytes" => peak_bytes = Some(p.number()?),
                 other => return Err(format!("unknown field `{other}`")),
             }
             if p.eat(',') {
@@ -108,6 +118,7 @@ impl BenchRecord {
             mean_ns: mean_ns.ok_or_else(|| missing("mean_ns"))?,
             samples: samples.ok_or_else(|| missing("samples"))?,
             warmup: warmup.ok_or_else(|| missing("warmup"))?,
+            peak_bytes,
         })
     }
 }
@@ -267,6 +278,7 @@ impl BenchGroup {
             mean_ns,
             samples: self.samples,
             warmup: self.warmup,
+            peak_bytes: None,
         };
         println!(
             "{:<40} median {:>12} ns   min {:>12} ns   ({} samples)",
@@ -276,6 +288,20 @@ impl BenchGroup {
             rec.samples
         );
         self.records.push(rec);
+        self
+    }
+
+    /// Annotates the most recent benchmark with a peak-bytes measurement
+    /// (memory benchmarks report both time and bytes per record).
+    ///
+    /// # Panics
+    ///
+    /// Panics if nothing has been benched yet.
+    pub fn set_peak_bytes(&mut self, bytes: usize) -> &mut Self {
+        self.records
+            .last_mut()
+            .expect("set_peak_bytes needs a preceding bench")
+            .peak_bytes = Some(bytes as u128);
         self
     }
 
@@ -347,6 +373,7 @@ mod tests {
             mean_ns: 1,
             samples: 1,
             warmup: 0,
+            peak_bytes: None,
         };
         assert!(r.to_json().contains("we\\\"ird"));
     }
@@ -361,6 +388,7 @@ mod tests {
             mean_ns: 125000000,
             samples: 7,
             warmup: 2,
+            peak_bytes: None,
         };
         let back = BenchRecord::from_json(&r.to_json()).unwrap();
         assert_eq!(back.group, r.group);
@@ -370,6 +398,24 @@ mod tests {
         assert_eq!(back.mean_ns, r.mean_ns);
         assert_eq!(back.samples, r.samples);
         assert_eq!(back.warmup, r.warmup);
+        assert_eq!(back.peak_bytes, None);
+    }
+
+    #[test]
+    fn peak_bytes_round_trips_and_stays_optional() {
+        let mut g = BenchGroup::new("mem");
+        g.sample_size(1).warmup(0);
+        g.bench("step", || 1 + 1);
+        g.set_peak_bytes(4096);
+        let j = g.records()[0].to_json();
+        assert!(j.contains("\"peak_bytes\":4096"), "{j}");
+        let back = BenchRecord::from_json(&j).unwrap();
+        assert_eq!(back.peak_bytes, Some(4096));
+        // Records without the field still parse (old baselines).
+        let plain =
+            "{\"group\":\"g\",\"name\":\"n\",\"median_ns\":1,\"min_ns\":1,\
+             \"mean_ns\":1,\"samples\":1,\"warmup\":1}";
+        assert_eq!(BenchRecord::from_json(plain).unwrap().peak_bytes, None);
     }
 
     #[test]

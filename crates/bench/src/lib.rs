@@ -5,6 +5,8 @@
 
 pub mod args;
 pub mod harness;
+#[cfg(feature = "heap-track")]
+pub mod heap;
 pub mod memsys;
 pub mod proxy;
 

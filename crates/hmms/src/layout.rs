@@ -52,6 +52,17 @@ pub enum LayoutError {
     FreeOfDead(TsoId),
     /// TSOs still live after the final step.
     Leaked(Vec<TsoId>),
+    /// An event referenced a TSO id outside the assignment's range — the
+    /// plan and the TSO table disagree about which graph they describe.
+    UnknownTso(TsoId),
+    /// The plan's step count disagrees with the tape it claims to cover
+    /// (`found` steps for a tape of `expected`).
+    StepCountMismatch {
+        /// Steps the plan carries.
+        found: usize,
+        /// Steps the tape demands (twice the node count).
+        expected: usize,
+    },
 }
 
 impl std::fmt::Display for LayoutError {
@@ -61,6 +72,12 @@ impl std::fmt::Display for LayoutError {
             LayoutError::FreeOfDead(t) => write!(f, "free of dead {t:?}"),
             LayoutError::Leaked(ts) => {
                 write!(f, "TSOs leaked past the end of the step: {ts:?}")
+            }
+            LayoutError::UnknownTso(t) => {
+                write!(f, "event references {t:?}, which is not in the TSO assignment")
+            }
+            LayoutError::StepCountMismatch { found, expected } => {
+                write!(f, "plan has {found} steps but the tape has {expected}")
             }
         }
     }
@@ -72,14 +89,24 @@ impl std::error::Error for LayoutError {}
 ///
 /// # Errors
 ///
-/// Returns a [`LayoutError`] on double-alloc, free-without-alloc, or a
-/// leak at the end of the step — all of which indicate a planner bug; the
-/// tests rely on this as a legality check.
+/// Returns a [`LayoutError`] on double-alloc, free-without-alloc, an event
+/// referencing a TSO outside the assignment, or a leak at the end of the
+/// step — all of which indicate a planner bug (or a plan paired with the
+/// wrong graph); the tests and the runtime rely on this as a legality
+/// check.
 pub fn plan_layout(
     graph: &Graph,
     plan: &MemoryPlan,
     tso: &TsoAssignment,
 ) -> Result<StaticLayout, LayoutError> {
+    // Every event must reference a TSO the assignment knows; a mismatched
+    // plan/assignment pair would otherwise panic on the size lookup below.
+    for (_, _, e) in plan.events() {
+        if e.tso().0 >= tso.len() {
+            return Err(LayoutError::UnknownTso(e.tso()));
+        }
+    }
+
     let mut free = FreeList::new();
     let mut live: HashMap<TsoId, (usize, usize)> = HashMap::new(); // tso -> (addr, instance)
     let mut instance = vec![0usize; tso.len()];
@@ -266,13 +293,14 @@ mod tests {
     #[test]
     fn offloading_reduces_device_high_water() {
         let (g, tape, tso, profile) = setup();
-        let base = plan_layout(&g, &plan_no_offload(&g, &tape, &tso, &profile), &tso).unwrap();
+        let base = plan_layout(&g, &plan_no_offload(&g, &tape, &tso, &profile), &tso)
+            .expect("baseline plan is legal");
         let hmms = plan_layout(
             &g,
             &plan_hmms(&g, &tape, &tso, &profile, PlannerOptions::default()),
             &tso,
         )
-        .unwrap();
+        .expect("hmms plan is legal");
         assert!(
             hmms.device_general_bytes < base.device_general_bytes,
             "offloading did not reduce peak: {} vs {}",
@@ -288,7 +316,7 @@ mod tests {
     fn layout_is_leak_free_and_instances_tracked() {
         let (g, tape, tso, profile) = setup();
         let plan = plan_hmms(&g, &tape, &tso, &profile, PlannerOptions::default());
-        let layout = plan_layout(&g, &plan, &tso).unwrap();
+        let layout = plan_layout(&g, &plan, &tso).expect("hmms plan is legal");
         // Every offloaded TSO has exactly two placed instances.
         for &t in &plan.offloaded {
             assert!(layout.addresses.contains_key(&(t, 0)));
@@ -301,7 +329,8 @@ mod tests {
     #[test]
     fn param_pool_matches_param_count() {
         let (g, tape, tso, profile) = setup();
-        let layout = plan_layout(&g, &plan_no_offload(&g, &tape, &tso, &profile), &tso).unwrap();
+        let layout = plan_layout(&g, &plan_no_offload(&g, &tape, &tso, &profile), &tso)
+            .expect("baseline plan is legal");
         assert_eq!(layout.device_param_bytes, 2 * g.param_elems() * 4);
     }
 
@@ -320,7 +349,11 @@ mod tests {
                 _ => None,
             })
             .expect("plan frees something");
-        plan.steps.last_mut().unwrap().after.push(MemEvent::Free(dup));
+        plan.steps
+            .last_mut()
+            .expect("plan has steps")
+            .after
+            .push(MemEvent::Free(dup));
         let err = plan_layout(&g, &plan, &tso).unwrap_err();
         assert_eq!(err, LayoutError::FreeOfDead(dup));
         assert!(err.to_string().contains("free of dead"));
@@ -356,5 +389,18 @@ mod tests {
             plan_layout(&g, &leaky, &tso).unwrap_err(),
             LayoutError::Leaked(ts) if ts == vec![first_alloc]
         ));
+    }
+
+    #[test]
+    fn unknown_tso_is_a_layout_error_not_a_panic() {
+        let (g, tape, tso, profile) = setup();
+        let mut plan = plan_no_offload(&g, &tape, &tso, &profile);
+        // Corrupt the plan: reference a TSO id past the assignment's end,
+        // as a plan built against a different graph would.
+        let bogus = TsoId(tso.len() + 7);
+        plan.steps[0].before.push(MemEvent::Alloc(bogus));
+        let err = plan_layout(&g, &plan, &tso).unwrap_err();
+        assert_eq!(err, LayoutError::UnknownTso(bogus));
+        assert!(err.to_string().contains("not in the TSO assignment"));
     }
 }

@@ -21,12 +21,14 @@
 //!   offload-capacity balance turns non-negative, spreading transfers
 //!   across many layers.
 
+mod export;
 mod layout;
 mod offload;
 mod plan;
 mod profile;
 mod tso;
 
+pub use export::{export_plan, ExecPlan};
 pub use layout::{plan_layout, LayoutError, StaticLayout};
 pub use offload::{
     plan_hmms, plan_no_offload, plan_vdnn, theoretical_offload_fraction, PlannerOptions,

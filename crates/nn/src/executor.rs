@@ -13,6 +13,7 @@ use crate::kernels::{
     ConvAttrs, PoolAttrs,
 };
 use crate::params::{BnState, ParamStore};
+use crate::provider::{BufferProvider, VecProvider};
 use crate::schedule::Schedule;
 
 /// Whether a pass trains (batch statistics, dropout active, gradients) or
@@ -134,7 +135,37 @@ impl Executor {
         mode: Mode,
         rng: &mut impl Rng,
     ) -> BatchResult {
+        self.run_with(
+            graph,
+            params,
+            bn,
+            images,
+            labels,
+            mode,
+            rng,
+            &mut VecProvider,
+        )
+    }
+
+    /// Like [`Executor::run`], but activation storage is managed by
+    /// `provider` (see [`BufferProvider`] for the hook contract). With
+    /// [`VecProvider`] this is exactly `run`; with a plan-executing
+    /// provider the values are still bit-identical — only where buffers
+    /// live and when they are released changes.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_with(
+        &self,
+        graph: &Graph,
+        params: &mut ParamStore,
+        bn: &mut BnState,
+        images: &Tensor,
+        labels: &[usize],
+        mode: Mode,
+        rng: &mut impl Rng,
+        provider: &mut dyn BufferProvider,
+    ) -> BatchResult {
         let n_nodes = graph.len();
+        provider.begin_step(n_nodes);
         let schedule = Schedule::build(graph);
 
         // Pre-draw dropout masks serially, in node-id order: the RNG stream
@@ -180,10 +211,12 @@ impl Executor {
 
             // Scatter outputs, then replay side effects in node-id order.
             let mut deferred: Vec<(usize, Deferred)> = Vec::new();
+            let mut completed: Vec<usize> = Vec::new();
             for seg in produced {
                 for (id, out, a, d) in seg {
-                    outputs[id] = Some(out);
+                    outputs[id] = Some(provider.adopt(id, out));
                     aux[id] = a;
+                    completed.push(id);
                     if !matches!(d, Deferred::None) {
                         deferred.push((id, d));
                     }
@@ -205,12 +238,20 @@ impl Executor {
                     Deferred::Result(r) => result = Some(r),
                 }
             }
+            // Lifetime hooks fire only after the whole wave landed, in
+            // ascending node order — a deterministic linearization no
+            // matter how segments were interleaved.
+            completed.sort_unstable();
+            for id in completed {
+                provider.forward_complete(id, &mut outputs);
+            }
         }
         let result = result.expect("graph has no SoftmaxCrossEntropy loss node");
 
         if mode == Mode::Train {
-            self.backward(graph, params, labels, &outputs, &aux);
+            self.backward(graph, params, labels, &mut outputs, &aux, provider);
         }
+        provider.end_step(&mut outputs);
         result
     }
 
@@ -422,20 +463,45 @@ impl Executor {
         graph: &Graph,
         params: &mut ParamStore,
         labels: &[usize],
-        outputs: &[Option<Tensor>],
+        outputs: &mut [Option<Tensor>],
         aux: &[Aux],
+        provider: &mut dyn BufferProvider,
     ) {
         let n_nodes = graph.len();
         let mut grads: Vec<Option<Tensor>> = vec![None; n_nodes];
-        let out = |id: scnn_graph::NodeId| outputs[id.0].as_ref().expect("forward ran");
 
-        for node in graph.nodes().iter().rev() {
+        // Reverse node-id order is exactly the tape's backward order. The
+        // provider hooks fire for *every* node — even ones the dead-branch
+        // check skips — so a plan-driven provider visits each tape
+        // position exactly once.
+        for idx in (0..n_nodes).rev() {
+            provider.before_backward(idx, outputs);
+            let node = graph.node(NodeId(idx));
             // The loss node needs no incoming gradient; everything else
             // without one is dead w.r.t. the loss.
-            if !matches!(node.op, Op::SoftmaxCrossEntropy) && grads[node.id.0].is_none() {
-                continue;
+            if matches!(node.op, Op::SoftmaxCrossEntropy) || grads[idx].is_some() {
+                self.backward_node(node, graph, params, labels, outputs, aux, &mut grads);
             }
-            let push = |grads: &mut Vec<Option<Tensor>>, id: scnn_graph::NodeId, g: Tensor| {
+            provider.after_backward(idx, outputs);
+        }
+    }
+
+    /// One node's backward step: consumes `grads[node.id]`, accumulates
+    /// parameter gradients, pushes gradients to the node's inputs.
+    #[allow(clippy::too_many_arguments)]
+    fn backward_node(
+        &self,
+        node: &Node,
+        graph: &Graph,
+        params: &mut ParamStore,
+        labels: &[usize],
+        outputs: &[Option<Tensor>],
+        aux: &[Aux],
+        grads: &mut [Option<Tensor>],
+    ) {
+        let out = |id: scnn_graph::NodeId| outputs[id.0].as_ref().expect("forward ran");
+        {
+            let push = |grads: &mut [Option<Tensor>], id: scnn_graph::NodeId, g: Tensor| {
                 match &mut grads[id.0] {
                     Some(acc) => acc.add_assign(&g),
                     slot @ None => *slot = Some(g),
@@ -449,7 +515,7 @@ impl Executor {
                         _ => unreachable!("loss saved probs"),
                     };
                     let d = softmax_cross_entropy_backward(probs, labels);
-                    push(&mut grads, node.inputs[0], d);
+                    push(grads, node.inputs[0], d);
                 }
                 Op::Conv2d {
                     kh,
@@ -476,7 +542,7 @@ impl Executor {
                     if let (Some(bid), Some(db)) = (bias, g.db) {
                         params.accumulate_grad(*bid, &db);
                     }
-                    push(&mut grads, node.inputs[0], g.dx);
+                    push(grads, node.inputs[0], g.dx);
                 }
                 Op::Pool2d {
                     kind,
@@ -494,23 +560,28 @@ impl Executor {
                         pad: *pad,
                     };
                     let dy = grads[node.id.0].take().expect("pool has grad");
-                    let x = out(node.inputs[0]);
                     let dx = match kind {
                         PoolKind::Max => {
                             let mask = match &aux[node.id.0] {
                                 Aux::MaxMask(m) => m,
                                 _ => unreachable!("maxpool saved mask"),
                             };
-                            max_pool_backward(x, &dy, mask, &attrs)
+                            max_pool_backward(out(node.inputs[0]), &dy, mask, &attrs)
                         }
-                        PoolKind::Avg => avg_pool_backward(x, &dy, &attrs),
+                        // Avg pooling never reads its input values — pass
+                        // only the dims so a planning runtime may have
+                        // already freed the activation.
+                        PoolKind::Avg => {
+                            avg_pool_backward(&graph.node(node.inputs[0]).out_shape, &dy, &attrs)
+                        }
                     };
-                    push(&mut grads, node.inputs[0], dx);
+                    push(grads, node.inputs[0], dx);
                 }
                 Op::GlobalAvgPool => {
                     let dy = grads[node.id.0].take().expect("gap has grad");
-                    let dx = global_avg_pool_backward(out(node.inputs[0]), &dy);
-                    push(&mut grads, node.inputs[0], dx);
+                    let dx =
+                        global_avg_pool_backward(&graph.node(node.inputs[0]).out_shape, &dy);
+                    push(grads, node.inputs[0], dx);
                 }
                 Op::BatchNorm { gamma, beta, .. } => {
                     let dy = grads[node.id.0].take().expect("bn has grad");
@@ -522,12 +593,12 @@ impl Executor {
                     let (dx, dgamma, dbeta) = batch_norm_backward(&dy, &gv, saved);
                     params.accumulate_grad(*gamma, &dgamma);
                     params.accumulate_grad(*beta, &dbeta);
-                    push(&mut grads, node.inputs[0], dx);
+                    push(grads, node.inputs[0], dx);
                 }
                 Op::Relu => {
                     let dy = grads[node.id.0].take().expect("relu has grad");
                     let dx = relu_backward(out(node.id), &dy);
-                    push(&mut grads, node.inputs[0], dx);
+                    push(grads, node.inputs[0], dx);
                 }
                 Op::Dropout { .. } => {
                     let dy = grads[node.id.0].take().expect("dropout has grad");
@@ -535,7 +606,7 @@ impl Executor {
                         Aux::DropMask(m) => m,
                         _ => unreachable!("dropout saved mask in train mode"),
                     };
-                    push(&mut grads, node.inputs[0], dropout_backward(&dy, mask));
+                    push(grads, node.inputs[0], dropout_backward(&dy, mask));
                 }
                 Op::Linear { weight, bias, .. } => {
                     let dy = grads[node.id.0].take().expect("linear has grad");
@@ -544,13 +615,13 @@ impl Executor {
                     let g = linear_backward(x, &w, &dy);
                     params.accumulate_grad(*weight, &g.dw);
                     params.accumulate_grad(*bias, &g.db);
-                    push(&mut grads, node.inputs[0], g.dx);
+                    push(grads, node.inputs[0], g.dx);
                 }
                 Op::Add => {
                     let dy = grads[node.id.0].take().expect("add has grad");
                     // All error terms are identical (§4.2 optimization 2).
                     for &i in &node.inputs {
-                        push(&mut grads, i, dy.clone());
+                        push(grads, i, dy.clone());
                     }
                 }
                 Op::Concat { dim } => {
@@ -558,7 +629,7 @@ impl Executor {
                     let mut offset = 0;
                     for &i in &node.inputs {
                         let len = graph.node(i).out_shape[*dim];
-                        push(&mut grads, i, dy.slice_dim(*dim, offset, len));
+                        push(grads, i, dy.slice_dim(*dim, offset, len));
                         offset += len;
                     }
                 }
@@ -566,7 +637,7 @@ impl Executor {
                     let dy = grads[node.id.0].take().expect("slice has grad");
                     let full = &graph.node(node.inputs[0]).out_shape;
                     push(
-                        &mut grads,
+                        grads,
                         node.inputs[0],
                         Tensor::scatter_dim(&dy, full, *dim, *start),
                     );
@@ -574,7 +645,7 @@ impl Executor {
                 Op::Flatten => {
                     let dy = grads[node.id.0].take().expect("flatten has grad");
                     let full = &graph.node(node.inputs[0]).out_shape;
-                    push(&mut grads, node.inputs[0], dy.reshape(full));
+                    push(grads, node.inputs[0], dy.reshape(full));
                 }
             }
         }

@@ -30,10 +30,14 @@ struct PoolGeom {
 }
 
 fn geom(x: &Tensor, attrs: &PoolAttrs) -> PoolGeom {
-    assert_eq!(x.rank(), 4, "pool input must be NCHW");
+    geom_dims(x.shape().dims(), attrs)
+}
+
+fn geom_dims(x_dims: &[usize], attrs: &PoolAttrs) -> PoolGeom {
+    assert_eq!(x_dims.len(), 4, "pool input must be NCHW");
     let (crop, pos) = split_padding(attrs.pad);
-    let h = crop.out_h(x.dim(2));
-    let w = crop.out_w(x.dim(3));
+    let h = crop.out_h(x_dims[2]);
+    let w = crop.out_w(x_dims[3]);
     let ph = (h as i64 + pos.h_begin + pos.h_end) as usize;
     let pw = (w as i64 + pos.w_begin + pos.w_end) as usize;
     assert!(
@@ -165,10 +169,12 @@ pub fn avg_pool_forward(x: &Tensor, attrs: &PoolAttrs) -> Tensor {
 }
 
 /// Average-pool backward: spreads each output gradient uniformly over its
-/// window.
-pub fn avg_pool_backward(x: &Tensor, dy: &Tensor, attrs: &PoolAttrs) -> Tensor {
-    let g = geom(x, attrs);
-    let (n, c) = (x.dim(0), x.dim(1));
+/// window. Takes the forward input's *dims* rather than the tensor — the
+/// values are never read, so the activation may already be freed by a
+/// memory-planning runtime when this runs.
+pub fn avg_pool_backward(x_dims: &[usize], dy: &Tensor, attrs: &PoolAttrs) -> Tensor {
+    let g = geom_dims(x_dims, attrs);
+    let (n, c) = (x_dims[0], x_dims[1]);
     assert_eq!(dy.shape().dims(), &[n, c, g.oh, g.ow], "pool dy shape mismatch");
     let mut dxc = Tensor::zeros(&[n, c, g.h, g.w]);
     let s = dy.as_slice();
@@ -211,9 +217,10 @@ pub fn global_avg_pool_forward(x: &Tensor) -> Tensor {
     out
 }
 
-/// Global average pooling backward.
-pub fn global_avg_pool_backward(x: &Tensor, dy: &Tensor) -> Tensor {
-    let (n, c, h, w) = (x.dim(0), x.dim(1), x.dim(2), x.dim(3));
+/// Global average pooling backward. Takes the forward input's *dims* —
+/// like [`avg_pool_backward`], the input values are never read.
+pub fn global_avg_pool_backward(x_dims: &[usize], dy: &Tensor) -> Tensor {
+    let (n, c, h, w) = (x_dims[0], x_dims[1], x_dims[2], x_dims[3]);
     assert_eq!(dy.shape().dims(), &[n, c, 1, 1], "global pool dy mismatch");
     let scale = 1.0 / (h * w) as f32;
     let mut dx = Tensor::zeros(&[n, c, h, w]);
@@ -285,7 +292,7 @@ mod tests {
         let a = attrs(3, 2, Padding2d::new(1, 0, 0, 1));
         let y = avg_pool_forward(&x, &a);
         let dy = Tensor::ones(y.shape().dims());
-        let dx = avg_pool_backward(&x, &dy, &a);
+        let dx = avg_pool_backward(x.shape().dims(), &dy, &a);
         check(&x, &dx, 0.05, |xx| avg_pool_forward(xx, &a).sum());
     }
 
@@ -303,7 +310,7 @@ mod tests {
         let y = global_avg_pool_forward(&x);
         assert_eq!(y.shape().dims(), &[2, 3, 1, 1]);
         let dy = Tensor::ones(&[2, 3, 1, 1]);
-        let dx = global_avg_pool_backward(&x, &dy);
+        let dx = global_avg_pool_backward(x.shape().dims(), &dy);
         check(&x, &dx, 0.05, |xx| global_avg_pool_forward(xx).sum());
     }
 }

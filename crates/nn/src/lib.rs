@@ -22,10 +22,12 @@ pub mod executor;
 pub mod kernels;
 pub mod optim;
 pub mod params;
+pub mod provider;
 pub mod schedule;
 pub mod train;
 
 pub use executor::{BatchResult, Executor, Mode};
+pub use provider::{BufferProvider, VecProvider};
 pub use schedule::Schedule;
 pub use optim::{MultiStepLr, Sgd};
 pub use params::{BnState, ParamStore};

@@ -126,9 +126,9 @@ fn pools_bitwise_thread_invariant() {
             let (ym, mask) = max_pool_forward(&x, &attrs);
             let dxm = max_pool_backward(&x, &dy, &mask, &attrs);
             let ya = avg_pool_forward(&x, &attrs);
-            let dxa = avg_pool_backward(&x, &dy, &attrs);
+            let dxa = avg_pool_backward(x.shape().dims(), &dy, &attrs);
             let yg = global_avg_pool_forward(&x);
-            let dxg = global_avg_pool_backward(&x, &dyg);
+            let dxg = global_avg_pool_backward(x.shape().dims(), &dyg);
             vec![ym, dxm, ya, dxa, yg, dxg]
         })
     });

@@ -1,0 +1,146 @@
+//! A single background worker thread for asynchronous, ordered side work.
+//!
+//! The memory runtime overlaps offload/prefetch copies with compute, the
+//! way the paper's HMMS overlaps NVLink transfers with kernel execution
+//! (§4.3). Those copies must not perturb determinism, so the model is
+//! deliberately strict:
+//!
+//! - **one** worker thread, executing submitted tasks **in submission
+//!   order** (a transfer engine, not a compute pool);
+//! - completion is observed only by blocking on a handle ([`Ticket::wait`]),
+//!   mirroring a `cudaStreamSynchronize` at the plan's sync points.
+//!
+//! Because tasks are bit-exact copies and every read of their results
+//! happens after an explicit `wait`, the observable values of a training
+//! step are independent of how the worker is scheduled.
+
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::thread::JoinHandle;
+
+/// A task the worker runs: boxed closure returning nothing; results travel
+/// through the [`Ticket`] channel instead.
+type Task = Box<dyn FnOnce() + Send>;
+
+/// Completion handle for one submitted task.
+pub struct Ticket {
+    rx: Receiver<()>,
+}
+
+impl Ticket {
+    /// Blocks until the task has finished running.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the worker thread died before completing the task (it
+    /// only dies if a task panicked — a bug, not a recoverable state).
+    pub fn wait(self) {
+        self.rx
+            .recv()
+            .expect("background worker died before completing task");
+    }
+}
+
+/// A single-threaded, order-preserving background executor.
+pub struct Worker {
+    tx: Option<Sender<Task>>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl Worker {
+    /// Spawns the worker thread.
+    pub fn new(name: &str) -> Self {
+        let (tx, rx) = channel::<Task>();
+        let handle = std::thread::Builder::new()
+            .name(name.to_string())
+            .spawn(move || {
+                while let Ok(task) = rx.recv() {
+                    task();
+                }
+            })
+            .expect("spawning background worker");
+        Worker {
+            tx: Some(tx),
+            handle: Some(handle),
+        }
+    }
+
+    /// Submits `task`; it runs after every previously submitted task.
+    /// Returns a [`Ticket`] that resolves when it completes.
+    pub fn submit(&self, task: impl FnOnce() + Send + 'static) -> Ticket {
+        let (done_tx, done_rx) = channel();
+        let boxed: Task = Box::new(move || {
+            task();
+            // The submitter may have dropped the ticket (fire-and-forget);
+            // a closed channel is fine.
+            let _ = done_tx.send(());
+        });
+        self.tx
+            .as_ref()
+            .expect("worker already shut down")
+            .send(boxed)
+            .expect("background worker died");
+        Ticket { rx: done_rx }
+    }
+}
+
+impl Drop for Worker {
+    fn drop(&mut self) {
+        // Close the queue, then join so submitted work finishes before the
+        // owner proceeds — dropping a runtime never abandons a transfer.
+        drop(self.tx.take());
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn tasks_run_in_submission_order() {
+        let w = Worker::new("test-bg");
+        let log = Arc::new(std::sync::Mutex::new(Vec::new()));
+        let tickets: Vec<Ticket> = (0..16)
+            .map(|i| {
+                let log = Arc::clone(&log);
+                w.submit(move || log.lock().unwrap().push(i))
+            })
+            .collect();
+        for t in tickets {
+            t.wait();
+        }
+        assert_eq!(*log.lock().unwrap(), (0..16).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn wait_blocks_until_done() {
+        let w = Worker::new("test-bg");
+        let flag = Arc::new(AtomicUsize::new(0));
+        let f = Arc::clone(&flag);
+        let t = w.submit(move || {
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            f.store(1, Ordering::SeqCst);
+        });
+        t.wait();
+        assert_eq!(flag.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn drop_drains_pending_work() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        {
+            let w = Worker::new("test-bg");
+            for _ in 0..8 {
+                let c = Arc::clone(&counter);
+                drop(w.submit(move || {
+                    c.fetch_add(1, Ordering::SeqCst);
+                }));
+            }
+        }
+        assert_eq!(counter.load(Ordering::SeqCst), 8);
+    }
+}

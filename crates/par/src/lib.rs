@@ -24,6 +24,8 @@
 //! them, so kernels may call [`parallel_for`] freely even when the executor
 //! already runs sibling split-patch branches on the pool.
 
+pub mod background;
+
 use std::cell::Cell;
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};

@@ -1,0 +1,51 @@
+//! The plan-executing memory runtime: HMMS (§4) made real.
+//!
+//! `scnn-hmms` *plans*: it assigns tensors to TSOs, schedules
+//! offload/prefetch around the execution tape, and first-fit-places every
+//! TSO instance in a static pool layout. This crate *executes* that plan
+//! during an actual training step on `scnn-nn`'s executor:
+//!
+//! - [`PlanRuntime`] plugs into [`scnn_nn::Executor::run_with`] as a
+//!   [`scnn_nn::BufferProvider`]. Node outputs live in pool-recycled
+//!   storage, are dropped at exactly the tape positions the plan frees
+//!   their TSO, and cold activations round-trip through a host arena on a
+//!   background transfer thread — prefetched back just before their
+//!   backward reader, as §4.3 schedules.
+//! - [`PoolGauge`] replays the plan's addresses and verifies them live
+//!   (no overlap, no leak); its high-water mark equals the static
+//!   layout's `device_general_bytes`, which the golden tests pin.
+//! - [`MeterProvider`] measures the unmanaged Vec-per-node baseline so
+//!   benchmarks can report the runtime's actual savings.
+//!
+//! Placement is the only thing the runtime changes: training under
+//! [`PlanRuntime`] is bit-identical to the baseline at any thread count.
+//!
+//! ```no_run
+//! use scnn_graph::Tape;
+//! use scnn_hmms::{plan_hmms, PlannerOptions, Profile, TsoAssignment, TsoOptions};
+//! use scnn_nn::{BnState, Executor, Mode, ParamStore};
+//! use scnn_runtime::PlanRuntime;
+//! # fn demo(graph: scnn_graph::Graph, images: scnn_tensor::Tensor, labels: Vec<usize>) {
+//! let tape = Tape::new(&graph);
+//! let tso = TsoAssignment::new(&graph, &vec![0; graph.len()], TsoOptions::default());
+//! let profile = Profile::uniform(&graph, 1e-3, 30e9);
+//! let plan = plan_hmms(&graph, &tape, &tso, &profile, PlannerOptions::default());
+//! let mut rt = PlanRuntime::from_plan(&graph, &tape, &plan, &tso).expect("plan is legal");
+//!
+//! let exec = Executor::new();
+//! let mut params = ParamStore::init(&graph, &mut scnn_rng::SplitRng::seed_from_u64(7));
+//! let mut bn = BnState::new();
+//! let mut rng = scnn_rng::SplitRng::seed_from_u64(13);
+//! exec.run_with(&graph, &mut params, &mut bn, &images, &labels,
+//!               Mode::Train, &mut rng, &mut rt);
+//! println!("device peak: {} B", rt.stats().plan_device_peak_bytes);
+//! # }
+//! ```
+
+pub mod host;
+pub mod pool;
+pub mod provider;
+
+pub use host::HostArena;
+pub use pool::{PoolGauge, Slab};
+pub use provider::{MeterProvider, PlanRuntime, StepStats};

@@ -1,0 +1,179 @@
+//! Device-pool accounting and physical buffer recycling.
+//!
+//! The runtime separates two concerns the planner fuses:
+//!
+//! - **Accounting** ([`PoolGauge`]): replays the planner's first-fit
+//!   addresses verbatim and checks that no two live TSOs overlap. Its
+//!   high-water mark is, by construction, the `device_general_bytes` the
+//!   static layout promised — the golden tests pin that equality.
+//! - **Physical storage** ([`Slab`]): a size-binned cache of `Vec<f32>`
+//!   buffers. Dropped pooled tensors return their buffers here; prefetches
+//!   and adoptions draw from it, so one training step recycles the same
+//!   allocations the way a device pool would reuse addresses.
+//!
+//! The slab is only *taken from* on the executor's main thread (adopt and
+//! prefetch issue) and every buffer is fully overwritten before a kernel
+//! reads it, so recycling can never change a computed value.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+use scnn_tensor::BufferRecycler;
+
+/// Replays planned addresses and validates them: panics on a double alloc,
+/// a free of a dead TSO, or two live TSOs overlapping — all of which mean
+/// the plan and the execution disagree, a bug the runtime must not paper
+/// over.
+#[derive(Debug, Default)]
+pub struct PoolGauge {
+    /// Live intervals: TSO id → (address, size).
+    live: HashMap<usize, (usize, usize)>,
+    high: usize,
+}
+
+impl PoolGauge {
+    /// An empty gauge.
+    pub fn new() -> Self {
+        PoolGauge::default()
+    }
+
+    /// Marks `tso` live at the planner-assigned `addr`.
+    pub fn alloc(&mut self, tso: usize, addr: usize, size: usize) {
+        assert!(
+            !self.live.contains_key(&tso),
+            "TSO {tso} allocated while already live"
+        );
+        if size > 0 {
+            for (&other, &(a, s)) in &self.live {
+                assert!(
+                    addr + size <= a || a + s <= addr,
+                    "TSO {tso} at [{addr}, {}) overlaps live TSO {other} at [{a}, {})",
+                    addr + size,
+                    a + s
+                );
+            }
+        }
+        self.high = self.high.max(addr + size);
+        self.live.insert(tso, (addr, size));
+    }
+
+    /// Marks `tso` dead, releasing its interval.
+    pub fn free(&mut self, tso: usize) {
+        assert!(
+            self.live.remove(&tso).is_some(),
+            "TSO {tso} freed while not live"
+        );
+    }
+
+    /// Highest address ever covered by a live TSO — the pool size the plan
+    /// requires.
+    pub fn high_water(&self) -> usize {
+        self.high
+    }
+
+    /// Bytes currently live.
+    pub fn live_bytes(&self) -> usize {
+        self.live.values().map(|&(_, s)| s).sum()
+    }
+
+    /// Whether nothing is live (must hold at end of step: plans are
+    /// leak-free by validation).
+    pub fn is_empty(&self) -> bool {
+        self.live.is_empty()
+    }
+}
+
+/// A size-binned buffer cache. Implements [`BufferRecycler`] so pooled
+/// tensors flow back here on drop.
+#[derive(Debug, Default)]
+pub struct Slab {
+    /// element count → stack of returned buffers of exactly that length.
+    bins: Mutex<HashMap<usize, Vec<Vec<f32>>>>,
+}
+
+impl Slab {
+    /// An empty slab.
+    pub fn new() -> Self {
+        Slab::default()
+    }
+
+    /// A buffer of exactly `elems` elements: recycled if one is cached,
+    /// freshly zeroed otherwise. Callers must fully overwrite it before
+    /// any kernel reads — recycled contents are arbitrary.
+    pub fn take(&self, elems: usize) -> Vec<f32> {
+        let recycled = self
+            .bins
+            .lock()
+            .expect("slab lock")
+            .get_mut(&elems)
+            .and_then(Vec::pop);
+        recycled.unwrap_or_else(|| vec![0.0; elems])
+    }
+
+    /// Number of buffers currently cached (test/diagnostic hook).
+    pub fn cached(&self) -> usize {
+        self.bins.lock().expect("slab lock").values().map(Vec::len).sum()
+    }
+}
+
+impl BufferRecycler for Slab {
+    fn recycle(&self, buf: Vec<f32>) {
+        if !buf.is_empty() {
+            self.bins
+                .lock()
+                .expect("slab lock")
+                .entry(buf.len())
+                .or_default()
+                .push(buf);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gauge_tracks_high_water_like_a_free_list() {
+        let mut g = PoolGauge::new();
+        g.alloc(0, 0, 100);
+        g.alloc(1, 100, 50);
+        assert_eq!(g.high_water(), 150);
+        assert_eq!(g.live_bytes(), 150);
+        g.free(0);
+        g.alloc(2, 0, 40); // reuse the gap, high water unchanged
+        assert_eq!(g.high_water(), 150);
+        g.free(1);
+        g.free(2);
+        assert!(g.is_empty());
+        assert_eq!(g.high_water(), 150);
+    }
+
+    #[test]
+    #[should_panic(expected = "overlaps live TSO")]
+    fn gauge_rejects_overlap() {
+        let mut g = PoolGauge::new();
+        g.alloc(0, 0, 100);
+        g.alloc(1, 60, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "freed while not live")]
+    fn gauge_rejects_free_of_dead() {
+        let mut g = PoolGauge::new();
+        g.free(3);
+    }
+
+    #[test]
+    fn slab_recycles_exact_sizes() {
+        let slab = Slab::new();
+        slab.recycle(vec![1.0; 8]);
+        slab.recycle(vec![2.0; 4]);
+        assert_eq!(slab.cached(), 2);
+        let b = slab.take(8);
+        assert_eq!(b.len(), 8);
+        assert_eq!(slab.cached(), 1);
+        // No bin for 16: a fresh zeroed buffer.
+        assert_eq!(slab.take(16), vec![0.0; 16]);
+    }
+}

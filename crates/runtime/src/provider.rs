@@ -1,0 +1,392 @@
+//! The plan-executing buffer provider.
+//!
+//! [`PlanRuntime`] implements [`scnn_nn::BufferProvider`] and drives one
+//! HMMS [`ExecPlan`] per training step:
+//!
+//! - every node output is adopted into pool-recycled storage
+//!   ([`PooledBuf`]) so freed buffers are physically reused;
+//! - the plan's Alloc/Free events replay through a [`PoolGauge`] at the
+//!   planner's own addresses — the gauge's high-water mark *is* the
+//!   `device_general_bytes` the static layout promised;
+//! - Free events (and an eager in-place-aliasing pass) drop activation
+//!   entries from the executor's `outputs` table the moment their planned
+//!   lifetime ends;
+//! - OffloadStart/PrefetchStart hand copies to a background transfer
+//!   worker; the matching Sync events block exactly where the plan says
+//!   the compute stream would.
+//!
+//! # Tape-cursor gating
+//!
+//! The plan is a serialized tape; the executor completes forward nodes in
+//! wave order, which interleaves *differently* but completes every node of
+//! step `i` before any node of a later wave starts. The runtime keeps a
+//! cursor over tape positions and only replays a step's events once every
+//! step before it has completed — so the event order the gauge sees is
+//! exactly the order `plan_layout` validated, regardless of wave shape.
+//! The backward half is serial reverse-id order, which *is* tape order.
+//!
+//! # Determinism
+//!
+//! The runtime moves and copies bits; it never computes. Adoption wraps
+//! the kernel's own buffer without touching values, offload/prefetch are
+//! bit-exact copies synchronized by the plan's events, and recycled
+//! buffers are fully overwritten before any kernel reads them. A step run
+//! under `PlanRuntime` is therefore bit-identical to the `VecProvider`
+//! baseline at any `SCNN_THREADS` — the integration tests assert this.
+
+use std::collections::HashMap;
+use std::sync::mpsc::{channel, Receiver};
+use std::sync::Arc;
+
+use scnn_graph::Graph;
+use scnn_hmms::{export_plan, ExecPlan, LayoutError, MemEvent, MemoryPlan, TsoAssignment};
+use scnn_nn::BufferProvider;
+use scnn_par::background::{Ticket, Worker};
+use scnn_tensor::{BufferRecycler, PooledBuf, Tensor};
+
+use crate::host::HostArena;
+use crate::pool::{PoolGauge, Slab};
+
+/// What one step under the runtime cost, memory-wise.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StepStats {
+    /// High-water mark of the device general pool as the plan's events
+    /// replayed — the runtime-measured counterpart of
+    /// `StaticLayout::device_general_bytes`.
+    pub plan_device_peak_bytes: usize,
+    /// Peak of physically resident activation bytes (the `outputs` table),
+    /// sampled at every lifetime hook.
+    pub resident_peak_bytes: usize,
+    /// Host arena capacity (bytes staged off-device by the plan).
+    pub host_bytes: usize,
+    /// Offload transfers issued.
+    pub offloads: usize,
+    /// Prefetch transfers issued.
+    pub prefetches: usize,
+}
+
+/// A pooled, plan-driven [`BufferProvider`]. One instance serves one graph
+/// and one plan, for any number of training steps.
+pub struct PlanRuntime {
+    plan: ExecPlan,
+    /// Forward consumers per node (for the eager in-place-alias drop).
+    consumers: Vec<Vec<usize>>,
+    /// Activation TSO of each node's output.
+    node_tso: Vec<usize>,
+    /// Output shape per node (restores rebuild tensors without the graph).
+    node_shape: Vec<Vec<usize>>,
+    slab: Arc<Slab>,
+    arena: Arc<HostArena>,
+    worker: Worker,
+
+    // Per-step replay state.
+    gauge: PoolGauge,
+    instance: Vec<usize>,
+    completed: Vec<bool>,
+    cursor: usize,
+    /// Node whose output currently holds each TSO's bits (last completed
+    /// alias — the value an offload must capture).
+    content: Vec<Option<usize>>,
+    pending_offload: HashMap<usize, Ticket>,
+    pending_prefetch: HashMap<usize, Receiver<Vec<f32>>>,
+    resident_peak: usize,
+    offloads: usize,
+    prefetches: usize,
+    stats: StepStats,
+}
+
+impl PlanRuntime {
+    /// Builds a runtime for `graph` executing `plan`.
+    pub fn new(graph: &Graph, plan: ExecPlan) -> Self {
+        assert_eq!(
+            plan.forward_len,
+            graph.len(),
+            "plan was exported for a different graph"
+        );
+        let consumers: Vec<Vec<usize>> = graph
+            .consumers()
+            .into_iter()
+            .map(|c| c.into_iter().map(|id| id.0).collect())
+            .collect();
+        let mut node_tso = vec![usize::MAX; graph.len()];
+        for (t, nodes) in plan.alias_nodes.iter().enumerate() {
+            for &n in nodes {
+                node_tso[n] = t;
+            }
+        }
+        let node_shape: Vec<Vec<usize>> =
+            graph.nodes().iter().map(|n| n.out_shape.clone()).collect();
+        let arena = Arc::new(HostArena::with_bytes(plan.layout.host_pool_bytes));
+        let n_tso = plan.sizes.len();
+        PlanRuntime {
+            plan,
+            consumers,
+            node_tso,
+            node_shape,
+            slab: Arc::new(Slab::new()),
+            arena,
+            worker: Worker::new("scnn-transfer"),
+            gauge: PoolGauge::new(),
+            instance: vec![0; n_tso],
+            completed: Vec::new(),
+            cursor: 0,
+            content: vec![None; n_tso],
+            pending_offload: HashMap::new(),
+            pending_prefetch: HashMap::new(),
+            resident_peak: 0,
+            offloads: 0,
+            prefetches: 0,
+            stats: StepStats::default(),
+        }
+    }
+
+    /// Convenience: export `plan` against `graph`/`tape`/`tso` and build
+    /// the runtime in one go.
+    pub fn from_plan(
+        graph: &Graph,
+        tape: &scnn_graph::Tape,
+        plan: &MemoryPlan,
+        tso: &TsoAssignment,
+    ) -> Result<Self, LayoutError> {
+        Ok(PlanRuntime::new(graph, export_plan(graph, tape, plan, tso)?))
+    }
+
+    /// The resolved plan this runtime executes.
+    pub fn plan(&self) -> &ExecPlan {
+        &self.plan
+    }
+
+    /// Memory statistics of the last completed step.
+    pub fn stats(&self) -> StepStats {
+        self.stats
+    }
+
+    fn sample_resident(&mut self, outputs: &[Option<Tensor>]) {
+        let live: usize = outputs
+            .iter()
+            .flatten()
+            .map(|t| t.as_slice().len() * 4)
+            .sum();
+        self.resident_peak = self.resident_peak.max(live);
+    }
+
+    /// Drops alias-predecessor outputs that are now dead: in-place ReLU's
+    /// pre-activation (and flatten's source) the moment the aliasing node
+    /// lands, provided backward never re-reads them and every forward
+    /// consumer already ran. This is the physical realization of the
+    /// planner treating the pair as *one* TSO.
+    fn eager_alias_drop(&mut self, node: usize, outputs: &mut [Option<Tensor>]) {
+        let t = self.node_tso[node];
+        for &p in &self.plan.alias_nodes[t] {
+            if p != node
+                && outputs[p].is_some()
+                && !self.plan.restore_nodes[t].contains(&p)
+                && self.consumers[p].iter().all(|&c| self.completed[c])
+            {
+                outputs[p] = None;
+            }
+        }
+    }
+
+    fn advance_forward_cursor(&mut self, outputs: &mut [Option<Tensor>]) {
+        while self.cursor < self.plan.forward_len && self.completed[self.cursor] {
+            let step = self.plan.steps[self.cursor].clone();
+            for e in step.before.iter().chain(&step.after) {
+                self.apply(e, outputs);
+            }
+            self.cursor += 1;
+        }
+    }
+
+    fn apply(&mut self, event: &MemEvent, outputs: &mut [Option<Tensor>]) {
+        match *event {
+            MemEvent::Alloc(t) => {
+                let inst = self.instance[t.0];
+                self.instance[t.0] += 1;
+                let addr = self.plan.layout.addresses[&(t, inst)];
+                self.gauge.alloc(t.0, addr, self.plan.sizes[t.0]);
+            }
+            MemEvent::Free(t) => {
+                self.gauge.free(t.0);
+                if self.plan.is_activation[t.0] {
+                    for &nid in &self.plan.alias_nodes[t.0] {
+                        outputs[nid] = None;
+                    }
+                }
+            }
+            MemEvent::OffloadStart { tso, .. } => {
+                let src = self.content[tso.0].expect("offloaded TSO has computed content");
+                let staged: Vec<f32> = outputs[src]
+                    .as_ref()
+                    .expect("offload source is resident")
+                    .as_slice()
+                    .to_vec();
+                let off = self.plan.host_offsets[&tso];
+                let arena = self.arena.clone();
+                let ticket = self.worker.submit(move || arena.store(off, &staged));
+                self.pending_offload.insert(tso.0, ticket);
+                self.offloads += 1;
+            }
+            MemEvent::OffloadSync { tso } => {
+                self.pending_offload
+                    .remove(&tso.0)
+                    .expect("offload was started")
+                    .wait();
+            }
+            MemEvent::PrefetchStart { tso, .. } => {
+                let restore = &self.plan.restore_nodes[tso.0];
+                let elems: usize = self.node_shape
+                    [*restore.last().expect("prefetched TSO has a reader")]
+                .iter()
+                .product();
+                let mut buf = self.slab.take(elems);
+                let off = self.plan.host_offsets[&tso];
+                let arena = self.arena.clone();
+                let (tx, rx) = channel();
+                self.worker.submit(move || {
+                    arena.load(off, &mut buf);
+                    // The runtime holds the receiver for the whole step; a
+                    // closed channel means it was dropped mid-panic.
+                    let _ = tx.send(buf);
+                });
+                self.pending_prefetch.insert(tso.0, rx);
+                self.prefetches += 1;
+            }
+            MemEvent::PrefetchSync { tso } => {
+                let buf = self
+                    .pending_prefetch
+                    .remove(&tso.0)
+                    .expect("prefetch was started")
+                    .recv()
+                    .expect("transfer worker completed the prefetch");
+                let restore = self.plan.restore_nodes[tso.0].clone();
+                let (&last, rest) = restore.split_last().expect("prefetched TSO has a reader");
+                for &nid in rest {
+                    // Aliased views (e.g. pre-flatten and flattened) share
+                    // the same bits under different shapes.
+                    outputs[nid] = Some(Tensor::from_vec(buf.clone(), &self.node_shape[nid]));
+                }
+                let home: Arc<dyn BufferRecycler> = self.slab.clone();
+                outputs[last] =
+                    Some(Tensor::from_pooled(PooledBuf::new(buf, home), &self.node_shape[last]));
+                self.content[tso.0] = Some(last);
+            }
+        }
+    }
+}
+
+impl BufferProvider for PlanRuntime {
+    fn begin_step(&mut self, n_nodes: usize) {
+        assert_eq!(
+            n_nodes, self.plan.forward_len,
+            "plan was exported for a different graph"
+        );
+        assert!(
+            self.pending_offload.is_empty() && self.pending_prefetch.is_empty(),
+            "previous step left transfers in flight"
+        );
+        self.gauge = PoolGauge::new();
+        self.instance = vec![0; self.plan.sizes.len()];
+        self.completed = vec![false; n_nodes];
+        self.cursor = 0;
+        self.content = vec![None; self.plan.sizes.len()];
+        self.resident_peak = 0;
+        self.offloads = 0;
+        self.prefetches = 0;
+    }
+
+    fn adopt(&mut self, _node: usize, out: Tensor) -> Tensor {
+        // Migrate the kernel's buffer into pool-recycled storage without
+        // copying: the same bits, now returned to the slab on drop.
+        let dims = out.shape().dims().to_vec();
+        let home: Arc<dyn BufferRecycler> = self.slab.clone();
+        Tensor::from_pooled(PooledBuf::new(out.into_vec(), home), &dims)
+    }
+
+    fn forward_complete(&mut self, node: usize, outputs: &mut [Option<Tensor>]) {
+        self.completed[node] = true;
+        self.content[self.node_tso[node]] = Some(node);
+        // Sample before dropping anything: the post-wave instant is the
+        // physical peak.
+        self.sample_resident(outputs);
+        self.eager_alias_drop(node, outputs);
+        self.advance_forward_cursor(outputs);
+    }
+
+    fn before_backward(&mut self, node: usize, outputs: &mut [Option<Tensor>]) {
+        let pos = 2 * self.plan.forward_len - 1 - node;
+        assert_eq!(self.cursor, pos, "backward visited out of tape order");
+        let before = self.plan.steps[pos].before.clone();
+        for e in &before {
+            self.apply(e, outputs);
+        }
+        self.sample_resident(outputs);
+    }
+
+    fn after_backward(&mut self, node: usize, outputs: &mut [Option<Tensor>]) {
+        let pos = 2 * self.plan.forward_len - 1 - node;
+        assert_eq!(self.cursor, pos, "backward visited out of tape order");
+        let after = self.plan.steps[pos].after.clone();
+        for e in &after {
+            self.apply(e, outputs);
+        }
+        self.cursor += 1;
+        self.sample_resident(outputs);
+    }
+
+    fn end_step(&mut self, outputs: &mut [Option<Tensor>]) {
+        assert_eq!(
+            self.cursor,
+            self.plan.steps.len(),
+            "PlanRuntime requires a full train-mode step (forward + backward)"
+        );
+        assert!(self.gauge.is_empty(), "plan left TSOs live past the step");
+        assert!(
+            self.pending_offload.is_empty() && self.pending_prefetch.is_empty(),
+            "plan left transfers unsynchronized"
+        );
+        self.sample_resident(outputs);
+        self.stats = StepStats {
+            plan_device_peak_bytes: self.gauge.high_water(),
+            resident_peak_bytes: self.resident_peak,
+            host_bytes: self.arena.bytes(),
+            offloads: self.offloads,
+            prefetches: self.prefetches,
+        };
+    }
+}
+
+/// A measuring pass-through provider: keeps the executor's Vec-per-node
+/// behavior but records the resident-activation peak, giving the baseline
+/// number the runtime's savings are judged against.
+#[derive(Debug, Default)]
+pub struct MeterProvider {
+    live: usize,
+    peak: usize,
+}
+
+impl MeterProvider {
+    /// A fresh meter.
+    pub fn new() -> Self {
+        MeterProvider::default()
+    }
+
+    /// Peak resident activation bytes over all steps so far.
+    pub fn peak_bytes(&self) -> usize {
+        self.peak
+    }
+}
+
+impl BufferProvider for MeterProvider {
+    fn begin_step(&mut self, _n_nodes: usize) {
+        self.live = 0;
+    }
+
+    fn adopt(&mut self, _node: usize, out: Tensor) -> Tensor {
+        // Vec-per-node never frees within a step, so resident bytes only
+        // grow: the peak is the running sum's maximum.
+        self.live += out.as_slice().len() * 4;
+        self.peak = self.peak.max(self.live);
+        out
+    }
+}

@@ -1,0 +1,175 @@
+//! End-to-end properties of the plan-executing runtime:
+//!
+//! - **Golden agreement** — the peak the runtime *measures* while
+//!   replaying a plan equals the peak the static layout *predicted*, for
+//!   every strategy, on a VGG tower and a split ResNet;
+//! - **Bit identity** — training under [`PlanRuntime`] produces the same
+//!   losses and the same parameter bits as the Vec-per-node baseline, at
+//!   any thread count;
+//! - **Savings** — the plan-driven lifetimes keep fewer activation bytes
+//!   resident than the baseline.
+
+use scnn_core::{lower_unsplit, plan_split, SplitConfig};
+use scnn_graph::{Graph, NodeId, ParamId, Tape};
+use scnn_hmms::{
+    plan_hmms, plan_no_offload, plan_vdnn, MemoryPlan, PlannerOptions, Profile, TsoAssignment,
+    TsoOptions,
+};
+use scnn_models::{resnet18, vgg19, ModelOptions};
+use scnn_nn::{BnState, Executor, Mode, ParamStore, Sgd, VecProvider};
+use scnn_rng::SplitRng;
+use scnn_runtime::{MeterProvider, PlanRuntime};
+use scnn_tensor::{uniform, Tensor};
+
+fn vgg_graph(batch: usize) -> Graph {
+    let desc = vgg19(&ModelOptions::cifar().with_width(0.125));
+    lower_unsplit(&desc, batch)
+}
+
+fn split_resnet_graph(batch: usize) -> Graph {
+    let desc = resnet18(&ModelOptions::cifar().with_width(0.25));
+    plan_split(&desc, &SplitConfig::new(0.5, 2, 2))
+        .expect("resnet splits")
+        .lower(&desc, batch)
+}
+
+fn batch_for(graph: &Graph, seed: u64) -> (Tensor, Vec<usize>) {
+    let dims = graph.node(NodeId(0)).out_shape.clone();
+    let mut rng = SplitRng::seed_from_u64(seed);
+    let images = uniform(&mut rng, &dims, -1.0, 1.0);
+    let labels = (0..dims[0]).map(|i| (i * 3 + 1) % 10).collect();
+    (images, labels)
+}
+
+fn plans(graph: &Graph) -> (Tape, TsoAssignment, Vec<MemoryPlan>) {
+    let tape = Tape::new(graph);
+    let tso = TsoAssignment::new(graph, &vec![0; graph.len()], TsoOptions::default());
+    let profile = Profile::uniform(graph, 1e-3, 30e9);
+    let plans = vec![
+        plan_no_offload(graph, &tape, &tso, &profile),
+        plan_vdnn(graph, &tape, &tso, &profile, PlannerOptions::default()),
+        plan_hmms(graph, &tape, &tso, &profile, PlannerOptions::default()),
+    ];
+    (tape, tso, plans)
+}
+
+/// One train step under the given runtime; returns the loss.
+fn step_with(
+    graph: &Graph,
+    params: &mut ParamStore,
+    bn: &mut BnState,
+    rng: &mut SplitRng,
+    images: &Tensor,
+    labels: &[usize],
+    provider: &mut dyn scnn_nn::BufferProvider,
+) -> f32 {
+    Executor::new()
+        .run_with(graph, params, bn, images, labels, Mode::Train, rng, provider)
+        .loss
+}
+
+#[test]
+fn runtime_peak_matches_static_layout_prediction() {
+    for graph in [vgg_graph(2), split_resnet_graph(2)] {
+        let (tape, tso, plans) = plans(&graph);
+        let (images, labels) = batch_for(&graph, 11);
+        for plan in plans {
+            let exec = scnn_hmms::export_plan(&graph, &tape, &plan, &tso).expect("plan exports");
+            let predicted = exec.layout.device_general_bytes;
+            let predicted_host = exec.layout.host_pool_bytes;
+            let mut rt = PlanRuntime::new(&graph, exec);
+            let mut params = ParamStore::init(&graph, &mut SplitRng::seed_from_u64(1));
+            let mut bn = BnState::new();
+            let mut rng = SplitRng::seed_from_u64(2);
+            step_with(&graph, &mut params, &mut bn, &mut rng, &images, &labels, &mut rt);
+            let stats = rt.stats();
+            assert_eq!(
+                stats.plan_device_peak_bytes, predicted,
+                "strategy {} measured a different device peak than planned",
+                plan.strategy
+            );
+            assert_eq!(
+                stats.host_bytes, predicted_host,
+                "strategy {} host pool mismatch",
+                plan.strategy
+            );
+            assert_eq!(stats.offloads, plan.offloaded.len());
+            assert_eq!(stats.prefetches, plan.offloaded.len());
+        }
+    }
+}
+
+#[test]
+fn training_is_bit_identical_to_vec_baseline_at_any_thread_count() {
+    let graph = split_resnet_graph(2);
+    let (tape, tso, plans) = plans(&graph);
+    let hmms = plans.into_iter().last().expect("hmms plan");
+    let n_params = graph.params().len();
+
+    // Reference: two SGD steps under the Vec provider, serial.
+    let run = |provider_is_runtime: bool, threads: usize| -> (Vec<f32>, ParamStore) {
+        scnn_par::with_threads(threads, || {
+            let mut params = ParamStore::init(&graph, &mut SplitRng::seed_from_u64(7));
+            let mut bn = BnState::new();
+            let mut rng = SplitRng::seed_from_u64(13);
+            let mut sgd = Sgd::new(&params, 0.05, 0.9, 1e-4);
+            let mut vec_provider = VecProvider;
+            let mut rt = PlanRuntime::from_plan(&graph, &tape, &hmms, &tso)
+                .expect("plan is legal");
+            let mut losses = Vec::new();
+            for step in 0..2 {
+                let (images, labels) = batch_for(&graph, 100 + step);
+                let provider: &mut dyn scnn_nn::BufferProvider = if provider_is_runtime {
+                    &mut rt
+                } else {
+                    &mut vec_provider
+                };
+                losses.push(step_with(
+                    &graph, &mut params, &mut bn, &mut rng, &images, &labels, provider,
+                ));
+                sgd.step(&mut params);
+            }
+            (losses, params)
+        })
+    };
+
+    let (ref_losses, ref_params) = run(false, 1);
+    for threads in [1, 4] {
+        let (losses, params) = run(true, threads);
+        assert_eq!(losses, ref_losses, "losses diverged at {threads} threads");
+        for i in 0..n_params {
+            let a = ref_params.value(ParamId(i)).as_slice();
+            let b = params.value(ParamId(i)).as_slice();
+            assert_eq!(a, b, "param {i} bits diverged at {threads} threads");
+        }
+    }
+}
+
+#[test]
+fn plan_driven_lifetimes_beat_the_vec_baseline() {
+    let graph = split_resnet_graph(2);
+    let (tape, tso, plans) = plans(&graph);
+    let hmms = plans.into_iter().last().expect("hmms plan");
+    let (images, labels) = batch_for(&graph, 21);
+
+    let mut meter = MeterProvider::new();
+    let mut params = ParamStore::init(&graph, &mut SplitRng::seed_from_u64(7));
+    let mut bn = BnState::new();
+    let mut rng = SplitRng::seed_from_u64(13);
+    step_with(&graph, &mut params, &mut bn, &mut rng, &images, &labels, &mut meter);
+
+    let mut rt = PlanRuntime::from_plan(&graph, &tape, &hmms, &tso).expect("plan is legal");
+    let mut params = ParamStore::init(&graph, &mut SplitRng::seed_from_u64(7));
+    let mut bn = BnState::new();
+    let mut rng = SplitRng::seed_from_u64(13);
+    step_with(&graph, &mut params, &mut bn, &mut rng, &images, &labels, &mut rt);
+
+    let stats = rt.stats();
+    assert!(
+        stats.resident_peak_bytes < meter.peak_bytes(),
+        "runtime kept {} B resident but the baseline peaks at {} B",
+        stats.resident_peak_bytes,
+        meter.peak_bytes()
+    );
+    assert!(stats.offloads > 0, "hmms plan should offload on this model");
+}

@@ -28,6 +28,7 @@ mod linalg;
 mod pad;
 mod shape;
 mod slice;
+mod storage;
 mod tensor;
 
 pub use im2col::{col2im, col2im_into, im2col, Conv2dGeometry};
@@ -35,4 +36,5 @@ pub use init::{he_normal, uniform, xavier_uniform};
 pub use linalg::{matmul, matmul_a_bt, matmul_at_b};
 pub use pad::Padding2d;
 pub use shape::Shape;
+pub use storage::{BufferRecycler, PooledBuf};
 pub use tensor::Tensor;

@@ -1,0 +1,119 @@
+//! Pooled buffer storage for tensors.
+//!
+//! The memory runtime (`scnn-runtime`) hands tensors buffers that belong to
+//! a statically planned pool; when the tensor is dropped the buffer must
+//! flow *back* to the pool instead of hitting the system allocator. That
+//! round trip is expressed with two pieces:
+//!
+//! - [`BufferRecycler`] — the pool-side trait that accepts returning
+//!   buffers;
+//! - [`PooledBuf`] — a `Vec<f32>` bound to its recycler, returned on drop.
+//!
+//! Everything here is allocation-neutral: a `PooledBuf` never copies or
+//! resizes its buffer, so a value computed into pooled storage is
+//! bit-identical to one computed into an owned `Vec`.
+
+use std::fmt;
+use std::sync::Arc;
+
+/// A home for returning buffers. Implementations decide whether to cache
+/// the buffer for reuse or let it drop; either way values are unaffected.
+pub trait BufferRecycler: Send + Sync {
+    /// Accepts a buffer back from a dropped [`PooledBuf`].
+    fn recycle(&self, buf: Vec<f32>);
+}
+
+/// A `Vec<f32>` that returns itself to its [`BufferRecycler`] when dropped.
+///
+/// Wrap it in a tensor with [`crate::Tensor::from_pooled`].
+pub struct PooledBuf {
+    data: Vec<f32>,
+    home: Arc<dyn BufferRecycler>,
+}
+
+impl PooledBuf {
+    /// Binds `data` to the recycler it should return to.
+    pub fn new(data: Vec<f32>, home: Arc<dyn BufferRecycler>) -> Self {
+        PooledBuf { data, home }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the buffer holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Borrows the buffer.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutably borrows the buffer.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Takes the buffer *without* returning it to the recycler — ownership
+    /// transfers to the caller and the pool permanently loses this
+    /// allocation (it will vend a fresh one next time).
+    pub fn detach(mut self) -> Vec<f32> {
+        std::mem::take(&mut self.data)
+    }
+}
+
+impl Drop for PooledBuf {
+    fn drop(&mut self) {
+        let buf = std::mem::take(&mut self.data);
+        // A zero-capacity vec means `detach` already ran; recycling it
+        // would hand the pool a useless allocation.
+        if buf.capacity() > 0 {
+            self.home.recycle(buf);
+        }
+    }
+}
+
+impl fmt::Debug for PooledBuf {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PooledBuf(len={})", self.data.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    #[derive(Default)]
+    struct Bin {
+        returned: Mutex<Vec<Vec<f32>>>,
+    }
+
+    impl BufferRecycler for Bin {
+        fn recycle(&self, buf: Vec<f32>) {
+            self.returned.lock().unwrap().push(buf);
+        }
+    }
+
+    #[test]
+    fn drop_returns_buffer_to_recycler() {
+        let bin = Arc::new(Bin::default());
+        let buf = PooledBuf::new(vec![1.0, 2.0], Arc::clone(&bin) as Arc<dyn BufferRecycler>);
+        drop(buf);
+        let returned = bin.returned.lock().unwrap();
+        assert_eq!(returned.len(), 1);
+        assert_eq!(returned[0], vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn detach_skips_the_recycler() {
+        let bin = Arc::new(Bin::default());
+        let buf = PooledBuf::new(vec![3.0], Arc::clone(&bin) as Arc<dyn BufferRecycler>);
+        let v = buf.detach();
+        assert_eq!(v, vec![3.0]);
+        assert!(bin.returned.lock().unwrap().is_empty());
+    }
+}

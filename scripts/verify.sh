@@ -16,16 +16,24 @@ cd "$(dirname "$0")/.."
 
 cargo build --workspace --release --offline
 cargo test -q --workspace --offline
+cargo clippy --workspace --all-targets --offline -- -D warnings
 
 # Smoke every bench binary: tiny shapes, one cold sample — proves the
 # full code path still runs and the emitted records parse.
 tmp="$(mktemp -d)"
 trap 'rm -rf "$tmp"' EXIT
-for bench in kernels planning ablation; do
+for bench in kernels planning ablation memory; do
   SCNN_BENCH_DIR="$tmp" cargo bench -q -p scnn-bench --bench "$bench" --offline -- --smoke
   cargo run -q --release -p scnn-bench --bin bench_check --offline -- \
     --file "$tmp/BENCH_$bench.json"
 done
+
+# The memory bench once more with the allocator byte counter compiled in,
+# so the heap-track feature cannot rot.
+SCNN_BENCH_DIR="$tmp" cargo bench -q -p scnn-bench --bench memory \
+  --features heap-track --offline -- --smoke
+cargo run -q --release -p scnn-bench --bin bench_check --offline -- \
+  --file "$tmp/BENCH_memory.json"
 
 # Full runs, gated against the committed baselines (fastest fresh sample
 # vs baseline median — see bench_check). The ms-scale kernels group gets
@@ -33,7 +41,7 @@ done
 # exposed to scheduler noise on a shared single-core host, so they get a
 # looser tripwire that still catches algorithmic regressions.
 if [[ "${SCNN_VERIFY_SKIP_BENCH:-0}" != 1 ]]; then
-  for spec in kernels:0.25 planning:0.60 ablation:0.60; do
+  for spec in kernels:0.25 planning:0.60 ablation:0.60 memory:0.60; do
     bench="${spec%%:*}"
     tol="${spec##*:}"
     SCNN_BENCH_DIR="$tmp" cargo bench -q -p scnn-bench --bench "$bench" --offline

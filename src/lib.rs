@@ -10,6 +10,7 @@
 //! - [`gpusim`] — the simulated GPU + NVLink device
 //! - [`models`], [`data`] — model zoo and synthetic datasets
 //! - [`dist`] — the distributed-training analytical model (§6.4)
+//! - [`runtime`] — the plan-executing memory runtime (HMMS made real)
 
 pub use scnn_core as core;
 pub use scnn_data as data;
@@ -20,4 +21,5 @@ pub use scnn_hmms as hmms;
 pub use scnn_models as models;
 pub use scnn_nn as nn;
 pub use scnn_par as par;
+pub use scnn_runtime as runtime;
 pub use scnn_tensor as tensor;
