@@ -5,6 +5,14 @@
 //! `--smoke` shrinks every shape and takes a single sample with no warmup:
 //! `scripts/verify.sh` uses it to prove each bench binary still runs and
 //! emits parseable records without paying full measurement cost.
+//!
+//! With `--features heap-track` the conv records additionally carry the
+//! process heap high-water across their timed region, and bytes-only
+//! `conv2d_*_scratch_peak` records pin the tiled engine's workspace
+//! footprint — together they prove the tiled path never materializes the
+//! full `im2col`/`dcols` matrices (`scripts/verify.sh` gates both).
+
+use std::hint::black_box;
 
 use scnn_bench::{Args, BenchGroup};
 use scnn_nn::kernels::{
@@ -13,6 +21,25 @@ use scnn_nn::kernels::{
 };
 use scnn_rng::SplitRng;
 use scnn_tensor::{col2im, im2col, matmul, uniform, Conv2dGeometry, Padding2d, Tensor};
+
+#[cfg(feature = "heap-track")]
+#[global_allocator]
+static ALLOC: scnn_bench::heap::CountingAlloc = scnn_bench::heap::CountingAlloc;
+
+/// Restarts the process-heap high-water (no-op without `heap-track`).
+fn heap_reset() {
+    #[cfg(feature = "heap-track")]
+    scnn_bench::heap::reset_peak();
+}
+
+/// Annotates the last record with the heap high-water since [`heap_reset`]
+/// (no-op without `heap-track`).
+fn heap_annotate(g: &mut BenchGroup) {
+    #[cfg(feature = "heap-track")]
+    g.set_peak_bytes(scnn_bench::heap::peak_bytes());
+    #[cfg(not(feature = "heap-track"))]
+    let _ = g;
+}
 
 fn main() {
     let smoke = Args::parse().bool("smoke");
@@ -38,13 +65,31 @@ fn main() {
         g.sample_size(10);
     }
 
-    g.bench("conv2d_fwd_8x16x32x32", || conv2d_forward(&x, &w, None, &attrs));
-
+    // Warm the pools once so the timed region measures the steady state
+    // (arenas and the output pool hold their buffers between calls).
     let y = conv2d_forward(&x, &w, None, &attrs);
     let dy = Tensor::ones(y.shape().dims());
+
+    heap_reset();
+    g.bench("conv2d_fwd_8x16x32x32", || conv2d_forward(&x, &w, None, &attrs));
+    heap_annotate(&mut g);
+
+    heap_reset();
     g.bench("conv2d_bwd_8x16x32x32", || {
         conv2d_backward(&x, &w, false, &dy, &attrs)
     });
+    heap_annotate(&mut g);
+
+    // Scratch-arena high-water of one warm fwd/bwd pass: the tiled
+    // engine's whole transient footprint. For the 8x16x32x32 shape the
+    // full im2col matrix alone would be 4.7 MB — the gate in verify.sh
+    // pins that these stay far below that.
+    scnn_par::scratch::reset_peak();
+    black_box(conv2d_forward(&x, &w, None, &attrs));
+    g.record_bytes("conv2d_fwd_scratch_peak", scnn_par::scratch::peak_bytes());
+    scnn_par::scratch::reset_peak();
+    black_box(conv2d_backward(&x, &w, false, &dy, &attrs));
+    g.record_bytes("conv2d_bwd_scratch_peak", scnn_par::scratch::peak_bytes());
 
     // The lowering stages of the conv above, measured on their own.
     let geo = Conv2dGeometry::new(c, hw, hw, 3, 3, 1, 1, Padding2d::symmetric(1));

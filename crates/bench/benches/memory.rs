@@ -16,7 +16,7 @@
 
 use scnn_bench::{Args, BenchGroup};
 use scnn_core::{plan_split, SplitConfig};
-use scnn_graph::{NodeId, Tape};
+use scnn_graph::{Graph, NodeId, Op, Tape};
 use scnn_gpusim::{profile_graph, CostModel};
 use scnn_hmms::{
     plan_hmms, plan_no_offload, plan_vdnn, MemoryPlan, PlannerOptions, TsoAssignment, TsoOptions,
@@ -25,7 +25,7 @@ use scnn_models::{resnet18, ModelOptions};
 use scnn_nn::{BnState, BufferProvider, Executor, Mode, ParamStore};
 use scnn_rng::SplitRng;
 use scnn_runtime::{MeterProvider, PlanRuntime};
-use scnn_tensor::uniform;
+use scnn_tensor::{conv2d_workspace_bytes, uniform, Conv2dGeometry, Padding2d};
 
 #[cfg(feature = "heap-track")]
 #[global_allocator]
@@ -51,7 +51,8 @@ fn main() {
     let tape = Tape::new(&graph);
     let model = CostModel::default();
     let profile = profile_graph(&graph, &model);
-    let tso = TsoAssignment::new(&graph, &profile.workspace_bytes, TsoOptions::default());
+    let ws = engine_workspace(&graph, &profile.workspace_bytes);
+    let tso = TsoAssignment::new(&graph, &ws, TsoOptions::default());
     let opts = PlannerOptions::default();
     let plans: Vec<MemoryPlan> = vec![
         plan_no_offload(&graph, &tape, &tso, &profile),
@@ -95,12 +96,15 @@ fn main() {
         let stats = rt.stats();
         g.set_peak_bytes(stats.resident_peak_bytes);
         println!(
-            "  {}: resident {} B, device pool {} B, host pool {} B, \
+            "  {}: resident {} B, device pool {} B (workspace {} B planned), \
+             host pool {} B, kernel scratch peak {} B, \
              {} offloads / {} prefetches{}",
             plan.strategy,
             stats.resident_peak_bytes,
             stats.plan_device_peak_bytes,
+            stats.plan_workspace_bytes,
             stats.host_bytes,
+            stats.scratch_peak_bytes,
             stats.offloads,
             stats.prefetches,
             heap_note()
@@ -108,6 +112,48 @@ fn main() {
     }
 
     g.finish();
+}
+
+/// Per-node planner workspace: the cost model's estimates with every conv
+/// node replaced by the tiled engine's actual scratch requirement
+/// ([`conv2d_workspace_bytes`]), so the layouts the runtime replays carry
+/// the same workspace the kernels really borrow. The gpusim cost model
+/// itself is deliberately untouched — it stays a device model, not a
+/// measurement of this host's kernels.
+fn engine_workspace(graph: &Graph, profile_ws: &[usize]) -> Vec<usize> {
+    graph
+        .nodes()
+        .iter()
+        .enumerate()
+        .map(|(i, node)| {
+            let Op::Conv2d {
+                out_c,
+                kh,
+                kw,
+                sh,
+                sw,
+                pad,
+                ..
+            } = &node.op
+            else {
+                return profile_ws[i];
+            };
+            let xs = &graph.node(node.inputs[0]).out_shape;
+            // Negative padding crops the input before the kernel runs;
+            // the geometry carries the non-negative remainder (the same
+            // split the conv kernels perform).
+            let h = (xs[2] as i64 + pad.h_begin.min(0) + pad.h_end.min(0)) as usize;
+            let w = (xs[3] as i64 + pad.w_begin.min(0) + pad.w_end.min(0)) as usize;
+            let pos = Padding2d::new(
+                pad.h_begin.max(0),
+                pad.h_end.max(0),
+                pad.w_begin.max(0),
+                pad.w_end.max(0),
+            );
+            let g = Conv2dGeometry::new(xs[1], h, w, *kh, *kw, *sh, *sw, pos);
+            conv2d_workspace_bytes(&g, xs[0], *out_c)
+        })
+        .collect()
 }
 
 #[cfg(feature = "heap-track")]

@@ -22,6 +22,18 @@
 //! Benchmarks present only in the fresh file are reported but never fail
 //! the gate — adding a benchmark must not require touching the baseline
 //! in the same commit.
+//!
+//! Absolute gates (independent of any baseline):
+//!
+//! ```text
+//! bench_check --file ... --max-median conv2d_fwd_8x16x32x32:5600000
+//!     # the named record's fresh median must be <= the bound (ns)
+//! bench_check --file ... --max-peak 'train_step/hmms:15392768,conv2d_fwd_scratch_peak:1048576'
+//!     # the named record must carry peak_bytes <= the bound
+//! ```
+//!
+//! Both take comma-separated `name:bound` pairs; a missing record or a
+//! record without `peak_bytes` (for `--max-peak`) fails the gate.
 
 use scnn_bench::{Args, BenchRecord};
 
@@ -57,13 +69,57 @@ fn main() {
     let fresh = load(file);
     println!("{file}: {} records parse", fresh.len());
 
+    let mut failed = false;
+    for (name, bound) in parse_bounds(args.str("max-median"), "--max-median") {
+        match fresh.iter().find(|r| r.name == name) {
+            None => {
+                eprintln!("GATE: `{name}` (--max-median) was not measured");
+                failed = true;
+            }
+            Some(r) if r.median_ns > bound => {
+                eprintln!(
+                    "GATE: `{name}` median {} ns exceeds the {} ns bound",
+                    r.median_ns, bound
+                );
+                failed = true;
+            }
+            Some(r) => {
+                println!("{:<40} {:>12} ns  <= {:>12} ns  ok", name, r.median_ns, bound);
+            }
+        }
+    }
+    for (name, bound) in parse_bounds(args.str("max-peak"), "--max-peak") {
+        match fresh.iter().find(|r| r.name == name) {
+            None => {
+                eprintln!("GATE: `{name}` (--max-peak) was not measured");
+                failed = true;
+            }
+            Some(r) => match r.peak_bytes {
+                None => {
+                    eprintln!("GATE: `{name}` carries no peak_bytes to check");
+                    failed = true;
+                }
+                Some(p) if p > bound => {
+                    eprintln!("GATE: `{name}` peak {p} B exceeds the {bound} B bound");
+                    failed = true;
+                }
+                Some(p) => {
+                    println!("{:<40} {:>12} B   <= {:>12} B   ok", name, p, bound);
+                }
+            },
+        }
+    }
+
     let Some(baseline_path) = args.str("baseline") else {
+        if failed {
+            eprintln!("error: absolute gate violated in {file}");
+            std::process::exit(1);
+        }
         return;
     };
     let tolerance = args.f64("tolerance", 0.25);
     let baseline = load(baseline_path);
 
-    let mut failed = false;
     for b in &baseline {
         match fresh.iter().find(|r| r.name == b.name) {
             None => {
@@ -96,9 +152,31 @@ fn main() {
     }
     if failed {
         eprintln!(
-            "error: median regression beyond {:.0}% against {baseline_path}",
+            "error: gate violated (regression beyond {:.0}% against {baseline_path}, \
+             or an absolute --max-median/--max-peak bound)",
             tolerance * 100.0
         );
         std::process::exit(1);
     }
+}
+
+/// Parses `name:bound[,name:bound...]` gate specs; `None` → no gates.
+fn parse_bounds(spec: Option<&str>, flag: &str) -> Vec<(String, u128)> {
+    let Some(spec) = spec else {
+        return Vec::new();
+    };
+    spec.split(',')
+        .filter(|s| !s.is_empty())
+        .map(|pair| {
+            let Some((name, bound)) = pair.rsplit_once(':') else {
+                eprintln!("error: {flag} expects name:bound pairs, got `{pair}`");
+                std::process::exit(2);
+            };
+            let bound = bound.parse().unwrap_or_else(|e| {
+                eprintln!("error: {flag} bound in `{pair}` is not a number: {e}");
+                std::process::exit(2);
+            });
+            (name.to_string(), bound)
+        })
+        .collect()
 }

@@ -305,6 +305,30 @@ impl BenchGroup {
         self
     }
 
+    /// Records a bytes-only measurement (no timing): a record whose times
+    /// are all zero and whose `peak_bytes` carries the value. Used for
+    /// footprint pins — e.g. the conv engine's scratch high-water — that
+    /// regression gates check with `bench_check --max-peak`.
+    pub fn record_bytes(&mut self, name: &str, bytes: usize) -> &mut Self {
+        let rec = BenchRecord {
+            group: self.group.clone(),
+            name: name.to_string(),
+            median_ns: 0,
+            min_ns: 0,
+            mean_ns: 0,
+            samples: 0,
+            warmup: 0,
+            peak_bytes: Some(bytes as u128),
+        };
+        println!(
+            "{:<40} peak   {:>12} B",
+            format!("{}/{}", rec.group, rec.name),
+            bytes
+        );
+        self.records.push(rec);
+        self
+    }
+
     /// The records measured so far.
     pub fn records(&self) -> &[BenchRecord] {
         &self.records

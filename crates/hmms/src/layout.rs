@@ -13,7 +13,7 @@ use std::collections::HashMap;
 use scnn_graph::Graph;
 
 use crate::plan::{MemEvent, MemoryPlan};
-use crate::tso::{TsoAssignment, TsoId};
+use crate::tso::{TsoAssignment, TsoId, TsoRole};
 
 /// The result of static planning: addresses and pool sizes.
 #[derive(Clone, Debug)]
@@ -21,6 +21,12 @@ pub struct StaticLayout {
     /// High-water mark of the device general-purpose pool (activations,
     /// errors, aux, workspace), in bytes.
     pub device_general_bytes: usize,
+    /// High-water mark of the *workspace-role* TSOs alone — the per-layer
+    /// kernel scratch term (tiled conv `dw` partials etc.) inside
+    /// [`device_general_bytes`]. Comparing it against the measured scratch
+    /// peak (`scnn_par::scratch::peak_bytes`) closes the planned-vs-real
+    /// gap the μ-cuDNN-style workspace accounting exists for.
+    pub device_workspace_bytes: usize,
     /// Device parameter pool: parameters + gradients.
     pub device_param_bytes: usize,
     /// Pinned host pool: total bytes of offloaded TSOs.
@@ -112,6 +118,8 @@ pub fn plan_layout(
     let mut instance = vec![0usize; tso.len()];
     let mut addresses = HashMap::new();
     let mut total_alloc_bytes = 0usize;
+    let mut live_workspace = 0usize;
+    let mut peak_workspace = 0usize;
 
     let mut handle = |e: &MemEvent,
                       live: &mut HashMap<TsoId, (usize, usize)>,
@@ -129,10 +137,17 @@ pub fn plan_layout(
                 addresses.insert((*t, inst), addr);
                 live.insert(*t, (addr, inst));
                 total_alloc_bytes += size;
+                if matches!(tso.role(*t), TsoRole::Workspace(_)) {
+                    live_workspace += size;
+                    peak_workspace = peak_workspace.max(live_workspace);
+                }
             }
             MemEvent::Free(t) => {
                 let (addr, _) = live.remove(t).ok_or(LayoutError::FreeOfDead(*t))?;
                 free.free(addr, tso.size(*t));
+                if matches!(tso.role(*t), TsoRole::Workspace(_)) {
+                    live_workspace -= tso.size(*t);
+                }
             }
             _ => {}
         }
@@ -159,6 +174,7 @@ pub fn plan_layout(
 
     Ok(StaticLayout {
         device_general_bytes: free.high_water(),
+        device_workspace_bytes: peak_workspace,
         device_param_bytes,
         host_pool_bytes,
         addresses,
@@ -324,6 +340,10 @@ mod tests {
         }
         assert!(layout.device_general_bytes > 0);
         assert!(layout.total_alloc_bytes >= layout.device_general_bytes);
+        // One conv's workspace is live at a time (alloc'd before each conv
+        // step, freed after), so the workspace peak is a single node's term.
+        assert_eq!(layout.device_workspace_bytes, 4096);
+        assert!(layout.device_workspace_bytes <= layout.device_general_bytes);
     }
 
     #[test]

@@ -338,9 +338,9 @@ impl Executor {
                     sw: *sw,
                     pad: *pad,
                 };
-                let w = params.value(*weight).clone();
-                let b = bias.map(|id| params.value(id).clone());
-                let y = conv2d_forward(input(0), &w, b.as_ref(), &attrs);
+                let w = params.value(*weight);
+                let b = bias.map(|id| params.value(id));
+                let y = conv2d_forward(input(0), w, b, &attrs);
                 (y, Aux::None, Deferred::None)
             }
             Op::Pool2d {
@@ -536,8 +536,7 @@ impl Executor {
                     };
                     let dy = grads[node.id.0].take().expect("conv has grad");
                     let x = out(node.inputs[0]);
-                    let w = params.value(*weight).clone();
-                    let g = conv2d_backward(x, &w, bias.is_some(), &dy, &attrs);
+                    let g = conv2d_backward(x, params.value(*weight), bias.is_some(), &dy, &attrs);
                     params.accumulate_grad(*weight, &g.dw);
                     if let (Some(bid), Some(db)) = (bias, g.db) {
                         params.accumulate_grad(*bid, &db);
@@ -611,8 +610,7 @@ impl Executor {
                 Op::Linear { weight, bias, .. } => {
                     let dy = grads[node.id.0].take().expect("linear has grad");
                     let x = out(node.inputs[0]);
-                    let w = params.value(*weight).clone();
-                    let g = linear_backward(x, &w, &dy);
+                    let g = linear_backward(x, params.value(*weight), &dy);
                     params.accumulate_grad(*weight, &g.dw);
                     params.accumulate_grad(*bias, &g.db);
                     push(grads, node.inputs[0], g.dx);

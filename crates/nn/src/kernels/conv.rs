@@ -1,13 +1,74 @@
-//! 2-D convolution via `im2col` + GEMM, with the asymmetric and negative
-//! padding the Split-CNN per-patch formulation requires.
+//! 2-D convolution with the asymmetric and negative padding the Split-CNN
+//! per-patch formulation requires.
+//!
+//! Two algorithms compute identical bits (DESIGN.md §11):
+//!
+//! - [`ConvAlgo::Tiled`] — the implicit-GEMM engine in
+//!   `scnn_tensor::conv_engine`: patch rows are packed tile-by-tile into
+//!   per-thread scratch panels and the full `im2col`/`dcols` matrices are
+//!   never allocated.
+//! - [`ConvAlgo::Materialized`] — the classic `im2col` + GEMM pipeline,
+//!   kept as the reference and as the better choice where tiling buys
+//!   nothing (1×1 kernels, tiny spatial outputs). Its intermediates now
+//!   live in reused workspace scratch instead of fresh `Vec`s.
+//!
+//! [`select_algo`] picks per geometry; `SCNN_CONV_ALGO=tiled|materialized`
+//! (read once) forces one path process-wide for A/B benching. Outputs and
+//! gradients are returned in pooled storage from [`Workspace::global`], so
+//! steady-state training steps recycle the same buffers.
 
-use scnn_tensor::{col2im_into, im2col, matmul, matmul_a_bt, matmul_at_b, Conv2dGeometry, Padding2d, Tensor};
+use std::sync::{Arc, OnceLock};
+
+use scnn_tensor::{
+    col2im_cols_into, conv2d_dw_tiled, conv2d_dx_tiled, conv2d_fwd_tiled, im2col_into,
+    matmul_a_bt_into, matmul_at_b_into, matmul_into, BufferRecycler, Conv2dGeometry, Padding2d,
+    PooledBuf, Tensor, Workspace,
+};
 
 use super::split_padding;
 
 /// Square tile edge for the `[n·oh·ow, oc] ↔ NCHW` transposes; 32×32 f32
 /// tiles (4 KiB) keep both the strided and the sequential side in L1.
 const TILE: usize = 32;
+
+/// Which convolution implementation to run. Both produce identical bits;
+/// the choice is purely a locality/footprint trade.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ConvAlgo {
+    /// Tile-fused implicit GEMM; no full patch-matrix allocation.
+    Tiled,
+    /// `im2col` + GEMM over workspace scratch (reference path).
+    Materialized,
+}
+
+/// Geometry-based algorithm choice, honouring a `SCNN_CONV_ALGO` override.
+///
+/// 1×1 kernels stay materialized: their `im2col` is a pure reshape, so the
+/// GEMM already streams contiguously and tiling only adds pack traffic.
+/// Tiny spatial outputs (fewer than 64 positions per image) also stay
+/// materialized — per-tile dispatch would dominate the arithmetic.
+///
+/// # Panics
+///
+/// Panics on an unrecognized `SCNN_CONV_ALGO` value.
+pub fn select_algo(g: &Conv2dGeometry) -> ConvAlgo {
+    static OVERRIDE: OnceLock<Option<ConvAlgo>> = OnceLock::new();
+    let forced = OVERRIDE.get_or_init(|| match std::env::var("SCNN_CONV_ALGO") {
+        Ok(v) if v.eq_ignore_ascii_case("tiled") => Some(ConvAlgo::Tiled),
+        Ok(v) if v.eq_ignore_ascii_case("materialized") => Some(ConvAlgo::Materialized),
+        Ok(v) if v.is_empty() || v.eq_ignore_ascii_case("auto") => None,
+        Ok(v) => panic!("SCNN_CONV_ALGO must be tiled|materialized|auto, got {v:?}"),
+        Err(_) => None,
+    });
+    if let Some(a) = forced {
+        return *a;
+    }
+    if (g.kh == 1 && g.kw == 1) || g.patch_count() < 64 {
+        ConvAlgo::Materialized
+    } else {
+        ConvAlgo::Tiled
+    }
+}
 
 /// Static attributes of a convolution node.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -48,36 +109,90 @@ fn geometry(x_cropped: &Tensor, attrs: &ConvAttrs, pos: Padding2d) -> Conv2dGeom
     )
 }
 
+/// The cropped view of `x` under `crop` — borrowing `x` itself when the
+/// crop is empty, so the common non-negative-padding case copies nothing.
+fn cropped(x: &Tensor, crop: Padding2d) -> std::borrow::Cow<'_, Tensor> {
+    if crop.is_zero() {
+        std::borrow::Cow::Borrowed(x)
+    } else {
+        std::borrow::Cow::Owned(x.pad2d(crop))
+    }
+}
+
+fn pooled(buf: Vec<f32>, dims: &[usize]) -> Tensor {
+    let home: Arc<dyn BufferRecycler> = Workspace::global().clone();
+    Tensor::from_pooled(PooledBuf::new(buf, home), dims)
+}
+
 /// Convolution forward: `x: [n, ic, h, w]`, `w: [oc, ic, kh, kw]`,
-/// optional `b: [oc]` → `[n, oc, oh, ow]`.
+/// optional `b: [oc]` → `[n, oc, oh, ow]`, algorithm chosen by
+/// [`select_algo`].
 ///
 /// # Panics
 ///
 /// Panics if shapes disagree with the attributes.
 pub fn conv2d_forward(x: &Tensor, w: &Tensor, b: Option<&Tensor>, attrs: &ConvAttrs) -> Tensor {
+    conv2d_forward_with(x, w, b, attrs, None)
+}
+
+/// [`conv2d_forward`] with an explicit algorithm (`None` = [`select_algo`]).
+/// Both algorithms return identical bits — tests pin this.
+pub fn conv2d_forward_with(
+    x: &Tensor,
+    w: &Tensor,
+    b: Option<&Tensor>,
+    attrs: &ConvAttrs,
+    algo: Option<ConvAlgo>,
+) -> Tensor {
     assert_eq!(x.rank(), 4, "conv input must be NCHW");
     assert_eq!(w.rank(), 4, "conv weight must be [oc, ic, kh, kw]");
     assert_eq!(w.dim(1), x.dim(1), "conv channel mismatch");
     assert_eq!((w.dim(2), w.dim(3)), (attrs.kh, attrs.kw), "kernel shape mismatch");
     let (crop, pos) = split_padding(attrs.pad);
-    let xc = x.pad2d(crop);
+    let xc = cropped(x, crop);
     let g = geometry(&xc, attrs, pos);
+    let algo = algo.unwrap_or_else(|| select_algo(&g));
     let n = x.dim(0);
     let oc = w.dim(0);
     let (oh, ow) = (g.out_h(), g.out_w());
 
-    let cols = im2col(&xc, &g); // [n*oh*ow, plen]
-    let w2 = w.clone().reshape(&[oc, g.patch_len()]);
-    let ymat = matmul_a_bt(&cols, &w2); // [n*oh*ow, oc]
+    // Both paths overwrite every output element, so the pooled buffer's
+    // previous contents never matter.
+    let mut out = Workspace::global().take(n * oc * oh * ow);
+    match algo {
+        ConvAlgo::Tiled => {
+            conv2d_fwd_tiled(&xc, w, b.map(Tensor::as_slice), &g, &mut out);
+        }
+        ConvAlgo::Materialized => {
+            let rows = n * oh * ow;
+            let plen = g.patch_len();
+            scnn_par::scratch::with_scratch(rows * plen, |cols| {
+                im2col_into(&xc, &g, cols);
+                scnn_par::scratch::with_scratch(rows * oc, |ymat| {
+                    // The weight tensor is row-major [oc, ic·kh·kw] already.
+                    matmul_a_bt_into(cols, w.as_slice(), rows, plen, oc, ymat);
+                    transpose_rows_to_nchw(ymat, b.map(Tensor::as_slice), n, oc, oh * ow, &mut out);
+                });
+            });
+        }
+    }
+    pooled(out, &[n, oc, oh, ow])
+}
 
-    // Reorder [n*oh*ow, oc] -> [n, oc, oh, ow] as one blocked transpose
-    // per batch image (parallel: images are disjoint), fusing the bias add
-    // with the lookup hoisted out of the inner loops.
-    let mut out = Tensor::zeros(&[n, oc, oh, ow]);
-    let src = ymat.as_slice();
-    let bias = b.map(Tensor::as_slice);
-    let hw = oh * ow;
-    scnn_par::par_chunks_mut(out.as_mut_slice(), oc * hw, |bidx, img| {
+/// Reorders `[n·hw, oc]` rows into NCHW planes as one blocked transpose
+/// per batch image (parallel: images are disjoint), fusing the bias add
+/// with the lookup hoisted out of the inner loops.
+fn transpose_rows_to_nchw(
+    src: &[f32],
+    bias: Option<&[f32]>,
+    n: usize,
+    oc: usize,
+    hw: usize,
+    out: &mut [f32],
+) {
+    assert_eq!(src.len(), n * hw * oc);
+    assert_eq!(out.len(), n * oc * hw);
+    scnn_par::par_chunks_mut(out, oc * hw, |bidx, img| {
         let rows = &src[bidx * hw * oc..(bidx + 1) * hw * oc];
         for c0 in (0..oc).step_by(TILE) {
             let c1 = (c0 + TILE).min(oc);
@@ -93,12 +208,11 @@ pub fn conv2d_forward(x: &Tensor, w: &Tensor, b: Option<&Tensor>, attrs: &ConvAt
             }
         }
     });
-    out
 }
 
-/// Convolution backward: given upstream `dy`, recomputes the `im2col`
-/// buffer from `x` (trading compute for memory, as the real framework does)
-/// and returns input, weight and bias gradients.
+/// Convolution backward: given upstream `dy`, recomputes patch rows from
+/// `x` (trading compute for memory, as the real framework does) and
+/// returns input, weight and bias gradients. Algorithm per [`select_algo`].
 ///
 /// # Panics
 ///
@@ -110,9 +224,22 @@ pub fn conv2d_backward(
     dy: &Tensor,
     attrs: &ConvAttrs,
 ) -> ConvGrads {
+    conv2d_backward_with(x, w, has_bias, dy, attrs, None)
+}
+
+/// [`conv2d_backward`] with an explicit algorithm (`None` = [`select_algo`]).
+pub fn conv2d_backward_with(
+    x: &Tensor,
+    w: &Tensor,
+    has_bias: bool,
+    dy: &Tensor,
+    attrs: &ConvAttrs,
+    algo: Option<ConvAlgo>,
+) -> ConvGrads {
     let (crop, pos) = split_padding(attrs.pad);
-    let xc = x.pad2d(crop);
+    let xc = cropped(x, crop);
     let g = geometry(&xc, attrs, pos);
+    let algo = algo.unwrap_or_else(|| select_algo(&g));
     let n = x.dim(0);
     let oc = w.dim(0);
     let (oh, ow) = (g.out_h(), g.out_w());
@@ -121,41 +248,55 @@ pub fn conv2d_backward(
         &[n, oc, oh, ow],
         "conv dy shape mismatch"
     );
-
-    // [n, oc, oh, ow] -> [n*hw, oc], blocked and parallel over images.
     let hw = oh * ow;
-    let mut dymat = vec![0.0f32; n * hw * oc];
-    let dsrc = dy.as_slice();
-    scnn_par::par_chunks_mut(&mut dymat, hw * oc, |bidx, rows| {
-        let img = &dsrc[bidx * oc * hw..(bidx + 1) * oc * hw];
-        for p0 in (0..hw).step_by(TILE) {
-            let p1 = (p0 + TILE).min(hw);
-            for c0 in (0..oc).step_by(TILE) {
-                let c1 = (c0 + TILE).min(oc);
-                for p in p0..p1 {
-                    let drow = &mut rows[p * oc + c0..p * oc + c1];
-                    for (d, c) in drow.iter_mut().zip(c0..c1) {
-                        *d = img[c * hw + p];
-                    }
-                }
-            }
+    let plen = g.patch_len();
+    let (off_h, off_w) = ((-crop.h_begin) as usize, (-crop.w_begin) as usize);
+
+    let ws = Workspace::global();
+    let mut dw = ws.take(oc * plen); // fully overwritten by both paths
+    // Gradients fold into the full-size dx at the crop offset: cropped-away
+    // (abandoned) rows keep their single zero fill.
+    let mut dx = pooled(ws.take_zeroed(x.as_slice().len()), x.shape().dims());
+
+    match algo {
+        ConvAlgo::Tiled => {
+            conv2d_dw_tiled(&xc, dy, &g, &mut dw);
+            conv2d_dx_tiled(dy, w, &g, &mut dx, off_h, off_w);
         }
-    });
-    let dymat = Tensor::from_vec(dymat, &[n * hw, oc]);
-
-    let cols = im2col(&xc, &g);
-    let dw2 = matmul_at_b(&dymat, &cols); // [oc, plen]
-    let dw = dw2.reshape(w.shape().dims());
-
-    let w2 = w.clone().reshape(&[oc, g.patch_len()]);
-    let dcols = matmul(&dymat, &w2); // [n*hw, plen]
-    // Fold gradients straight into the full-size dx at the crop offset:
-    // cropped-away (abandoned) rows keep their single zero fill, replacing
-    // the old col2im + pad2d pair that allocated and zeroed twice.
-    let mut dx = Tensor::zeros(x.shape().dims());
-    col2im_into(&dcols, n, &g, &mut dx, (-crop.h_begin) as usize, (-crop.w_begin) as usize);
+        ConvAlgo::Materialized => {
+            let dsrc = dy.as_slice();
+            scnn_par::scratch::with_scratch(n * hw * oc, |dymat| {
+                // [n, oc, oh, ow] -> [n*hw, oc], blocked, parallel per image.
+                scnn_par::par_chunks_mut(dymat, hw * oc, |bidx, rows| {
+                    let img = &dsrc[bidx * oc * hw..(bidx + 1) * oc * hw];
+                    for p0 in (0..hw).step_by(TILE) {
+                        let p1 = (p0 + TILE).min(hw);
+                        for c0 in (0..oc).step_by(TILE) {
+                            let c1 = (c0 + TILE).min(oc);
+                            for p in p0..p1 {
+                                let drow = &mut rows[p * oc + c0..p * oc + c1];
+                                for (d, c) in drow.iter_mut().zip(c0..c1) {
+                                    *d = img[c * hw + p];
+                                }
+                            }
+                        }
+                    }
+                });
+                scnn_par::scratch::with_scratch(n * hw * plen, |cols| {
+                    im2col_into(&xc, &g, cols);
+                    matmul_at_b_into(dymat, cols, n * hw, oc, plen, &mut dw);
+                });
+                scnn_par::scratch::with_scratch(n * hw * plen, |dcols| {
+                    matmul_into(dymat, w.as_slice(), n * hw, oc, plen, dcols);
+                    col2im_cols_into(dcols, n, &g, &mut dx, off_h, off_w);
+                });
+            });
+        }
+    }
+    let dw = pooled(dw, w.shape().dims());
 
     let db = has_bias.then(|| {
+        let dsrc = dy.as_slice();
         let mut db = vec![0.0f32; oc];
         for bidx in 0..n {
             for (c, acc) in db.iter_mut().enumerate() {
@@ -258,15 +399,17 @@ mod tests {
             sw: 2,
             pad: Padding2d::new(1, 0, 0, 1),
         };
-        // Loss = sum of outputs, so dy = ones.
-        let y = conv2d_forward(&x, &w, Some(&b), &a);
-        let dy = Tensor::ones(y.shape().dims());
-        let g = conv2d_backward(&x, &w, true, &dy, &a);
-        check(&x, &g.dx, 0.05, |xx| conv2d_forward(xx, &w, Some(&b), &a).sum());
-        check(&w, &g.dw, 0.05, |ww| conv2d_forward(&x, ww, Some(&b), &a).sum());
-        check(&b, g.db.as_ref().unwrap(), 0.05, |bb| {
-            conv2d_forward(&x, &w, Some(bb), &a).sum()
-        });
+        // Gradcheck both algorithms: loss = sum of outputs, so dy = ones.
+        for algo in [ConvAlgo::Tiled, ConvAlgo::Materialized] {
+            let y = conv2d_forward_with(&x, &w, Some(&b), &a, Some(algo));
+            let dy = Tensor::ones(y.shape().dims());
+            let g = conv2d_backward_with(&x, &w, true, &dy, &a, Some(algo));
+            check(&x, &g.dx, 0.05, |xx| conv2d_forward(xx, &w, Some(&b), &a).sum());
+            check(&w, &g.dw, 0.05, |ww| conv2d_forward(&x, ww, Some(&b), &a).sum());
+            check(&b, g.db.as_ref().unwrap(), 0.05, |bb| {
+                conv2d_forward(&x, &w, Some(bb), &a).sum()
+            });
+        }
     }
 
     #[test]
@@ -285,10 +428,12 @@ mod tests {
         // h: 6-1+1=6 padded → 4 outputs; w: 6+1-2=5 → 3 outputs.
         assert_eq!(y.shape().dims(), &[1, 2, 4, 3]);
         let dy = Tensor::ones(y.shape().dims());
-        let g = conv2d_backward(&x, &w, false, &dy, &a);
-        assert_eq!(g.dx.shape(), x.shape());
-        check(&x, &g.dx, 0.05, |xx| conv2d_forward(xx, &w, None, &a).sum());
-        check(&w, &g.dw, 0.05, |ww| conv2d_forward(&x, ww, None, &a).sum());
+        for algo in [ConvAlgo::Tiled, ConvAlgo::Materialized] {
+            let g = conv2d_backward_with(&x, &w, false, &dy, &a, Some(algo));
+            assert_eq!(g.dx.shape(), x.shape());
+            check(&x, &g.dx, 0.05, |xx| conv2d_forward(xx, &w, None, &a).sum());
+            check(&w, &g.dw, 0.05, |ww| conv2d_forward(&x, ww, None, &a).sum());
+        }
     }
 
     #[test]
@@ -304,12 +449,25 @@ mod tests {
         };
         let y = conv2d_forward(&x, &w, None, &a);
         assert_eq!(y.shape().dims(), &[1, 1, 1, 2]);
-        let g = conv2d_backward(&x, &w, false, &Tensor::ones(&[1, 1, 1, 2]), &a);
-        // First two rows were cropped away → zero gradient (abandoned).
-        for c in 0..4 {
-            assert_eq!(g.dx.at(&[0, 0, 0, c]), 0.0);
-            assert_eq!(g.dx.at(&[0, 0, 1, c]), 0.0);
-            assert_eq!(g.dx.at(&[0, 0, 2, c]), 1.0);
+        for algo in [ConvAlgo::Tiled, ConvAlgo::Materialized] {
+            let g =
+                conv2d_backward_with(&x, &w, false, &Tensor::ones(&[1, 1, 1, 2]), &a, Some(algo));
+            // First two rows were cropped away → zero gradient (abandoned).
+            for c in 0..4 {
+                assert_eq!(g.dx.at(&[0, 0, 0, c]), 0.0);
+                assert_eq!(g.dx.at(&[0, 0, 1, c]), 0.0);
+                assert_eq!(g.dx.at(&[0, 0, 2, c]), 1.0);
+            }
         }
+    }
+
+    #[test]
+    fn small_geometries_select_materialized_large_select_tiled() {
+        let tiny = Conv2dGeometry::new(1, 4, 4, 3, 3, 1, 1, Padding2d::symmetric(1));
+        assert_eq!(select_algo(&tiny), ConvAlgo::Materialized);
+        let one = Conv2dGeometry::new(8, 32, 32, 1, 1, 1, 1, Padding2d::default());
+        assert_eq!(select_algo(&one), ConvAlgo::Materialized);
+        let big = Conv2dGeometry::new(8, 32, 32, 3, 3, 1, 1, Padding2d::symmetric(1));
+        assert_eq!(select_algo(&big), ConvAlgo::Tiled);
     }
 }

@@ -1,6 +1,15 @@
 //! Fully-connected layer.
+//!
+//! Outputs and gradients land in pooled buffers from the global
+//! [`Workspace`] arena (`dw`'s GEMM partials additionally use the
+//! per-thread scratch arena inside `matmul_at_b_into`), so steady-state
+//! training steps allocate nothing here.
 
-use scnn_tensor::{matmul, matmul_a_bt, matmul_at_b, Tensor};
+use std::sync::Arc;
+
+use scnn_tensor::{
+    matmul_a_bt_into, matmul_at_b_into, matmul_into, BufferRecycler, PooledBuf, Tensor, Workspace,
+};
 
 /// Gradients produced by [`linear_backward`].
 #[derive(Clone, Debug)]
@@ -23,24 +32,37 @@ pub fn linear_forward(x: &Tensor, w: &Tensor, b: &Tensor) -> Tensor {
     assert_eq!(w.rank(), 2, "linear weight must be [out, in]");
     assert_eq!(x.dim(1), w.dim(1), "linear in-feature mismatch");
     assert_eq!(b.len(), w.dim(0), "linear bias mismatch");
-    let mut y = matmul_a_bt(x, w);
+    let (n, k) = (x.dim(0), x.dim(1));
     let out = w.dim(0);
-    let yd = y.as_mut_slice();
+    // The GEMM overwrites every element, so a non-zeroed pooled take is fine.
+    let mut y = Workspace::global().take(n * out);
+    matmul_a_bt_into(x.as_slice(), w.as_slice(), n, k, out, &mut y);
     let bd = b.as_slice();
-    for row in yd.chunks_mut(out) {
+    for row in y.chunks_mut(out) {
         for (v, &bb) in row.iter_mut().zip(bd) {
             *v += bb;
         }
     }
-    y
+    pooled(y, &[n, out])
+}
+
+fn pooled(buf: Vec<f32>, dims: &[usize]) -> Tensor {
+    let home: Arc<dyn BufferRecycler> = Workspace::global().clone();
+    Tensor::from_pooled(PooledBuf::new(buf, home), dims)
 }
 
 /// Linear backward given upstream `dy: [n, out]`.
 pub fn linear_backward(x: &Tensor, w: &Tensor, dy: &Tensor) -> LinearGrads {
     assert_eq!(dy.shape().dims(), &[x.dim(0), w.dim(0)], "linear dy mismatch");
-    let dx = matmul(dy, w); // [n, in]
-    let dw = matmul_at_b(dy, x); // [out, in]
+    let (n, k) = (x.dim(0), x.dim(1));
     let out = w.dim(0);
+    let ws = Workspace::global();
+    let mut dx = ws.take_zeroed(n * k); // matmul_into accumulates
+    matmul_into(dy.as_slice(), w.as_slice(), n, out, k, &mut dx);
+    let dx = pooled(dx, &[n, k]);
+    let mut dw = ws.take(out * k); // fully overwritten
+    matmul_at_b_into(dy.as_slice(), x.as_slice(), n, out, k, &mut dw);
+    let dw = pooled(dw, &[out, k]);
     let mut db = vec![0.0f32; out];
     for row in dy.as_slice().chunks(out) {
         for (acc, &v) in db.iter_mut().zip(row) {

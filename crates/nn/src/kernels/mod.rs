@@ -16,7 +16,10 @@ pub use bn::{
     batch_norm_backward, batch_norm_forward, batch_norm_inference, batch_norm_train,
     update_running, BnSaved,
 };
-pub use conv::{conv2d_backward, conv2d_forward, ConvAttrs, ConvGrads};
+pub use conv::{
+    conv2d_backward, conv2d_backward_with, conv2d_forward, conv2d_forward_with, ConvAlgo,
+    ConvAttrs, ConvGrads,
+};
 pub use linear::{linear_backward, linear_forward, LinearGrads};
 pub use loss::{softmax_cross_entropy_backward, softmax_cross_entropy_forward, LossOut};
 pub use pointwise::{dropout_backward, dropout_forward, dropout_mask, relu_backward, relu_forward};

@@ -1,0 +1,41 @@
+//! Pins the tiled convolution engine's transient footprint: a warm
+//! forward + backward pass must borrow far less scratch than the full
+//! `im2col` patch matrix the engine exists to avoid materializing.
+//!
+//! This is the one test that reads the global `scnn_par::scratch`
+//! high-water mark, so it lives alone in its own integration-test binary
+//! — loans from concurrently running tests in a shared process would
+//! inflate the measurement.
+
+use scnn_nn::kernels::{conv2d_backward_with, conv2d_forward_with, ConvAlgo, ConvAttrs};
+use scnn_rng::SplitRng;
+use scnn_tensor::{uniform, Padding2d, Tensor};
+
+#[test]
+fn tiled_conv_scratch_stays_far_below_full_im2col() {
+    let (n, ic, oc, hw) = (4, 16, 16, 32);
+    let mut rng = SplitRng::seed_from_u64(3);
+    let x = uniform(&mut rng, &[n, ic, hw, hw], -1.0, 1.0);
+    let w = uniform(&mut rng, &[oc, ic, 3, 3], -0.5, 0.5);
+    let attrs = ConvAttrs { kh: 3, kw: 3, sh: 1, sw: 1, pad: Padding2d::symmetric(1) };
+
+    // Warm pass: arenas and the output pool reach their steady-state
+    // sizes, so the measured pass below reflects a mid-training step.
+    let y = conv2d_forward_with(&x, &w, None, &attrs, Some(ConvAlgo::Tiled));
+    let dy = Tensor::ones(y.shape().dims());
+    conv2d_backward_with(&x, &w, false, &dy, &attrs, Some(ConvAlgo::Tiled));
+
+    scnn_par::scratch::reset_peak();
+    conv2d_forward_with(&x, &w, None, &attrs, Some(ConvAlgo::Tiled));
+    conv2d_backward_with(&x, &w, false, &dy, &attrs, Some(ConvAlgo::Tiled));
+    let peak = scnn_par::scratch::peak_bytes();
+
+    // Full im2col for this shape: [n·oh·ow, ic·kh·kw] f32.
+    let cols_bytes = n * hw * hw * ic * 3 * 3 * 4;
+    assert!(peak > 0, "tiled path should borrow some scratch");
+    assert!(
+        peak * 2 < cols_bytes,
+        "tiled scratch peak {peak} B is not far below the {cols_bytes} B \
+         full im2col matrix — is the engine materializing?"
+    );
+}

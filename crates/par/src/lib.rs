@@ -25,6 +25,7 @@
 //! already runs sibling split-patch branches on the pool.
 
 pub mod background;
+pub mod scratch;
 
 use std::cell::Cell;
 use std::collections::VecDeque;

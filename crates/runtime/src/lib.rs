@@ -47,5 +47,5 @@ pub mod pool;
 pub mod provider;
 
 pub use host::HostArena;
-pub use pool::{PoolGauge, Slab};
+pub use pool::PoolGauge;
 pub use provider::{MeterProvider, PlanRuntime, StepStats};

@@ -1,24 +1,18 @@
-//! Device-pool accounting and physical buffer recycling.
+//! Device-pool accounting.
 //!
-//! The runtime separates two concerns the planner fuses:
+//! [`PoolGauge`] replays the planner's first-fit addresses verbatim and
+//! checks that no two live TSOs overlap. Its high-water mark is, by
+//! construction, the `device_general_bytes` the static layout promised —
+//! the golden tests pin that equality.
 //!
-//! - **Accounting** ([`PoolGauge`]): replays the planner's first-fit
-//!   addresses verbatim and checks that no two live TSOs overlap. Its
-//!   high-water mark is, by construction, the `device_general_bytes` the
-//!   static layout promised — the golden tests pin that equality.
-//! - **Physical storage** ([`Slab`]): a size-binned cache of `Vec<f32>`
-//!   buffers. Dropped pooled tensors return their buffers here; prefetches
-//!   and adoptions draw from it, so one training step recycles the same
-//!   allocations the way a device pool would reuse addresses.
-//!
-//! The slab is only *taken from* on the executor's main thread (adopt and
-//! prefetch issue) and every buffer is fully overwritten before a kernel
-//! reads it, so recycling can never change a computed value.
+//! Physical buffer recycling lives in [`scnn_tensor::Workspace`]: the
+//! runtime and the kernels share one size-binned pool, so a buffer freed
+//! by a plan event is the very allocation the next kernel's output (or a
+//! prefetch landing buffer) reuses. Every pooled buffer is fully
+//! overwritten before a kernel reads it, so recycling can never change a
+//! computed value.
 
 use std::collections::HashMap;
-use std::sync::Mutex;
-
-use scnn_tensor::BufferRecycler;
 
 /// Replays planned addresses and validates them: panics on a double alloc,
 /// a free of a dead TSO, or two live TSOs overlapping — all of which mean
@@ -83,52 +77,6 @@ impl PoolGauge {
     }
 }
 
-/// A size-binned buffer cache. Implements [`BufferRecycler`] so pooled
-/// tensors flow back here on drop.
-#[derive(Debug, Default)]
-pub struct Slab {
-    /// element count → stack of returned buffers of exactly that length.
-    bins: Mutex<HashMap<usize, Vec<Vec<f32>>>>,
-}
-
-impl Slab {
-    /// An empty slab.
-    pub fn new() -> Self {
-        Slab::default()
-    }
-
-    /// A buffer of exactly `elems` elements: recycled if one is cached,
-    /// freshly zeroed otherwise. Callers must fully overwrite it before
-    /// any kernel reads — recycled contents are arbitrary.
-    pub fn take(&self, elems: usize) -> Vec<f32> {
-        let recycled = self
-            .bins
-            .lock()
-            .expect("slab lock")
-            .get_mut(&elems)
-            .and_then(Vec::pop);
-        recycled.unwrap_or_else(|| vec![0.0; elems])
-    }
-
-    /// Number of buffers currently cached (test/diagnostic hook).
-    pub fn cached(&self) -> usize {
-        self.bins.lock().expect("slab lock").values().map(Vec::len).sum()
-    }
-}
-
-impl BufferRecycler for Slab {
-    fn recycle(&self, buf: Vec<f32>) {
-        if !buf.is_empty() {
-            self.bins
-                .lock()
-                .expect("slab lock")
-                .entry(buf.len())
-                .or_default()
-                .push(buf);
-        }
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -164,16 +112,4 @@ mod tests {
         g.free(3);
     }
 
-    #[test]
-    fn slab_recycles_exact_sizes() {
-        let slab = Slab::new();
-        slab.recycle(vec![1.0; 8]);
-        slab.recycle(vec![2.0; 4]);
-        assert_eq!(slab.cached(), 2);
-        let b = slab.take(8);
-        assert_eq!(b.len(), 8);
-        assert_eq!(slab.cached(), 1);
-        // No bin for 16: a fresh zeroed buffer.
-        assert_eq!(slab.take(16), vec![0.0; 16]);
-    }
 }

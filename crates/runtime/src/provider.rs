@@ -42,10 +42,10 @@ use scnn_graph::Graph;
 use scnn_hmms::{export_plan, ExecPlan, LayoutError, MemEvent, MemoryPlan, TsoAssignment};
 use scnn_nn::BufferProvider;
 use scnn_par::background::{Ticket, Worker};
-use scnn_tensor::{BufferRecycler, PooledBuf, Tensor};
+use scnn_tensor::{BufferRecycler, PooledBuf, Tensor, Workspace};
 
 use crate::host::HostArena;
-use crate::pool::{PoolGauge, Slab};
+use crate::pool::PoolGauge;
 
 /// What one step under the runtime cost, memory-wise.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -63,6 +63,15 @@ pub struct StepStats {
     pub offloads: usize,
     /// Prefetch transfers issued.
     pub prefetches: usize,
+    /// High-water mark of the per-thread kernel scratch arenas
+    /// (`scnn_par::scratch`) over the step — the tiled convolution
+    /// engine's pack panels and GEMM partials. Reset at `begin_step`, so
+    /// it covers exactly one step.
+    pub scratch_peak_bytes: usize,
+    /// Workspace-role bytes the static layout planned for this step
+    /// (`StaticLayout::device_workspace_bytes`): the planner's counterpart
+    /// of `scratch_peak_bytes`, carved out of `plan_device_peak_bytes`.
+    pub plan_workspace_bytes: usize,
 }
 
 /// A pooled, plan-driven [`BufferProvider`]. One instance serves one graph
@@ -75,7 +84,9 @@ pub struct PlanRuntime {
     node_tso: Vec<usize>,
     /// Output shape per node (restores rebuild tensors without the graph).
     node_shape: Vec<Vec<usize>>,
-    slab: Arc<Slab>,
+    /// The shared size-binned buffer pool (also the kernels' output home):
+    /// plan-freed buffers physically become the next node's storage.
+    pool: Arc<Workspace>,
     arena: Arc<HostArena>,
     worker: Worker,
 
@@ -123,7 +134,7 @@ impl PlanRuntime {
             consumers,
             node_tso,
             node_shape,
-            slab: Arc::new(Slab::new()),
+            pool: Workspace::global().clone(),
             arena,
             worker: Worker::new("scnn-transfer"),
             gauge: PoolGauge::new(),
@@ -239,7 +250,7 @@ impl PlanRuntime {
                     [*restore.last().expect("prefetched TSO has a reader")]
                 .iter()
                 .product();
-                let mut buf = self.slab.take(elems);
+                let mut buf = self.pool.take(elems);
                 let off = self.plan.host_offsets[&tso];
                 let arena = self.arena.clone();
                 let (tx, rx) = channel();
@@ -266,7 +277,7 @@ impl PlanRuntime {
                     // the same bits under different shapes.
                     outputs[nid] = Some(Tensor::from_vec(buf.clone(), &self.node_shape[nid]));
                 }
-                let home: Arc<dyn BufferRecycler> = self.slab.clone();
+                let home: Arc<dyn BufferRecycler> = self.pool.clone();
                 outputs[last] =
                     Some(Tensor::from_pooled(PooledBuf::new(buf, home), &self.node_shape[last]));
                 self.content[tso.0] = Some(last);
@@ -293,13 +304,17 @@ impl BufferProvider for PlanRuntime {
         self.resident_peak = 0;
         self.offloads = 0;
         self.prefetches = 0;
+        // Scope the kernel-scratch high-water mark to this step.
+        scnn_par::scratch::reset_peak();
     }
 
     fn adopt(&mut self, _node: usize, out: Tensor) -> Tensor {
         // Migrate the kernel's buffer into pool-recycled storage without
-        // copying: the same bits, now returned to the slab on drop.
+        // copying: the same bits, now returned to the shared pool on drop.
+        // Outputs the kernels already homed there detach and re-wrap —
+        // still no copy, same pool.
         let dims = out.shape().dims().to_vec();
-        let home: Arc<dyn BufferRecycler> = self.slab.clone();
+        let home: Arc<dyn BufferRecycler> = self.pool.clone();
         Tensor::from_pooled(PooledBuf::new(out.into_vec(), home), &dims)
     }
 
@@ -352,6 +367,8 @@ impl BufferProvider for PlanRuntime {
             host_bytes: self.arena.bytes(),
             offloads: self.offloads,
             prefetches: self.prefetches,
+            scratch_peak_bytes: scnn_par::scratch::peak_bytes(),
+            plan_workspace_bytes: self.plan.layout.device_workspace_bytes,
         };
     }
 }

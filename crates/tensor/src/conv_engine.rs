@@ -1,0 +1,496 @@
+//! Tile-fused implicit-GEMM convolution kernels (DESIGN.md §11).
+//!
+//! The materialized path lowers convolution to `im2col` + GEMM, which
+//! allocates the full patch matrix `[n·oh·ow, ic·kh·kw]` on every call —
+//! the largest transient buffer in a training step and invisible to the
+//! HMMS planner. The kernels here never build that matrix: they pack one
+//! small tile of patch rows at a time into a per-thread scratch panel
+//! (`scnn_par::scratch`), run the same `dot8`/`dot8_x4` micro-kernels the
+//! GEMMs use against the weight matrix, and write results straight to
+//! their destination.
+//!
+//! **Bit-identity with the materialized path is a hard invariant**, not an
+//! approximation — it is what keeps seeded training goldens and the
+//! split-vs-unsplit exactness argument valid regardless of which algorithm
+//! the selector picks:
+//!
+//! - forward: every output element is `dot8(patch_row, weight_row) + bias`
+//!   — elements are independent, and `dot8`'s reduction order depends only
+//!   on the shared dimension, exactly as in [`matmul_a_bt`](crate::matmul_a_bt).
+//! - `dw`: partial sums are blocked on the same `KC` boundaries as
+//!   [`matmul_at_b`](crate::matmul_at_b), accumulate with `p` ascending
+//!   (zero-skip on the `dy` factor included) inside each block, and fold
+//!   in ascending block order.
+//! - `dx`: each patch-row gradient reduces over output channels in
+//!   ascending order with the same zero-skip as [`matmul`](crate::matmul),
+//!   then scatters in [`col2im_into`](crate::col2im_into)'s `(oy, ox, ky,
+//!   kx)` order, parallel per batch image only (`oy` windows overlap
+//!   inside an image).
+//!
+//! The weight tensor `[oc, ic, kh, kw]` is row-major contiguous, so its
+//! natural layout *is* the `[oc, plen]` panel the micro-kernel wants —
+//! "packing" the B side is the identity, which is why there is no weight
+//! pack cache to invalidate on update.
+
+use crate::im2col::Conv2dGeometry;
+use crate::linalg::{dot8, dot8_x4, dot8_x8, KC};
+use crate::Tensor;
+use scnn_par::{scratch, DisjointMut};
+
+/// Per-thread pack panel budget in bytes (~half a typical L2 slice): the
+/// A-panel tile plus the weight rows it sweeps stay cache-resident.
+const PANEL_BUDGET: usize = 256 * 1024;
+
+/// Patch-row tile width under [`PANEL_BUDGET`], at least 1, at most `cap`.
+fn tile_rows(plen: usize, cap: usize) -> usize {
+    (PANEL_BUDGET / 4 / plen.max(1)).clamp(1, cap.max(1))
+}
+
+/// Packs the `im2col` row of output position `(b, oy, ox)` into `row`
+/// (`[plen]`), writing **every** element — out-of-bounds taps store an
+/// explicit 0.0, so a reused panel needs no per-tile clear. Values and
+/// column order are exactly those of [`im2col`](crate::im2col).
+#[inline]
+fn pack_patch(
+    src: &[f32],
+    g: &Conv2dGeometry,
+    b: usize,
+    oy: usize,
+    ox: usize,
+    row: &mut [f32],
+) {
+    let (h, w) = (g.in_h, g.in_w);
+    let iy0 = oy as i64 * g.sh as i64 - g.pad.h_begin;
+    let ix0 = ox as i64 * g.sw as i64 - g.pad.w_begin;
+    // Interior positions (the vast majority under small padding) copy each
+    // kernel row as one contiguous run instead of per-element index math.
+    let x_full = ix0 >= 0 && ix0 + g.kw as i64 <= w as i64;
+    let mut q = 0;
+    for c in 0..g.in_c {
+        let cbase = (b * g.in_c + c) * h * w;
+        for ky in 0..g.kh {
+            let iy = iy0 + ky as i64;
+            if iy < 0 || iy >= h as i64 {
+                row[q..q + g.kw].fill(0.0);
+                q += g.kw;
+                continue;
+            }
+            let rbase = cbase + iy as usize * w;
+            if x_full {
+                let s = rbase + ix0 as usize;
+                row[q..q + g.kw].copy_from_slice(&src[s..s + g.kw]);
+                q += g.kw;
+                continue;
+            }
+            for kx in 0..g.kw {
+                let ix = ix0 + kx as i64;
+                row[q] = if ix < 0 || ix >= w as i64 {
+                    0.0
+                } else {
+                    src[rbase + ix as usize]
+                };
+                q += 1;
+            }
+        }
+    }
+}
+
+fn check_weight(w: &Tensor, g: &Conv2dGeometry) -> usize {
+    assert_eq!(w.rank(), 4, "conv weight must be [oc, ic, kh, kw]");
+    assert_eq!(
+        (w.dim(1), w.dim(2), w.dim(3)),
+        (g.in_c, g.kh, g.kw),
+        "weight {} does not match geometry {g:?}",
+        w.shape()
+    );
+    w.dim(0)
+}
+
+fn check_input(x: &Tensor, g: &Conv2dGeometry) -> usize {
+    assert_eq!(x.rank(), 4, "conv input must be NCHW");
+    assert_eq!(
+        (x.dim(1), x.dim(2), x.dim(3)),
+        (g.in_c, g.in_h, g.in_w),
+        "input {} does not match geometry {g:?}",
+        x.shape()
+    );
+    x.dim(0)
+}
+
+/// Tiled implicit-GEMM convolution forward.
+///
+/// `x: [n, ic, h, w]` (already cropped if the layer had negative padding;
+/// `g.pad` holds the non-negative remainder), `w: [oc, ic, kh, kw]`,
+/// optional `bias: [oc]`. Writes `[n, oc, oh, ow]` into `out`, overwriting
+/// every element — `out`'s contents on entry do not matter.
+///
+/// Bit-identical to `im2col` + `matmul_a_bt` + bias for any thread count
+/// and any tile width: each element is one independent `dot8` + one add.
+///
+/// # Panics
+///
+/// Panics if shapes disagree with the geometry.
+pub fn conv2d_fwd_tiled(
+    x: &Tensor,
+    w: &Tensor,
+    bias: Option<&[f32]>,
+    g: &Conv2dGeometry,
+    out: &mut [f32],
+) {
+    let n = check_input(x, g);
+    let oc = check_weight(w, g);
+    let plen = g.patch_len();
+    let (oh, ow) = (g.out_h(), g.out_w());
+    assert_eq!(out.len(), n * oc * oh * ow, "conv2d_fwd_tiled out length");
+    if let Some(b) = bias {
+        assert_eq!(b.len(), oc, "conv bias length");
+    }
+    let src = x.as_slice();
+    let wv = w.as_slice();
+    let tile = tile_rows(plen, ow);
+    let rows = n * oh;
+    let rows_per_chunk = scnn_par::grain(rows, 2);
+    let tasks = rows.div_ceil(rows_per_chunk.max(1)).max(1);
+    let sink = DisjointMut::new(out);
+    scnn_par::parallel_for(tasks, |t| {
+        let r0 = t * rows_per_chunk;
+        let r1 = ((t + 1) * rows_per_chunk).min(rows);
+        scratch::with_scratch(tile * plen, |panel| {
+            for r in r0..r1 {
+                let (b, oy) = (r / oh, r % oh);
+                for ox0 in (0..ow).step_by(tile) {
+                    let tw = (ox0 + tile).min(ow) - ox0;
+                    for ti in 0..tw {
+                        pack_patch(src, g, b, oy, ox0 + ti, &mut panel[ti * plen..(ti + 1) * plen]);
+                    }
+                    // For channel c the tile's outputs are contiguous in
+                    // ox; distinct (b, oy, c) rows never overlap, and the
+                    // tasks partition (b, oy), so the ranges are disjoint.
+                    let orow = |c: usize| {
+                        let base = ((b * oc + c) * oh + oy) * ow + ox0;
+                        unsafe { sink.range(base, base + tw) }
+                    };
+                    let mut c = 0;
+                    while c + 8 <= oc {
+                        let ws: [&[f32]; 8] = std::array::from_fn(|j| {
+                            &wv[(c + j) * plen..(c + j + 1) * plen]
+                        });
+                        let adds: [f32; 8] = match bias {
+                            Some(b) => std::array::from_fn(|j| b[c + j]),
+                            None => [0.0; 8],
+                        };
+                        let os: [&mut [f32]; 8] = std::array::from_fn(|j| orow(c + j));
+                        for ti in 0..tw {
+                            let arow = &panel[ti * plen..(ti + 1) * plen];
+                            let q = dot8_x8(arow, ws);
+                            for j in 0..8 {
+                                os[j][ti] = q[j] + adds[j];
+                            }
+                        }
+                        c += 8;
+                    }
+                    while c + 4 <= oc {
+                        let (w0, w1, w2, w3) = (
+                            &wv[c * plen..(c + 1) * plen],
+                            &wv[(c + 1) * plen..(c + 2) * plen],
+                            &wv[(c + 2) * plen..(c + 3) * plen],
+                            &wv[(c + 3) * plen..(c + 4) * plen],
+                        );
+                        let adds = match bias {
+                            Some(b) => [b[c], b[c + 1], b[c + 2], b[c + 3]],
+                            None => [0.0; 4],
+                        };
+                        let (o0, o1, o2, o3) = (orow(c), orow(c + 1), orow(c + 2), orow(c + 3));
+                        for ti in 0..tw {
+                            let arow = &panel[ti * plen..(ti + 1) * plen];
+                            let q = dot8_x4(arow, w0, w1, w2, w3);
+                            o0[ti] = q[0] + adds[0];
+                            o1[ti] = q[1] + adds[1];
+                            o2[ti] = q[2] + adds[2];
+                            o3[ti] = q[3] + adds[3];
+                        }
+                        c += 4;
+                    }
+                    while c < oc {
+                        let wrow = &wv[c * plen..(c + 1) * plen];
+                        let add = bias.map_or(0.0, |b| b[c]);
+                        let o = orow(c);
+                        for ti in 0..tw {
+                            o[ti] = dot8(&panel[ti * plen..(ti + 1) * plen], wrow) + add;
+                        }
+                        c += 1;
+                    }
+                }
+            }
+        });
+    });
+}
+
+/// Tiled weight gradient: `dw = dyᵀ · cols` without materializing either
+/// the transposed `dy` or the patch matrix.
+///
+/// Writes `[oc, plen]` into `dw`, overwriting every element. The shared
+/// dimension `k = n·oh·ow` is split on the same `KC` boundaries as
+/// [`matmul_at_b`](crate::matmul_at_b); each block packs sub-tiles of
+/// patch rows and `dy` rows into per-thread panels, accumulates its
+/// partial with `p` ascending (skipping zero `dy` factors, as the GEMM
+/// does), and the flat partial buffer folds in ascending block order —
+/// bit-identical to the materialized pipeline at every thread count.
+///
+/// # Panics
+///
+/// Panics if shapes disagree with the geometry.
+pub fn conv2d_dw_tiled(x: &Tensor, dy: &Tensor, g: &Conv2dGeometry, dw: &mut [f32]) {
+    let n = check_input(x, g);
+    let (oh, ow) = (g.out_h(), g.out_w());
+    assert_eq!(dy.rank(), 4, "conv dy must be NCHW");
+    let oc = dy.dim(1);
+    assert_eq!(
+        (dy.dim(0), dy.dim(2), dy.dim(3)),
+        (n, oh, ow),
+        "dy {} does not match geometry {g:?}",
+        dy.shape()
+    );
+    let plen = g.patch_len();
+    assert_eq!(dw.len(), oc * plen, "conv2d_dw_tiled out length");
+    let src = x.as_slice();
+    let dyv = dy.as_slice();
+    let hw = oh * ow;
+    let k = n * hw;
+    let nblocks = k.div_ceil(KC).max(1);
+    let st = tile_rows(plen + oc, KC);
+    scratch::with_scratch(nblocks * oc * plen, |partials| {
+        let slots = DisjointMut::new(partials);
+        scnn_par::parallel_for(nblocks, |bi| {
+            // Safety: partial slot `bi` is written only by task `bi`.
+            let part = unsafe { slots.range(bi * oc * plen, (bi + 1) * oc * plen) };
+            let p0 = bi * KC;
+            let p1 = (p0 + KC).min(k);
+            scratch::with_scratch(st * plen, |colpanel| {
+                scratch::with_scratch(st * oc, |dypanel| {
+                    for q0 in (p0..p1).step_by(st) {
+                        let q1 = (q0 + st).min(p1);
+                        for (t, p) in (q0..q1).enumerate() {
+                            let (b, rem) = (p / hw, p % hw);
+                            let (oy, ox) = (rem / ow, rem % ow);
+                            pack_patch(src, g, b, oy, ox, &mut colpanel[t * plen..(t + 1) * plen]);
+                            let drow = &mut dypanel[t * oc..(t + 1) * oc];
+                            for (c, d) in drow.iter_mut().enumerate() {
+                                *d = dyv[((b * oc + c) * oh + oy) * ow + ox];
+                            }
+                        }
+                        for t in 0..q1 - q0 {
+                            let arow = &dypanel[t * oc..(t + 1) * oc];
+                            let crow = &colpanel[t * plen..(t + 1) * plen];
+                            for (i, &aa) in arow.iter().enumerate() {
+                                if aa == 0.0 {
+                                    continue;
+                                }
+                                let orow = &mut part[i * plen..(i + 1) * plen];
+                                for (o, &cc) in orow.iter_mut().zip(crow) {
+                                    *o += aa * cc;
+                                }
+                            }
+                        }
+                    }
+                });
+            });
+        });
+        dw.copy_from_slice(&partials[..oc * plen]);
+        for bi in 1..nblocks {
+            let part = &partials[bi * oc * plen..(bi + 1) * oc * plen];
+            for (o, p) in dw.iter_mut().zip(part) {
+                *o += p;
+            }
+        }
+    });
+}
+
+/// Tiled input gradient: fuses `matmul(dy_mat, w2)` with the `col2im`
+/// scatter so the `dcols` matrix never exists.
+///
+/// Accumulates into `dst: [n, ic, full_h, full_w]` (zeroed by the caller),
+/// with the geometry's `in_h × in_w` window placed at `(off_h, off_w)` —
+/// the crop-offset contract of [`col2im_into`](crate::col2im_into). For
+/// each output position the patch-row gradient reduces over output
+/// channels in ascending order (zero-skip on the `dy` factor, as
+/// [`matmul`](crate::matmul) does) into a `plen` scratch row, then
+/// scatters in `(oy, ox, ky, kx)` order. Parallel over whole batch images
+/// only, so every destination element sees its contributions in the same
+/// order at every thread count.
+///
+/// # Panics
+///
+/// Panics if shapes disagree or the offset window hangs outside `dst`.
+pub fn conv2d_dx_tiled(
+    dy: &Tensor,
+    w: &Tensor,
+    g: &Conv2dGeometry,
+    dst: &mut Tensor,
+    off_h: usize,
+    off_w: usize,
+) {
+    let oc = check_weight(w, g);
+    let (oh, ow) = (g.out_h(), g.out_w());
+    let n = dy.dim(0);
+    assert_eq!(
+        dy.shape().dims(),
+        &[n, oc, oh, ow],
+        "dy does not match geometry {g:?}"
+    );
+    assert_eq!(dst.rank(), 4, "dx destination must be NCHW");
+    assert_eq!(
+        (dst.dim(0), dst.dim(1)),
+        (n, g.in_c),
+        "dx destination batch/channel mismatch"
+    );
+    let (full_h, full_w) = (dst.dim(2), dst.dim(3));
+    assert!(
+        off_h + g.in_h <= full_h && off_w + g.in_w <= full_w,
+        "dx window {}x{} at offset ({off_h}, {off_w}) exceeds {full_h}x{full_w}",
+        g.in_h,
+        g.in_w
+    );
+    let plen = g.patch_len();
+    let (h, w_in) = (g.in_h, g.in_w);
+    let dyv = dy.as_slice();
+    let wv = w.as_slice();
+    let plane = full_h * full_w;
+    scnn_par::par_chunks_mut(dst.as_mut_slice(), g.in_c * plane, |b, img| {
+        scratch::with_scratch(plen, |drow| {
+            for oy in 0..oh {
+                let iy0 = oy as i64 * g.sh as i64 - g.pad.h_begin;
+                for ox in 0..ow {
+                    let ix0 = ox as i64 * g.sw as i64 - g.pad.w_begin;
+                    drow.fill(0.0);
+                    for c in 0..oc {
+                        let aa = dyv[((b * oc + c) * oh + oy) * ow + ox];
+                        if aa == 0.0 {
+                            continue;
+                        }
+                        let wrow = &wv[c * plen..(c + 1) * plen];
+                        for (o, &ww) in drow.iter_mut().zip(wrow) {
+                            *o += aa * ww;
+                        }
+                    }
+                    // Interior positions add each kernel row as one
+                    // contiguous run (same fast path as the pack).
+                    let x_full = ix0 >= 0 && ix0 + g.kw as i64 <= w_in as i64;
+                    for c in 0..g.in_c {
+                        let cbase = c * plane;
+                        for ky in 0..g.kh {
+                            let iy = iy0 + ky as i64;
+                            if iy < 0 || iy >= h as i64 {
+                                continue;
+                            }
+                            let iy = iy as usize + off_h;
+                            let q = (c * g.kh + ky) * g.kw;
+                            if x_full {
+                                let d0 = cbase + iy * full_w + (ix0 as usize + off_w);
+                                let dst_run = &mut img[d0..d0 + g.kw];
+                                for (d, &v) in dst_run.iter_mut().zip(&drow[q..q + g.kw]) {
+                                    *d += v;
+                                }
+                                continue;
+                            }
+                            for kx in 0..g.kw {
+                                let ix = ix0 + kx as i64;
+                                if ix < 0 || ix >= w_in as i64 {
+                                    continue;
+                                }
+                                img[cbase + iy * full_w + (ix as usize + off_w)] += drow[q + kx];
+                            }
+                        }
+                    }
+                }
+            }
+        });
+    });
+}
+
+/// Planned workspace bytes for one tiled conv layer (forward + backward):
+/// the thread-count-*independent* scratch footprint, i.e. the flat `dw`
+/// partial buffer (`⌈n·oh·ow / KC⌉ · oc · plen` floats). Per-thread pack
+/// panels are bounded by [`PANEL_BUDGET`] each and scale with the host's
+/// thread count, so the planner leaves them out of the per-layer term —
+/// this is the number `scnn-hmms` carries per conv node in its layouts.
+pub fn conv2d_workspace_bytes(g: &Conv2dGeometry, n: usize, oc: usize) -> usize {
+    let k = n * g.patch_count();
+    k.div_ceil(KC).max(1) * oc * g.patch_len() * 4
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{im2col, matmul_a_bt, Padding2d};
+
+    fn fill(dims: &[usize], seed: u32) -> Tensor {
+        let len: usize = dims.iter().product();
+        let mut state = seed.wrapping_mul(2654435761).wrapping_add(1);
+        let data = (0..len)
+            .map(|_| {
+                state = state.wrapping_mul(1664525).wrapping_add(1013904223);
+                (state >> 8) as f32 / (1u32 << 24) as f32 - 0.5
+            })
+            .collect();
+        Tensor::from_vec(data, dims)
+    }
+
+    #[test]
+    fn pack_patch_matches_im2col_rows() {
+        let g = Conv2dGeometry::new(3, 5, 6, 3, 2, 2, 1, Padding2d::new(1, 0, 2, 1));
+        let x = fill(&[2, 3, 5, 6], 9);
+        let cols = im2col(&x, &g);
+        let (oh, ow) = (g.out_h(), g.out_w());
+        let plen = g.patch_len();
+        let mut row = vec![9.9f32; plen]; // stale fill: pack must overwrite all
+        for b in 0..2 {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    pack_patch(x.as_slice(), &g, b, oy, ox, &mut row);
+                    let p = (b * oh + oy) * ow + ox;
+                    assert_eq!(
+                        &cols.as_slice()[p * plen..(p + 1) * plen],
+                        &row[..],
+                        "patch ({b},{oy},{ox})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fwd_tiled_is_bitwise_equal_to_materialized_gemm() {
+        // Non-divisible tile edges are exercised by tiny ow vs tile width;
+        // the full cross-geometry sweep lives in scnn-nn's property tests.
+        let g = Conv2dGeometry::new(2, 7, 9, 3, 3, 2, 1, Padding2d::new(1, 0, 0, 2));
+        let x = fill(&[2, 2, 7, 9], 3);
+        let w = fill(&[5, 2, 3, 3], 4);
+        let bias = fill(&[5], 5);
+        let (n, oc) = (2, 5);
+        let (oh, ow) = (g.out_h(), g.out_w());
+
+        let cols = im2col(&x, &g);
+        let w2 = w.clone().reshape(&[oc, g.patch_len()]);
+        let ymat = matmul_a_bt(&cols, &w2);
+
+        let mut out = vec![7.7f32; n * oc * oh * ow];
+        conv2d_fwd_tiled(&x, &w, Some(bias.as_slice()), &g, &mut out);
+        for b in 0..n {
+            for c in 0..oc {
+                for p in 0..oh * ow {
+                    let want = ymat.as_slice()[(b * oh * ow + p) * oc + c] + bias.as_slice()[c];
+                    let got = out[(b * oc + c) * oh * ow + p];
+                    assert_eq!(got.to_bits(), want.to_bits(), "at b={b} c={c} p={p}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn workspace_bytes_counts_dw_partials() {
+        let g = Conv2dGeometry::new(16, 32, 32, 3, 3, 1, 1, Padding2d::symmetric(1));
+        // k = 8·32·32 = 8192 → 32 KC-blocks of [oc=32, plen=144] partials.
+        assert_eq!(conv2d_workspace_bytes(&g, 8, 32), 32 * 32 * 144 * 4);
+    }
+}

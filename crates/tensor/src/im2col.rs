@@ -120,6 +120,23 @@ impl Conv2dGeometry {
 ///
 /// Panics if `x` does not match the geometry's input shape.
 pub fn im2col(x: &Tensor, g: &Conv2dGeometry) -> Tensor {
+    let n = x.dim(0);
+    let (oh, ow) = (g.out_h(), g.out_w());
+    let plen = g.patch_len();
+    let mut out = vec![0.0f32; n * oh * ow * plen];
+    im2col_into(x, g, &mut out);
+    Tensor::from_vec(out, &[n * oh * ow, plen])
+}
+
+/// Slice core of [`im2col`]: fills a caller-provided patch matrix buffer,
+/// which **must be zero-filled on entry** (out-of-bounds window positions
+/// are skipped, not written). Lets the materialized convolution fallback
+/// unroll into reused workspace scratch instead of a fresh allocation.
+///
+/// # Panics
+///
+/// Panics if `x` does not match the geometry or `out` has the wrong length.
+pub fn im2col_into(x: &Tensor, g: &Conv2dGeometry, out: &mut [f32]) {
     assert_eq!(x.rank(), 4, "im2col expects NCHW");
     assert_eq!(
         (x.dim(1), x.dim(2), x.dim(3)),
@@ -130,7 +147,7 @@ pub fn im2col(x: &Tensor, g: &Conv2dGeometry) -> Tensor {
     let n = x.dim(0);
     let (oh, ow) = (g.out_h(), g.out_w());
     let plen = g.patch_len();
-    let mut out = vec![0.0f32; n * oh * ow * plen];
+    assert_eq!(out.len(), n * oh * ow * plen, "im2col_into out length");
     let src = x.as_slice();
     let (h, w) = (g.in_h, g.in_w);
     // Parallel over the n·out_h dimension: each (b, oy) row group fills a
@@ -138,7 +155,7 @@ pub fn im2col(x: &Tensor, g: &Conv2dGeometry) -> Tensor {
     // per chunk (a function of the row count only) amortizes dispatch.
     let rows_per_chunk = scnn_par::grain(n * oh, 2);
     let stripe = ow * plen;
-    scnn_par::par_chunks_mut(&mut out, rows_per_chunk * stripe, |ci, chunk| {
+    scnn_par::par_chunks_mut(out, rows_per_chunk * stripe, |ci, chunk| {
         let first_row = ci * rows_per_chunk;
         for (r, rowbuf) in chunk.chunks_mut(stripe).enumerate() {
             let (b, oy) = ((first_row + r) / oh, (first_row + r) % oh);
@@ -167,7 +184,6 @@ pub fn im2col(x: &Tensor, g: &Conv2dGeometry) -> Tensor {
             }
         }
     });
-    Tensor::from_vec(out, &[n * oh * ow, plen])
 }
 
 /// The adjoint of [`im2col`]: folds a patch matrix back into an image,
@@ -214,6 +230,27 @@ pub fn col2im_into(
         &[n * oh * ow, plen],
         "col matrix shape mismatch"
     );
+    col2im_cols_into(cols.as_slice(), n, g, dst, off_h, off_w);
+}
+
+/// Slice core of [`col2im_into`], taking the patch matrix as a raw buffer
+/// — the materialized convolution fallback computes `dcols` into workspace
+/// scratch and folds it from there without wrapping it in a tensor.
+///
+/// # Panics
+///
+/// Panics as [`col2im_into`] does, with the length check on the raw slice.
+pub fn col2im_cols_into(
+    cols: &[f32],
+    n: usize,
+    g: &Conv2dGeometry,
+    dst: &mut Tensor,
+    off_h: usize,
+    off_w: usize,
+) {
+    let (oh, ow) = (g.out_h(), g.out_w());
+    let plen = g.patch_len();
+    assert_eq!(cols.len(), n * oh * ow * plen, "col matrix length mismatch");
     assert_eq!(dst.rank(), 4, "col2im destination must be NCHW");
     assert_eq!(
         (dst.dim(0), dst.dim(1)),
@@ -228,7 +265,7 @@ pub fn col2im_into(
         g.in_w
     );
     let (h, w) = (g.in_h, g.in_w);
-    let src = cols.as_slice();
+    let src = cols;
     // Parallel over whole batch images: each task owns a disjoint
     // c·full_h·full_w slab of dst and reads its stripe of `cols` exactly
     // once, sequentially, in the original (oy, ox, c, ky, kx) order.

@@ -22,6 +22,7 @@
 //! assert_eq!(y.as_slice(), &[2.0, 4.0, 6.0, 8.0]);
 //! ```
 
+mod conv_engine;
 mod im2col;
 mod init;
 mod linalg;
@@ -30,11 +31,18 @@ mod shape;
 mod slice;
 mod storage;
 mod tensor;
+mod workspace;
 
-pub use im2col::{col2im, col2im_into, im2col, Conv2dGeometry};
+pub use conv_engine::{
+    conv2d_dw_tiled, conv2d_dx_tiled, conv2d_fwd_tiled, conv2d_workspace_bytes,
+};
+pub use im2col::{col2im, col2im_cols_into, col2im_into, im2col, im2col_into, Conv2dGeometry};
 pub use init::{he_normal, uniform, xavier_uniform};
-pub use linalg::{matmul, matmul_a_bt, matmul_at_b};
+pub use linalg::{
+    matmul, matmul_a_bt, matmul_a_bt_into, matmul_at_b, matmul_at_b_into, matmul_into,
+};
 pub use pad::Padding2d;
 pub use shape::Shape;
 pub use storage::{BufferRecycler, PooledBuf};
 pub use tensor::Tensor;
+pub use workspace::Workspace;

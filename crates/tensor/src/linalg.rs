@@ -21,8 +21,10 @@
 use crate::Tensor;
 
 /// Shared-dimension tile: keeps a KC×NC panel of `B` and the live output
-/// rows resident while streaming `A`.
-const KC: usize = 256;
+/// rows resident while streaming `A`. Crate-visible: the tiled convolution
+/// engine blocks its `dw` fold on the same boundaries so its partial sums
+/// reproduce [`matmul_at_b`] bit-for-bit.
+pub(crate) const KC: usize = 256;
 /// Output-column tile width for [`matmul`].
 const NC: usize = 128;
 /// Minimum rows per parallel chunk (amortizes task-claim overhead).
@@ -48,10 +50,20 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
     let (k2, n) = dims2(b, "matmul rhs");
     assert_eq!(k, k2, "matmul inner dimension mismatch: {k} vs {k2}");
     let mut out = vec![0.0f32; m * n];
-    let av = a.as_slice();
-    let bv = b.as_slice();
+    matmul_into(a.as_slice(), b.as_slice(), m, k, n, &mut out);
+    Tensor::from_vec(out, &[m, n])
+}
+
+/// Slice core of [`matmul`]: accumulates `A·B` into `out`, which **must be
+/// zero-filled on entry** (`[m*n]`, row-major). Lets callers land the
+/// product in pooled/workspace storage; values are bit-identical to
+/// [`matmul`] for a zeroed target.
+pub fn matmul_into(av: &[f32], bv: &[f32], m: usize, k: usize, n: usize, out: &mut [f32]) {
+    assert_eq!(av.len(), m * k, "matmul_into lhs length");
+    assert_eq!(bv.len(), k * n, "matmul_into rhs length");
+    assert_eq!(out.len(), m * n, "matmul_into out length");
     let row_grain = scnn_par::grain(m, MIN_ROWS);
-    scnn_par::par_chunks_mut(&mut out, row_grain * n, |ci, ochunk| {
+    scnn_par::par_chunks_mut(out, row_grain * n, |ci, ochunk| {
         let i0 = ci * row_grain;
         let rows = ochunk.len() / n.max(1);
         // p ascends globally per output element (KC blocks in order, p in
@@ -82,7 +94,6 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
             }
         }
     });
-    Tensor::from_vec(out, &[m, n])
 }
 
 /// `C = Aᵀ · B` for `A: [k, m]`, `B: [k, n]` — used by convolution weight
@@ -102,36 +113,50 @@ pub fn matmul_at_b(a: &Tensor, b: &Tensor) -> Tensor {
     let (k, m) = dims2(a, "matmul_at_b lhs");
     let (k2, n) = dims2(b, "matmul_at_b rhs");
     assert_eq!(k, k2, "matmul_at_b shared dimension mismatch: {k} vs {k2}");
-    let av = a.as_slice();
-    let bv = b.as_slice();
+    let mut out = vec![0.0f32; m * n];
+    matmul_at_b_into(a.as_slice(), b.as_slice(), k, m, n, &mut out);
+    Tensor::from_vec(out, &[m, n])
+}
+
+/// Slice core of [`matmul_at_b`]: writes `Aᵀ·B` into `out` (`[m*n]`, every
+/// element overwritten — contents on entry do not matter). The per-block
+/// partials live in this thread's scratch arena instead of one fresh `Vec`
+/// per block; the fold copies block 0 and adds the rest in ascending block
+/// order, which reproduces the original fold bit-for-bit.
+pub fn matmul_at_b_into(av: &[f32], bv: &[f32], k: usize, m: usize, n: usize, out: &mut [f32]) {
+    assert_eq!(av.len(), k * m, "matmul_at_b_into lhs length");
+    assert_eq!(bv.len(), k * n, "matmul_at_b_into rhs length");
+    assert_eq!(out.len(), m * n, "matmul_at_b_into out length");
     let nblocks = k.div_ceil(KC).max(1);
-    let partials = scnn_par::parallel_map(nblocks, |bi| {
-        let p0 = bi * KC;
-        let p1 = (p0 + KC).min(k);
-        let mut part = vec![0.0f32; m * n];
-        for p in p0..p1 {
-            let arow = &av[p * m..(p + 1) * m];
-            let brow = &bv[p * n..(p + 1) * n];
-            for (i, &aa) in arow.iter().enumerate() {
-                if aa == 0.0 {
-                    continue;
-                }
-                let orow = &mut part[i * n..(i + 1) * n];
-                for (o, &bb) in orow.iter_mut().zip(brow) {
-                    *o += aa * bb;
+    scnn_par::scratch::with_scratch(nblocks * m * n, |partials| {
+        let slots = scnn_par::DisjointMut::new(partials);
+        scnn_par::parallel_for(nblocks, |bi| {
+            // Safety: slot `bi` is written only by task `bi`.
+            let part = unsafe { slots.range(bi * m * n, (bi + 1) * m * n) };
+            let p0 = bi * KC;
+            let p1 = (p0 + KC).min(k);
+            for p in p0..p1 {
+                let arow = &av[p * m..(p + 1) * m];
+                let brow = &bv[p * n..(p + 1) * n];
+                for (i, &aa) in arow.iter().enumerate() {
+                    if aa == 0.0 {
+                        continue;
+                    }
+                    let orow = &mut part[i * n..(i + 1) * n];
+                    for (o, &bb) in orow.iter_mut().zip(brow) {
+                        *o += aa * bb;
+                    }
                 }
             }
+        });
+        out.copy_from_slice(&partials[..m * n]);
+        for bi in 1..nblocks {
+            let part = &partials[bi * m * n..(bi + 1) * m * n];
+            for (o, p) in out.iter_mut().zip(part) {
+                *o += p;
+            }
         }
-        part
     });
-    let mut iter = partials.into_iter();
-    let mut out = iter.next().expect("at least one k block");
-    for part in iter {
-        for (o, p) in out.iter_mut().zip(&part) {
-            *o += p;
-        }
-    }
-    Tensor::from_vec(out, &[m, n])
 }
 
 /// `C = A · Bᵀ` for `A: [m, k]`, `B: [n, k]` — the `im2col`-GEMM used by
@@ -145,18 +170,44 @@ pub fn matmul_a_bt(a: &Tensor, b: &Tensor) -> Tensor {
     let (n, k2) = dims2(b, "matmul_a_bt rhs");
     assert_eq!(k, k2, "matmul_a_bt shared dimension mismatch: {k} vs {k2}");
     let mut out = vec![0.0f32; m * n];
-    let av = a.as_slice();
-    let bv = b.as_slice();
+    matmul_a_bt_into(a.as_slice(), b.as_slice(), m, k, n, &mut out);
+    Tensor::from_vec(out, &[m, n])
+}
+
+/// Slice core of [`matmul_a_bt`]: writes `A·Bᵀ` into `out` (`[m*n]`, every
+/// element overwritten — contents on entry do not matter).
+pub fn matmul_a_bt_into(av: &[f32], bv: &[f32], m: usize, k: usize, n: usize, out: &mut [f32]) {
+    assert_eq!(av.len(), m * k, "matmul_a_bt_into lhs length");
+    assert_eq!(bv.len(), n * k, "matmul_a_bt_into rhs length");
+    assert_eq!(out.len(), m * n, "matmul_a_bt_into out length");
     let row_grain = scnn_par::grain(m, MIN_ROWS);
-    scnn_par::par_chunks_mut(&mut out, row_grain * n, |ci, ochunk| {
+    scnn_par::par_chunks_mut(out, row_grain * n, |ci, ochunk| {
         let i0 = ci * row_grain;
         let rows = ochunk.len() / n.max(1);
         for r in 0..rows {
             let arow = &av[(i0 + r) * k..(i0 + r) * k + k];
             let orow = &mut ochunk[r * n..r * n + n];
-            // Quads share the A-row pass (4 B rows per sweep) purely for
-            // register reuse; each dot still reduces in dot8 lane order.
+            // Octets/quads share the A-row pass (8 or 4 B rows per sweep)
+            // purely for register reuse; each dot still reduces in dot8
+            // lane order, so the sweep width cannot change any value.
             let mut j = 0;
+            while j + 8 <= n {
+                let q = dot8_x8(
+                    arow,
+                    [
+                        &bv[j * k..(j + 1) * k],
+                        &bv[(j + 1) * k..(j + 2) * k],
+                        &bv[(j + 2) * k..(j + 3) * k],
+                        &bv[(j + 3) * k..(j + 4) * k],
+                        &bv[(j + 4) * k..(j + 5) * k],
+                        &bv[(j + 5) * k..(j + 6) * k],
+                        &bv[(j + 6) * k..(j + 7) * k],
+                        &bv[(j + 7) * k..(j + 8) * k],
+                    ],
+                );
+                orow[j..j + 8].copy_from_slice(&q);
+                j += 8;
+            }
             while j + 4 <= n {
                 let q = dot8_x4(
                     arow,
@@ -174,7 +225,6 @@ pub fn matmul_a_bt(a: &Tensor, b: &Tensor) -> Tensor {
             }
         }
     });
-    Tensor::from_vec(out, &[m, n])
 }
 
 /// Number of independent accumulator lanes in the blocked dot product.
@@ -201,8 +251,10 @@ fn block8(s: &[f32], base: usize) -> &[f32; LANES] {
 
 /// 8-lane blocked dot product: lane `l` accumulates elements `p ≡ l (mod
 /// 8)`, breaking the serial FP dependency chain so the loop vectorizes.
+/// Crate-visible so the tiled convolution engine reduces packed patch rows
+/// with the exact same order as the materialized GEMM path.
 #[inline]
-fn dot8(a: &[f32], b: &[f32]) -> f32 {
+pub(crate) fn dot8(a: &[f32], b: &[f32]) -> f32 {
     let mut acc = [0.0f32; LANES];
     let blocks = a.len() / LANES;
     for ci in 0..blocks {
@@ -224,7 +276,7 @@ fn dot8(a: &[f32], b: &[f32]) -> f32 {
 /// loaded once per quad instead of once per dot). Bit-identical to four
 /// independent `dot8` calls.
 #[inline]
-fn dot8_x4(a: &[f32], b0: &[f32], b1: &[f32], b2: &[f32], b3: &[f32]) -> [f32; 4] {
+pub(crate) fn dot8_x4(a: &[f32], b0: &[f32], b1: &[f32], b2: &[f32], b3: &[f32]) -> [f32; 4] {
     let mut acc0 = [0.0f32; LANES];
     let mut acc1 = [0.0f32; LANES];
     let mut acc2 = [0.0f32; LANES];
@@ -258,6 +310,46 @@ fn dot8_x4(a: &[f32], b0: &[f32], b1: &[f32], b2: &[f32], b3: &[f32]) -> [f32; 4
         lane_sum(acc2, tails[2]),
         lane_sum(acc3, tails[3]),
     ]
+}
+
+/// Eight simultaneous [`dot8`]s sharing one pass over `a`. Bit-identical to
+/// eight independent `dot8` calls — each accumulator set is private to its
+/// B row and reduces through the same [`lane_sum`] tree.
+///
+/// Taking the rows as `[&[f32]; 8]` (rather than one contiguous `8·k`
+/// slice) matters: with eight independent bases the compiler keeps the
+/// per-row block loads simple and vectorizes the whole sweep, measured ~3×
+/// faster than both the contiguous form and the 4-wide quad on the conv
+/// GEMM shape. `inline(never)` is equally deliberate: inlined into the
+/// large tiled-conv closure the sweep loses its vectorization (measured
+/// ~2.5× slower); as a standalone function it always compiles clean, and
+/// the call cost is noise next to the 8·k multiplies.
+#[inline(never)]
+pub(crate) fn dot8_x8(a: &[f32], bs: [&[f32]; 8]) -> [f32; 8] {
+    let mut acc = [[0.0f32; LANES]; 8];
+    let blocks = a.len() / LANES;
+    for ci in 0..blocks {
+        let base = ci * LANES;
+        let ka = block8(a, base);
+        for (j, b) in bs.iter().enumerate() {
+            let kb = block8(b, base);
+            for l in 0..LANES {
+                acc[j][l] += ka[l] * kb[l];
+            }
+        }
+    }
+    let rem = blocks * LANES;
+    let mut tails = [0.0f32; 8];
+    for p in rem..a.len() {
+        for (j, b) in bs.iter().enumerate() {
+            tails[j] += a[p] * b[p];
+        }
+    }
+    let mut out = [0.0f32; 8];
+    for j in 0..8 {
+        out[j] = lane_sum(acc[j], tails[j]);
+    }
+    out
 }
 
 fn dims2(t: &Tensor, what: &str) -> (usize, usize) {
@@ -379,21 +471,22 @@ mod tests {
     }
 
     #[test]
-    fn a_bt_quad_and_remainder_columns_agree() {
-        // n = 6 exercises both the 4-wide quad path (j 0..4) and the
-        // single-dot remainder (j 4..6); both must use the same dot8
-        // reduction order, so column values must not depend on the path.
+    fn a_bt_octet_quad_and_remainder_columns_agree() {
+        // n = 14 exercises the 8-wide octet path (j 0..8), the 4-wide quad
+        // (j 8..12) and the single-dot remainder (j 12..14); all must use
+        // the same dot8 reduction order, so column values must not depend
+        // on which sweep width produced them.
         let a = fill(&[5, 37], 3);
-        let b = fill(&[6, 37], 4);
+        let b = fill(&[14, 37], 4);
         let full = matmul_a_bt(&a, &b);
-        for j in 0..6 {
+        for j in 0..14 {
             let bj = Tensor::from_vec(b.as_slice()[j * 37..(j + 1) * 37].to_vec(), &[1, 37]);
             let col = matmul_a_bt(&a, &bj);
             for i in 0..5 {
                 assert_eq!(
-                    full.as_slice()[i * 6 + j].to_bits(),
+                    full.as_slice()[i * 14 + j].to_bits(),
                     col.as_slice()[i].to_bits(),
-                    "column {j} differs between quad and single paths"
+                    "column {j} differs between sweep widths"
                 );
             }
         }

@@ -1,0 +1,139 @@
+//! Shared f32 buffer pool for kernel outputs and plan-served tensors.
+//!
+//! Two arenas split the workspace problem (DESIGN.md §11):
+//!
+//! - `scnn_par::scratch` — *thread-local*, for strictly bracketed loans
+//!   inside one kernel call (pack panels, GEMM partials). No lock, exact
+//!   live/peak accounting.
+//! - [`Workspace`] (this module) — *process-global*, for buffers whose
+//!   lifetime outlives the kernel that made them: layer outputs, gradient
+//!   tensors, and the runtime's plan-served device pool. Buffers travel
+//!   between threads (a tensor produced on the pool is consumed anywhere),
+//!   so this arena is a mutex'd size-binned free list; the lock is taken
+//!   once per tensor, not per element.
+//!
+//! The pool recycles by exact element count. Kernel output shapes repeat
+//! every training step, so after one warm-up step each `take` is a hit and
+//! steady-state allocation drops to zero; `cached_bytes` is the resident
+//! cost of that guarantee. [`Workspace`] implements [`BufferRecycler`], so
+//! a [`PooledBuf`](crate::PooledBuf)-backed tensor returns its storage here
+//! on drop wherever it ends up.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+use crate::storage::BufferRecycler;
+
+/// A process-wide pool of reusable f32 buffers, binned by exact length.
+#[derive(Default)]
+pub struct Workspace {
+    bins: Mutex<HashMap<usize, Vec<Vec<f32>>>>,
+}
+
+/// Buffers kept per size bin; beyond this, returned buffers are freed.
+const PER_BIN: usize = 16;
+
+impl Workspace {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The shared pool every kernel output and the plan runtime draw from.
+    pub fn global() -> &'static Arc<Workspace> {
+        static GLOBAL: OnceLock<Arc<Workspace>> = OnceLock::new();
+        GLOBAL.get_or_init(|| Arc::new(Workspace::new()))
+    }
+
+    /// A buffer of exactly `elems` floats with **unspecified contents** —
+    /// for callers that overwrite every element. Recycled when possible.
+    pub fn take(&self, elems: usize) -> Vec<f32> {
+        let hit = {
+            let mut bins = self.bins.lock().unwrap();
+            bins.get_mut(&elems).and_then(Vec::pop)
+        };
+        hit.unwrap_or_else(|| vec![0.0; elems])
+    }
+
+    /// A zeroed buffer of `elems` floats — for accumulation targets.
+    pub fn take_zeroed(&self, elems: usize) -> Vec<f32> {
+        let mut buf = self.take(elems);
+        buf.fill(0.0);
+        buf
+    }
+
+    /// Bytes currently parked in the pool (free, awaiting reuse).
+    pub fn cached_bytes(&self) -> usize {
+        let bins = self.bins.lock().unwrap();
+        bins.iter()
+            .map(|(len, v)| len * 4 * v.len())
+            .sum()
+    }
+
+    /// Drops every cached buffer (tests; trimming between phases).
+    pub fn clear(&self) {
+        self.bins.lock().unwrap().clear();
+    }
+}
+
+impl BufferRecycler for Workspace {
+    fn recycle(&self, buf: Vec<f32>) {
+        let len = buf.len();
+        if len == 0 || buf.capacity() != len {
+            return; // odd capacity would break the exact-size bins
+        }
+        let mut bins = self.bins.lock().unwrap();
+        let bin = bins.entry(len).or_default();
+        if bin.len() < PER_BIN {
+            bin.push(buf);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_recycles_exact_sizes() {
+        let ws = Workspace::new();
+        let mut b = ws.take(64);
+        b[0] = 5.0;
+        let ptr = b.as_ptr() as usize;
+        ws.recycle(b);
+        assert_eq!(ws.cached_bytes(), 64 * 4);
+        let again = ws.take(64);
+        assert_eq!(again.as_ptr() as usize, ptr);
+        // Contents are unspecified on `take`; `take_zeroed` cleans.
+        ws.recycle(again);
+        let zeroed = ws.take_zeroed(64);
+        assert!(zeroed.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn mismatched_sizes_do_not_cross_bins() {
+        let ws = Workspace::new();
+        ws.recycle(vec![1.0; 8]);
+        let b = ws.take(16);
+        assert_eq!(b.len(), 16);
+        assert!(b.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn bins_are_bounded() {
+        let ws = Workspace::new();
+        for _ in 0..PER_BIN + 10 {
+            ws.recycle(vec![0.0; 32]);
+        }
+        assert_eq!(ws.cached_bytes(), PER_BIN * 32 * 4);
+    }
+
+    #[test]
+    fn pooled_tensor_round_trip() {
+        use crate::{PooledBuf, Tensor};
+        let ws = Arc::new(Workspace::new());
+        let home: Arc<dyn BufferRecycler> = ws.clone();
+        let t = Tensor::from_pooled(PooledBuf::new(ws.take(6), home.clone()), &[2, 3]);
+        drop(t);
+        assert_eq!(ws.cached_bytes(), 6 * 4);
+    }
+}

@@ -40,13 +40,25 @@ cargo run -q --release -p scnn-bench --bin bench_check --offline -- \
 # the strict 25% bound; the µs-scale planning/ablation sims are far more
 # exposed to scheduler noise on a shared single-core host, so they get a
 # looser tripwire that still catches algorithmic regressions.
+#
+# Absolute bounds ride along where the full-size shapes run: the conv
+# forward median must hold the tiled engine's headline (≤ 5.6 ms), the
+# tiled scratch arenas must stay far below the 4.7 MB full-im2col
+# footprint the engine exists to avoid, and the hmms-planned training
+# step must not creep past its committed resident activation peak.
+declare -A abs_gates=(
+  [kernels]="--max-median conv2d_fwd_8x16x32x32:5600000 --max-peak conv2d_fwd_scratch_peak:1048576,conv2d_bwd_scratch_peak:2097152"
+  [memory]="--max-peak train_step/hmms:15392768"
+)
 if [[ "${SCNN_VERIFY_SKIP_BENCH:-0}" != 1 ]]; then
   for spec in kernels:0.25 planning:0.60 ablation:0.60 memory:0.60; do
     bench="${spec%%:*}"
     tol="${spec##*:}"
     SCNN_BENCH_DIR="$tmp" cargo bench -q -p scnn-bench --bench "$bench" --offline
+    # shellcheck disable=SC2086  # the gate spec is deliberately word-split
     cargo run -q --release -p scnn-bench --bin bench_check --offline -- \
-      --file "$tmp/BENCH_$bench.json" --baseline "BENCH_$bench.json" --tolerance "$tol"
+      --file "$tmp/BENCH_$bench.json" --baseline "BENCH_$bench.json" --tolerance "$tol" \
+      ${abs_gates[$bench]:-}
   done
 fi
 
