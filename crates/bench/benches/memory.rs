@@ -15,17 +15,18 @@
 //! kernel scratch, so it is strictly larger than the activation numbers).
 
 use scnn_bench::{Args, BenchGroup};
-use scnn_core::{plan_split, SplitConfig};
-use scnn_graph::{Graph, NodeId, Op, Tape};
+use scnn_core::{conv_engine_workspace, plan_split, plan_split_auto, SplitConfig};
+use scnn_graph::{NodeId, Tape};
 use scnn_gpusim::{profile_graph, CostModel};
 use scnn_hmms::{
-    plan_hmms, plan_no_offload, plan_vdnn, MemoryPlan, PlannerOptions, TsoAssignment, TsoOptions,
+    plan_hmms, plan_layout, plan_no_offload, plan_vdnn, LayoutOptions, MemoryPlan, PlannerOptions,
+    TsoAssignment, TsoOptions,
 };
 use scnn_models::{resnet18, ModelOptions};
 use scnn_nn::{BnState, BufferProvider, Executor, Mode, ParamStore};
 use scnn_rng::SplitRng;
 use scnn_runtime::{MeterProvider, PlanRuntime};
-use scnn_tensor::{conv2d_workspace_bytes, uniform, Conv2dGeometry, Padding2d};
+use scnn_tensor::uniform;
 
 #[cfg(feature = "heap-track")]
 #[global_allocator]
@@ -48,10 +49,29 @@ fn main() {
         .expect("resnet splits")
         .lower(&desc, batch);
 
+    // What the workspace-aware cost model would choose — informational,
+    // printed next to the fixed (0.5, 2, 2) config the records track.
+    let grid = [
+        SplitConfig::new(0.25, 2, 2),
+        SplitConfig::new(0.5, 2, 2),
+        SplitConfig::new(0.5, 4, 4),
+        SplitConfig::new(0.75, 2, 2),
+    ];
+    if let Ok(auto) = plan_split_auto(&desc, batch, &grid) {
+        println!(
+            "  auto split: depth {} grid {}x{} — modeled peak {} B (unsplit {} B)",
+            auto.config.depth,
+            auto.config.n_h,
+            auto.config.n_w,
+            auto.cost.peak_bytes,
+            auto.unsplit_cost.peak_bytes
+        );
+    }
+
     let tape = Tape::new(&graph);
     let model = CostModel::default();
     let profile = profile_graph(&graph, &model);
-    let ws = engine_workspace(&graph, &profile.workspace_bytes);
+    let ws = conv_engine_workspace(&graph, &profile.workspace_bytes);
     let tso = TsoAssignment::new(&graph, &ws, TsoOptions::default());
     let opts = PlannerOptions::default();
     let plans: Vec<MemoryPlan> = vec![
@@ -88,72 +108,44 @@ fn main() {
         heap_note()
     );
 
+    let overlap = LayoutOptions {
+        overlap_workspace: true,
+    };
     for plan in &plans {
-        let mut rt = PlanRuntime::from_plan(&graph, &tape, plan, &tso).expect("plan is legal");
+        // The measured step runs on the overlapped layout; the plain
+        // layout is re-planned only to print the overlap saving.
+        let plain = plan_layout(&graph, plan, &tso).expect("plan is legal");
+        let mut rt = PlanRuntime::from_plan_with(&graph, &tape, plan, &tso, overlap)
+            .expect("plan is legal with overlap");
         #[cfg(feature = "heap-track")]
         scnn_bench::heap::reset_peak();
         g.bench(&format!("train_step/{}", plan.strategy), || step(&mut rt));
         let stats = rt.stats();
         g.set_peak_bytes(stats.resident_peak_bytes);
+        let layout = &rt.plan().layout;
         println!(
-            "  {}: resident {} B, device pool {} B (workspace {} B planned), \
-             host pool {} B, kernel scratch peak {} B, \
-             {} offloads / {} prefetches{}",
+            "  {}: resident {} B, device pool {} B (plain {} B, workspace {} B planned, \
+             {} B overlapped into offload windows), host pool {} B, \
+             kernel scratch peak {} B, {} offloads / {} prefetches{}",
             plan.strategy,
             stats.resident_peak_bytes,
             stats.plan_device_peak_bytes,
+            plain.device_general_bytes,
             stats.plan_workspace_bytes,
+            layout.workspace_overlapped_bytes,
             stats.host_bytes,
             stats.scratch_peak_bytes,
             stats.offloads,
             stats.prefetches,
             heap_note()
         );
+        g.record_bytes(
+            &format!("planned_device/{}", plan.strategy),
+            layout.device_general_bytes,
+        );
     }
 
     g.finish();
-}
-
-/// Per-node planner workspace: the cost model's estimates with every conv
-/// node replaced by the tiled engine's actual scratch requirement
-/// ([`conv2d_workspace_bytes`]), so the layouts the runtime replays carry
-/// the same workspace the kernels really borrow. The gpusim cost model
-/// itself is deliberately untouched — it stays a device model, not a
-/// measurement of this host's kernels.
-fn engine_workspace(graph: &Graph, profile_ws: &[usize]) -> Vec<usize> {
-    graph
-        .nodes()
-        .iter()
-        .enumerate()
-        .map(|(i, node)| {
-            let Op::Conv2d {
-                out_c,
-                kh,
-                kw,
-                sh,
-                sw,
-                pad,
-                ..
-            } = &node.op
-            else {
-                return profile_ws[i];
-            };
-            let xs = &graph.node(node.inputs[0]).out_shape;
-            // Negative padding crops the input before the kernel runs;
-            // the geometry carries the non-negative remainder (the same
-            // split the conv kernels perform).
-            let h = (xs[2] as i64 + pad.h_begin.min(0) + pad.h_end.min(0)) as usize;
-            let w = (xs[3] as i64 + pad.w_begin.min(0) + pad.w_end.min(0)) as usize;
-            let pos = Padding2d::new(
-                pad.h_begin.max(0),
-                pad.h_end.max(0),
-                pad.w_begin.max(0),
-                pad.w_end.max(0),
-            );
-            let g = Conv2dGeometry::new(xs[1], h, w, *kh, *kw, *sh, *sw, pos);
-            conv2d_workspace_bytes(&g, xs[0], *out_c)
-        })
-        .collect()
 }
 
 #[cfg(feature = "heap-track")]

@@ -58,6 +58,7 @@ fn main() {
             },
             plan_no_offload,
         )
+        .unwrap_or_else(|e| panic!("{name}: {e}"))
         .expect("baseline fits at batch 1");
 
         // Split-CNN + HMMS.
@@ -74,6 +75,7 @@ fn main() {
                 plan_hmms(g, t, s, p, PlannerOptions { offload_cap: cap, mem_streams: 2 })
             },
         )
+        .unwrap_or_else(|e| panic!("{name}: {e}"))
         .expect("split fits at batch 1");
 
         // Throughput cost measured at the baseline's max batch, where both

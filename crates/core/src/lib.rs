@@ -35,11 +35,16 @@
 //! assert!(split.len() > plain.len());
 //! ```
 
+pub mod cost;
 pub mod model;
 pub mod scheme;
 pub mod stochastic;
 pub mod transform;
 
+pub use cost::{
+    conv_engine_workspace, plan_split_auto, plan_split_stochastic_auto, split_cost, AutoSplit,
+    SplitCost,
+};
 pub use model::{Block, LayerDesc, ModelDesc, ShapeTrace};
 pub use scheme::{even_starts, input_starts, patch_paddings, SplitChoice, Window1d};
 pub use stochastic::stochastic_starts;

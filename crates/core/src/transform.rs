@@ -48,10 +48,16 @@ impl SplitConfig {
 }
 
 /// Why a split could not be planned.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum PlanSplitError {
     /// Depth 0, a conv-free region, or a model with no splittable prefix.
     NothingToSplit,
+    /// Depth above 1.0: more than every convolution. The region loop would
+    /// silently clamp it, hiding a config typo (e.g. a percentage).
+    DepthOutOfRange {
+        /// The rejected depth.
+        depth: f64,
+    },
     /// The join-point feature map is smaller than the patch grid.
     TooManyPatches {
         /// Spatial extent at the join point.
@@ -71,6 +77,9 @@ impl fmt::Display for PlanSplitError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             PlanSplitError::NothingToSplit => write!(f, "no layers eligible for splitting"),
+            PlanSplitError::DepthOutOfRange { depth } => {
+                write!(f, "splitting depth {depth} is outside (0, 1]")
+            }
             PlanSplitError::TooManyPatches { extent, patches } => write!(
                 f,
                 "join-point extent {extent} cannot be split into {patches} patches"
@@ -179,6 +188,9 @@ fn plan_with_scheme(
     mut scheme: impl FnMut(usize, usize, usize) -> Vec<usize>,
 ) -> Result<SplitPlan, PlanSplitError> {
     let total_convs = desc.conv_count();
+    if cfg.depth > 1.0 {
+        return Err(PlanSplitError::DepthOutOfRange { depth: cfg.depth });
+    }
     let target = (cfg.depth * total_convs as f64).round() as usize;
     if target == 0 || cfg.depth <= 0.0 {
         return Err(PlanSplitError::NothingToSplit);
@@ -608,6 +620,17 @@ mod tests {
             plan_split(&d, &SplitConfig::new(0.0, 2, 2)),
             Err(PlanSplitError::NothingToSplit)
         );
+    }
+
+    #[test]
+    fn depth_above_one_is_an_error() {
+        let d = ModelDesc::tiny_cnn(10);
+        // A depth of 50 (a percentage typo) used to clamp silently to 1.0.
+        let err = plan_split(&d, &SplitConfig::new(50.0, 2, 2)).unwrap_err();
+        assert_eq!(err, PlanSplitError::DepthOutOfRange { depth: 50.0 });
+        assert!(err.to_string().contains("outside (0, 1]"));
+        // The boundary itself stays legal.
+        assert!(plan_split(&d, &SplitConfig::new(1.0, 2, 2)).is_ok());
     }
 
     #[test]

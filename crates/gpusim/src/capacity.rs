@@ -6,7 +6,7 @@
 //! bisects.
 
 use scnn_graph::{Graph, Tape};
-use scnn_hmms::{plan_layout, MemoryPlan, Profile, TsoAssignment};
+use scnn_hmms::{plan_layout_with, LayoutError, LayoutOptions, MemoryPlan, Profile, TsoAssignment};
 
 use crate::sim::{simulate, SimResult};
 
@@ -21,6 +21,35 @@ pub struct BatchSearch {
     pub sim: SimResult,
 }
 
+/// The planner produced an illegal plan during the batch search.
+///
+/// An illegal plan is a planner bug, not an out-of-memory condition: the
+/// layout replay rejected it at `batch`, so the whole sweep is suspect and
+/// must not silently report "does not fit".
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CapacityError {
+    /// Batch size whose plan failed layout.
+    pub batch: usize,
+    /// The layout replay's rejection.
+    pub source: LayoutError,
+}
+
+impl std::fmt::Display for CapacityError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "planner produced an illegal plan at batch {}: {}",
+            self.batch, self.source
+        )
+    }
+}
+
+impl std::error::Error for CapacityError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.source)
+    }
+}
+
 /// Searches the largest batch size (up to `limit`) whose planned memory
 /// fits in `capacity_bytes`.
 ///
@@ -28,35 +57,44 @@ pub struct BatchSearch {
 /// memory plan (baseline / vDNN / HMMS, with or without splitting baked
 /// into `build`).
 ///
-/// Returns `None` if even batch size 1 does not fit.
+/// Returns `Ok(None)` if even batch size 1 does not fit, and
+/// `Err(CapacityError)` if any probed batch yields a plan the layout
+/// replay rejects — an illegal plan aborts the search with the failing
+/// batch instead of masquerading as "does not fit".
 pub fn max_batch_size(
     capacity_bytes: usize,
     limit: usize,
     mut build: impl FnMut(usize) -> (Graph, Profile),
     mut plan: impl FnMut(&Graph, &Tape, &TsoAssignment, &Profile) -> MemoryPlan,
-) -> Option<BatchSearch> {
+) -> Result<Option<BatchSearch>, CapacityError> {
     type EvalCtx = (Graph, Tape, TsoAssignment, MemoryPlan, Profile);
-    let mut eval = |batch: usize| -> (bool, usize, Option<EvalCtx>) {
+    let mut eval = |batch: usize| -> Result<(bool, usize, EvalCtx), CapacityError> {
         let (graph, profile) = build(batch);
         let tape = Tape::new(&graph);
         let tso = TsoAssignment::new(&graph, &profile.workspace_bytes, Default::default());
         let p = plan(&graph, &tape, &tso, &profile);
-        let layout = plan_layout(&graph, &p, &tso).expect("planner produced an illegal plan");
+        // The search always takes the workspace/offload-overlapped layout:
+        // it is the tightest legal packing, i.e. the real capacity bound.
+        let opts = LayoutOptions {
+            overlap_workspace: true,
+        };
+        let layout = plan_layout_with(&graph, &p, &tso, opts)
+            .map_err(|source| CapacityError { batch, source })?;
         let bytes = layout.device_total_bytes();
         let fits = bytes <= capacity_bytes;
-        (fits, bytes, Some((graph, tape, tso, p, profile)))
+        Ok((fits, bytes, (graph, tape, tso, p, profile)))
     };
 
-    let (fits1, _, _) = eval(1);
+    let (fits1, _, _) = eval(1)?;
     if !fits1 {
-        return None;
+        return Ok(None);
     }
 
     // Doubling phase.
     let mut lo = 1usize;
     let mut hi = 2usize;
     while hi <= limit {
-        let (fits, _, _) = eval(hi);
+        let (fits, _, _) = eval(hi)?;
         if fits {
             lo = hi;
             hi *= 2;
@@ -71,7 +109,7 @@ pub fn max_batch_size(
         if mid > limit {
             break;
         }
-        let (fits, _, _) = eval(mid);
+        let (fits, _, _) = eval(mid)?;
         if fits {
             lo = mid;
         } else {
@@ -79,15 +117,15 @@ pub fn max_batch_size(
         }
     }
 
-    let (fits, bytes, ctx) = eval(lo);
+    let (fits, bytes, ctx) = eval(lo)?;
     assert!(fits, "bisection invariant violated at {lo}");
-    let (graph, tape, tso, p, profile) = ctx.expect("context present");
+    let (graph, tape, tso, p, profile) = ctx;
     let sim = simulate(&graph, &tape, &tso, &p, &profile);
-    Some(BatchSearch {
+    Ok(Some(BatchSearch {
         max_batch: lo,
         device_bytes: bytes,
         sim,
-    })
+    }))
 }
 
 #[cfg(test)]
@@ -115,11 +153,13 @@ mod tests {
         let small = max_batch_size(4 << 20, 256, build_chain, |g, t, s, p| {
             plan_no_offload(g, t, s, p)
         })
-        .unwrap();
+        .expect("legal plans")
+        .expect("fits at batch 1");
         let large = max_batch_size(32 << 20, 256, build_chain, |g, t, s, p| {
             plan_no_offload(g, t, s, p)
         })
-        .unwrap();
+        .expect("legal plans")
+        .expect("fits at batch 1");
         assert!(large.max_batch > small.max_batch);
         assert!(small.device_bytes <= 4 << 20);
     }
@@ -130,11 +170,13 @@ mod tests {
         let base = max_batch_size(cap, 512, build_chain, |g, t, s, p| {
             plan_no_offload(g, t, s, p)
         })
-        .unwrap();
+        .expect("legal plans")
+        .expect("fits at batch 1");
         let hmms = max_batch_size(cap, 512, build_chain, |g, t, s, p| {
             plan_hmms(g, t, s, p, PlannerOptions::default())
         })
-        .unwrap();
+        .expect("legal plans")
+        .expect("fits at batch 1");
         assert!(
             hmms.max_batch > base.max_batch,
             "offloading did not help: {} vs {}",
@@ -146,6 +188,7 @@ mod tests {
     #[test]
     fn impossible_capacity_returns_none() {
         assert!(max_batch_size(1024, 16, build_chain, plan_no_offload)
+            .expect("legal plans")
             .is_none());
     }
 
@@ -154,7 +197,26 @@ mod tests {
         let r = max_batch_size(usize::MAX / 2, 8, build_chain, |g, t, s, p| {
             plan_no_offload(g, t, s, p)
         })
-        .unwrap();
+        .expect("legal plans")
+        .expect("fits at batch 1");
         assert_eq!(r.max_batch, 8);
+    }
+
+    #[test]
+    fn illegal_plan_reports_failing_batch_instead_of_panicking() {
+        // Corrupt the plan by double-allocating the input TSO: the search
+        // must surface the layout rejection with the probed batch, not
+        // abort the sweep or count the batch as "does not fit".
+        let err = max_batch_size(usize::MAX / 2, 8, build_chain, |g, t, s, p| {
+            let mut plan = plan_no_offload(g, t, s, p);
+            let e = plan.steps[0].before[0];
+            assert!(matches!(e, scnn_hmms::MemEvent::Alloc(_)));
+            plan.steps[0].before.push(e);
+            plan
+        })
+        .expect_err("corrupt plan must fail the search");
+        assert_eq!(err.batch, 1, "first probed batch carries the corruption");
+        // Display names the batch so a Figure-10 sweep log is actionable.
+        assert!(err.to_string().contains("batch 1"), "got: {err}");
     }
 }

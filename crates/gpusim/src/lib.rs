@@ -29,7 +29,7 @@ pub mod timeline;
 mod device;
 
 pub use analysis::{offload_analysis, LayerFlow, OffloadAnalysis};
-pub use capacity::{max_batch_size, BatchSearch};
+pub use capacity::{max_batch_size, BatchSearch, CapacityError};
 pub use cost::{node_flops, profile_graph, CostModel};
 pub use device::DeviceSpec;
 pub use sim::{simulate, SimResult};

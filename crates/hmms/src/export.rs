@@ -14,7 +14,7 @@ use std::collections::HashMap;
 
 use scnn_graph::{Graph, Tape};
 
-use crate::layout::{plan_layout, LayoutError, StaticLayout};
+use crate::layout::{plan_layout_with, LayoutError, LayoutOptions, StaticLayout};
 use crate::plan::{MemoryPlan, StepPlan};
 use crate::tso::{TsoAssignment, TsoId, TsoRole};
 
@@ -67,6 +67,21 @@ impl ExecPlan {
     }
 }
 
+/// Resolves `plan` against `graph`/`tape`/`tso` into an [`ExecPlan`] with
+/// default [`LayoutOptions`] (no workspace/offload overlap).
+///
+/// # Errors
+///
+/// See [`export_plan_with`].
+pub fn export_plan(
+    graph: &Graph,
+    tape: &Tape,
+    plan: &MemoryPlan,
+    tso: &TsoAssignment,
+) -> Result<ExecPlan, LayoutError> {
+    export_plan_with(graph, tape, plan, tso, LayoutOptions::default())
+}
+
 /// Resolves `plan` against `graph`/`tape`/`tso` into an [`ExecPlan`].
 ///
 /// # Errors
@@ -74,11 +89,12 @@ impl ExecPlan {
 /// Returns a [`LayoutError`] when the plan's step count disagrees with the
 /// tape or when first-fit replay finds the plan illegal (double alloc,
 /// free of dead, unknown TSO, leak).
-pub fn export_plan(
+pub fn export_plan_with(
     graph: &Graph,
     tape: &Tape,
     plan: &MemoryPlan,
     tso: &TsoAssignment,
+    opts: LayoutOptions,
 ) -> Result<ExecPlan, LayoutError> {
     let expected = tape.entries().len();
     if plan.steps.len() != expected {
@@ -87,7 +103,7 @@ pub fn export_plan(
             expected,
         });
     }
-    let layout = plan_layout(graph, plan, tso)?;
+    let layout = plan_layout_with(graph, plan, tso, opts)?;
 
     let mut host_offsets = HashMap::new();
     let mut host_cursor = 0usize;

@@ -37,6 +37,13 @@ pub struct StaticLayout {
     /// Sum of live bytes over time would be this much without first-fit
     /// reuse (diagnostic: total allocation traffic).
     pub total_alloc_bytes: usize,
+    /// Bytes of workspace allocations whose packed address range shares
+    /// bytes with an offloaded TSO's slot — legal only because their
+    /// lifetimes are disjoint (the slot is dead across its offload
+    /// window). Diagnostic for how much of the workspace traffic the
+    /// overlap absorbed; zero unless [`LayoutOptions::overlap_workspace`]
+    /// is set and the packing beat plain first-fit.
+    pub workspace_overlapped_bytes: usize,
 }
 
 impl StaticLayout {
@@ -91,6 +98,92 @@ impl std::fmt::Display for LayoutError {
 
 impl std::error::Error for LayoutError {}
 
+/// Options controlling the static placement pass.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LayoutOptions {
+    /// Overlap the conv workspace region with offloaded TSO slots.
+    ///
+    /// An offloaded TSO's address range is dead between its
+    /// `OffloadSync`-free and its prefetch re-`Alloc` (the *offload
+    /// window*). Online first-fit cannot exploit that window deliberately:
+    /// it sees only the gap structure of the moment, and the big late-conv
+    /// workspace allocations land past the high-water mark whenever
+    /// fragmentation leaves no contiguous gap. With this set, placement
+    /// switches to whole-step interval packing: every TSO *instance*
+    /// becomes a `[alloc, free)` interval, intervals are placed largest
+    /// first at the lowest address where no time-overlapping interval
+    /// conflicts, and the pool size is the resulting high-water. Workspace
+    /// then shares addresses with offloaded slots across exactly their
+    /// offload windows — the sharing is proven by interval disjointness,
+    /// and re-checked by a replay-time assert that no two simultaneously
+    /// live instances overlap. Plans with no offloads keep the plain
+    /// first-fit layout bit for bit.
+    pub overlap_workspace: bool,
+}
+
+/// One placed lifetime: instance `inst` of `tso`, live over event
+/// positions `[start, end)`, `size` bytes at offset `addr`.
+struct Interval {
+    tso: TsoId,
+    inst: usize,
+    start: usize,
+    end: usize,
+    size: usize,
+    addr: usize,
+}
+
+/// Places `intervals` (in-place) largest-first at the lowest offset free of
+/// time-overlapping conflicts; returns the high-water mark. Deterministic:
+/// ties break on start position, then TSO id.
+fn pack_intervals(intervals: &mut [Interval]) -> usize {
+    let mut order: Vec<usize> = (0..intervals.len()).collect();
+    order.sort_by_key(|&i| {
+        let iv = &intervals[i];
+        (std::cmp::Reverse(iv.size), iv.start, iv.tso.0, iv.inst)
+    });
+    let mut placed: Vec<usize> = Vec::new();
+    let mut high = 0usize;
+    for &i in &order {
+        if intervals[i].size == 0 {
+            placed.push(i);
+            continue;
+        }
+        // Ranges blocked by already-placed, time-overlapping intervals.
+        let mut blocks: Vec<(usize, usize)> = placed
+            .iter()
+            .map(|&j| &intervals[j])
+            .filter(|o| o.size > 0 && o.start < intervals[i].end && intervals[i].start < o.end)
+            .map(|o| (o.addr, o.addr + o.size))
+            .collect();
+        blocks.sort_unstable();
+        let mut addr = 0usize;
+        for (s, e) in blocks {
+            if addr + intervals[i].size <= s {
+                break;
+            }
+            addr = addr.max(e);
+        }
+        intervals[i].addr = addr;
+        high = high.max(addr + intervals[i].size);
+        placed.push(i);
+    }
+    high
+}
+
+/// Runs first-fit placement for `plan` with default [`LayoutOptions`]
+/// (no workspace/offload overlap).
+///
+/// # Errors
+///
+/// See [`plan_layout_with`].
+pub fn plan_layout(
+    graph: &Graph,
+    plan: &MemoryPlan,
+    tso: &TsoAssignment,
+) -> Result<StaticLayout, LayoutError> {
+    plan_layout_with(graph, plan, tso, LayoutOptions::default())
+}
+
 /// Runs first-fit placement for `plan`.
 ///
 /// # Errors
@@ -100,10 +193,11 @@ impl std::error::Error for LayoutError {}
 /// step — all of which indicate a planner bug (or a plan paired with the
 /// wrong graph); the tests and the runtime rely on this as a legality
 /// check.
-pub fn plan_layout(
+pub fn plan_layout_with(
     graph: &Graph,
     plan: &MemoryPlan,
     tso: &TsoAssignment,
+    opts: LayoutOptions,
 ) -> Result<StaticLayout, LayoutError> {
     // Every event must reference a TSO the assignment knows; a mismatched
     // plan/assignment pair would otherwise panic on the size lookup below.
@@ -113,6 +207,9 @@ pub fn plan_layout(
         }
     }
 
+    // Plain first-fit replay. Runs unconditionally: it is both the
+    // baseline placement and the plan legality check (double-alloc,
+    // free-of-dead, leaks).
     let mut free = FreeList::new();
     let mut live: HashMap<TsoId, (usize, usize)> = HashMap::new(); // tso -> (addr, instance)
     let mut instance = vec![0usize; tso.len()];
@@ -121,19 +218,16 @@ pub fn plan_layout(
     let mut live_workspace = 0usize;
     let mut peak_workspace = 0usize;
 
-    let mut handle = |e: &MemEvent,
-                      live: &mut HashMap<TsoId, (usize, usize)>,
-                      free: &mut FreeList|
-     -> Result<(), LayoutError> {
+    for (_, _, e) in plan.events() {
         match e {
             MemEvent::Alloc(t) => {
                 if live.contains_key(t) {
                     return Err(LayoutError::DoubleAlloc(*t));
                 }
                 let size = tso.size(*t);
-                let addr = free.alloc(size);
                 let inst = instance[t.0];
                 instance[t.0] += 1;
+                let addr = free.alloc(size);
                 addresses.insert((*t, inst), addr);
                 live.insert(*t, (addr, inst));
                 total_alloc_bytes += size;
@@ -144,22 +238,13 @@ pub fn plan_layout(
             }
             MemEvent::Free(t) => {
                 let (addr, _) = live.remove(t).ok_or(LayoutError::FreeOfDead(*t))?;
-                free.free(addr, tso.size(*t));
+                let size = tso.size(*t);
+                free.free(addr, size);
                 if matches!(tso.role(*t), TsoRole::Workspace(_)) {
-                    live_workspace -= tso.size(*t);
+                    live_workspace -= size;
                 }
             }
             _ => {}
-        }
-        Ok(())
-    };
-
-    for step in &plan.steps {
-        for e in &step.before {
-            handle(e, &mut live, &mut free)?;
-        }
-        for e in &step.after {
-            handle(e, &mut live, &mut free)?;
         }
     }
     if !live.is_empty() {
@@ -168,17 +253,126 @@ pub fn plan_layout(
         return Err(LayoutError::Leaked(leaked));
     }
 
+    let mut device_general_bytes = free.high_water();
+    let mut workspace_overlapped_bytes = 0usize;
+
+    // Overlap pass: re-place every instance by offline interval packing
+    // and adopt the result only when it strictly beats first-fit, so
+    // turning the option on can never grow the pool — and plans with no
+    // offloads keep the plain layout bit for bit.
+    if opts.overlap_workspace && !plan.offloaded.is_empty() {
+        let mut intervals: Vec<Interval> = Vec::new();
+        let mut counter = vec![0usize; tso.len()];
+        let mut open: HashMap<TsoId, usize> = HashMap::new(); // tso -> intervals index
+        let mut total = 0usize;
+        for (pos, (_, _, e)) in plan.events().enumerate() {
+            total = pos + 1;
+            match e {
+                MemEvent::Alloc(t) => {
+                    let inst = counter[t.0];
+                    counter[t.0] += 1;
+                    open.insert(*t, intervals.len());
+                    intervals.push(Interval {
+                        tso: *t,
+                        inst,
+                        start: pos,
+                        end: usize::MAX,
+                        size: tso.size(*t),
+                        addr: 0,
+                    });
+                }
+                MemEvent::Free(t) => {
+                    if let Some(i) = open.remove(t) {
+                        intervals[i].end = pos;
+                    }
+                }
+                _ => {}
+            }
+        }
+        debug_assert!(open.is_empty(), "leak survived the replay check");
+        for iv in &mut intervals {
+            if iv.end == usize::MAX {
+                iv.end = total;
+            }
+        }
+        let packed_high = pack_intervals(&mut intervals);
+
+        if packed_high < device_general_bytes {
+            device_general_bytes = packed_high;
+            addresses = intervals
+                .iter()
+                .map(|iv| ((iv.tso, iv.inst), iv.addr))
+                .collect();
+
+            // Replay-time legality assert: no two simultaneously live
+            // instances may share bytes. Packing proves this by interval
+            // time-disjointness; the replay re-checks it independently so
+            // a packer bug cannot silently corrupt the runtime pool.
+            let mut inst = vec![0usize; tso.len()];
+            let mut live: HashMap<TsoId, (usize, usize)> = HashMap::new(); // tso -> (addr, end)
+            for (_, _, e) in plan.events() {
+                match e {
+                    MemEvent::Alloc(t) => {
+                        let i = inst[t.0];
+                        inst[t.0] += 1;
+                        let size = tso.size(*t);
+                        if size == 0 {
+                            continue;
+                        }
+                        let addr = addresses[&(*t, i)];
+                        for (o, &(oa, oe)) in &live {
+                            assert!(
+                                addr + size <= oa || oe <= addr,
+                                "packed placement aliases live {o:?} and {t:?} at {addr}..{}",
+                                addr + size
+                            );
+                        }
+                        live.insert(*t, (addr, addr + size));
+                    }
+                    MemEvent::Free(t) => {
+                        live.remove(t);
+                    }
+                    _ => {}
+                }
+            }
+
+            // Workspace bytes whose packed range shares addresses with an
+            // offloaded slot — the overlap the option exists to create.
+            let mut offloaded = vec![false; tso.len()];
+            for &t in &plan.offloaded {
+                offloaded[t.0] = true;
+            }
+            let slots: Vec<(usize, usize)> = intervals
+                .iter()
+                .filter(|iv| offloaded[iv.tso.0] && iv.size > 0)
+                .map(|iv| (iv.addr, iv.addr + iv.size))
+                .collect();
+            workspace_overlapped_bytes = intervals
+                .iter()
+                .filter(|iv| {
+                    iv.size > 0
+                        && matches!(tso.role(iv.tso), TsoRole::Workspace(_))
+                        && slots
+                            .iter()
+                            .any(|&(s, e)| iv.addr < e && s < iv.addr + iv.size)
+                })
+                .map(|iv| iv.size)
+                .sum();
+        }
+    }
+
     let host_pool_bytes = plan.offloaded.iter().map(|&t| tso.size(t)).sum();
     // Parameters and their gradients live in the dedicated parameter pool.
     let device_param_bytes = 2 * graph.param_elems() * 4;
 
     Ok(StaticLayout {
-        device_general_bytes: free.high_water(),
+        device_general_bytes,
         device_workspace_bytes: peak_workspace,
         device_param_bytes,
         host_pool_bytes,
         addresses,
         total_alloc_bytes,
+        workspace_overlapped_bytes,
     })
 }
 
@@ -344,6 +538,97 @@ mod tests {
         // step, freed after), so the workspace peak is a single node's term.
         assert_eq!(layout.device_workspace_bytes, 4096);
         assert!(layout.device_workspace_bytes <= layout.device_general_bytes);
+    }
+
+    #[test]
+    fn overlap_reuses_offload_windows_and_never_hurts() {
+        let (g, tape, tso, profile) = setup();
+        for plan in [
+            plan_hmms(&g, &tape, &tso, &profile, PlannerOptions::default()),
+            plan_no_offload(&g, &tape, &tso, &profile),
+        ] {
+            let plain = plan_layout(&g, &plan, &tso).expect("plan is legal");
+            let overlapped = plan_layout_with(
+                &g,
+                &plan,
+                &tso,
+                LayoutOptions {
+                    overlap_workspace: true,
+                },
+            )
+            .expect("plan is legal with overlap");
+            assert!(
+                overlapped.device_general_bytes <= plain.device_general_bytes,
+                "overlap grew the pool: {} vs {}",
+                overlapped.device_general_bytes,
+                plain.device_general_bytes
+            );
+            if plan.offloaded.is_empty() {
+                // No packing without offloads: bitwise identical layouts.
+                assert_eq!(overlapped.addresses, plain.addresses);
+                assert_eq!(overlapped.workspace_overlapped_bytes, 0);
+            } else {
+                assert!(
+                    overlapped.device_general_bytes < plain.device_general_bytes,
+                    "packing did not beat first-fit: {} vs {}",
+                    overlapped.device_general_bytes,
+                    plain.device_general_bytes
+                );
+                assert!(
+                    overlapped.workspace_overlapped_bytes > 0,
+                    "no workspace landed inside an offload window"
+                );
+            }
+            // Workspace accounting is placement-independent.
+            assert_eq!(
+                overlapped.device_workspace_bytes,
+                plain.device_workspace_bytes
+            );
+        }
+    }
+
+    #[test]
+    fn overlap_placement_never_aliases_live_ranges() {
+        let (g, tape, tso, profile) = setup();
+        let plan = plan_hmms(&g, &tape, &tso, &profile, PlannerOptions::default());
+        let layout = plan_layout_with(
+            &g,
+            &plan,
+            &tso,
+            LayoutOptions {
+                overlap_workspace: true,
+            },
+        )
+        .expect("plan is legal with overlap");
+        // Replay liveness: no two simultaneously live instances may share
+        // bytes (workspace/offload sharing only spans dead ranges).
+        let mut live: Vec<(usize, usize)> = Vec::new(); // (addr, end)
+        let mut inst = vec![0usize; tso.len()];
+        let mut at: HashMap<TsoId, (usize, usize)> = HashMap::new();
+        for (_, _, e) in plan.events() {
+            match e {
+                MemEvent::Alloc(t) => {
+                    let i = inst[t.0];
+                    inst[t.0] += 1;
+                    let addr = layout.addresses[&(*t, i)];
+                    let size = tso.size(*t);
+                    for &(a, end) in &live {
+                        assert!(
+                            addr + size <= a || end <= addr || size == 0,
+                            "live ranges overlap at {addr}..{}",
+                            addr + size
+                        );
+                    }
+                    live.push((addr, addr + size));
+                    at.insert(*t, (addr, addr + size));
+                }
+                MemEvent::Free(t) => {
+                    let r = at.remove(t).expect("free of live");
+                    live.retain(|&x| x != r);
+                }
+                _ => {}
+            }
+        }
     }
 
     #[test]

@@ -28,8 +28,8 @@ mod plan;
 mod profile;
 mod tso;
 
-pub use export::{export_plan, ExecPlan};
-pub use layout::{plan_layout, LayoutError, StaticLayout};
+pub use export::{export_plan, export_plan_with, ExecPlan};
+pub use layout::{plan_layout, plan_layout_with, LayoutError, LayoutOptions, StaticLayout};
 pub use offload::{
     plan_hmms, plan_no_offload, plan_vdnn, theoretical_offload_fraction, PlannerOptions,
 };

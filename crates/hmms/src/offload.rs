@@ -256,8 +256,14 @@ fn build_plan(
                         start_step: step,
                         // Layer-wise: synchronize right after the consumer.
                         sync_step: step,
-                        // Prefetch exactly one op ahead of use.
-                        prefetch_step: first_bwd.saturating_sub(1).max(t_len),
+                        // Prefetch exactly one op ahead of use, clamped to
+                        // the earliest *legal* position: the step after the
+                        // forward instance's sync+free (the two instances
+                        // of one TSO must never coexist). `step + 1` is the
+                        // true bound; the old `t_len` clamp only happened
+                        // to coincide with it, and for `first_bwd == t_len`
+                        // it silently produced a zero-width window.
+                        prefetch_step: first_bwd.saturating_sub(1).max(step + 1),
                         first_bwd,
                         last: u.last,
                         stream: i % opts.mem_streams,
@@ -289,26 +295,41 @@ fn build_plan(
                 // Offloads: transfers issue when their op starts and queue
                 // on the serialized device→host link; the sync lands at
                 // the first op whose end time covers the projected
-                // completion.
+                // completion. The sync may slide past the forward tape —
+                // any step before the TSO's first backward use is legal —
+                // but never further: a tensor whose transfer cannot finish
+                // by then would be freed mid-flight (violating Algorithm
+                // 1's own invariant), so it is *dropped* from the offload
+                // set and stays resident instead. Dropped transfers do not
+                // occupy the link.
                 let mut sync_of = vec![None; tso.len()];
                 let mut link_free = 0.0f64;
+                let mut kept: Vec<(TsoId, usize)> = Vec::new();
                 for &(t, step) in &chosen {
+                    let u = us[t.0].expect("candidate has usage");
+                    let first_bwd = u.first_bwd.expect("candidate has bwd use");
                     let s = start_at(step).max(link_free);
                     let done = s + tso.size(t) as f64 / bw;
-                    link_free = done;
                     let mut sync = step;
-                    while sync + 1 < t_len && end_at[sync] < done {
+                    while sync + 1 < first_bwd && end_at[sync] < done {
                         sync += 1;
                     }
+                    if end_at[sync] < done {
+                        continue;
+                    }
+                    link_free = done;
                     sync_of[t.0] = Some(sync);
+                    kept.push((t, step));
                 }
 
                 // Prefetches: walk deadlines from the latest backward in
                 // reverse, packing each transfer as late as the shared
                 // host→device link allows while still completing before
-                // its first backward use.
+                // its first backward use. The packed position is floored
+                // at the step after the TSO's own sync: the prefetched
+                // instance may not coexist with the forward one.
                 let mut prefetch_of = vec![None; tso.len()];
-                let mut by_deadline: Vec<(TsoId, usize)> = chosen
+                let mut by_deadline: Vec<(TsoId, usize)> = kept
                     .iter()
                     .map(|&(t, _)| {
                         let u = us[t.0].expect("candidate has usage");
@@ -322,15 +343,16 @@ fn build_plan(
                     let start_time = end - tso.size(t) as f64 / bw;
                     cap = start_time;
                     // Largest backward step starting no later than
-                    // `start_time` (clamped to the start of backward).
-                    let mut pos = t_len;
+                    // `start_time` (clamped to the earliest legal step).
+                    let floor = t_len.max(sync_of[t.0].expect("kept has sync") + 1);
+                    let mut pos = floor;
                     while pos < u && start_at(pos + 1) <= start_time {
                         pos += 1;
                     }
                     prefetch_of[t.0] = Some(pos);
                 }
 
-                for (i, &(t, step)) in chosen.iter().enumerate() {
+                for (i, &(t, step)) in kept.iter().enumerate() {
                     let u = us[t.0].expect("candidate has usage");
                     let first_bwd = u.first_bwd.expect("candidate has bwd use");
                     decisions.push(OffloadDecision {
@@ -493,28 +515,169 @@ mod tests {
         assert!(half.offloaded_bytes(size) > 0);
     }
 
+    /// Per-TSO `OffloadSync` positions of a plan.
+    fn sync_map(plan: &MemoryPlan) -> std::collections::HashMap<TsoId, usize> {
+        plan.events()
+            .filter_map(|(i, _, e)| match e {
+                MemEvent::OffloadSync { tso } => Some((*tso, i)),
+                _ => None,
+            })
+            .collect()
+    }
+
     #[test]
     fn hmms_defers_sync_beyond_vdnn() {
         // With a slow link, HMMS must push sync points later than the
-        // layer-wise plan's immediate syncs.
+        // layer-wise plan's immediate syncs. HMMS may also *drop* tensors
+        // whose transfer cannot complete before their backward deadline,
+        // so the comparison runs over the TSOs both plans offload.
         let g = chain(5);
         let tape = Tape::new(&g);
         let tso = TsoAssignment::new(&g, &vec![0; g.len()], TsoOptions::default());
         let profile = Profile::uniform(&g, 1e-4, 1e8); // slow link
-        let sync_pos = |plan: &MemoryPlan| -> Vec<usize> {
-            plan.events()
-                .filter(|(_, _, e)| matches!(e, MemEvent::OffloadSync { .. }))
-                .map(|(i, _, _)| i)
-                .collect()
-        };
         let v = plan_vdnn(&g, &tape, &tso, &profile, PlannerOptions::default());
         let h = plan_hmms(&g, &tape, &tso, &profile, PlannerOptions::default());
-        let vs = sync_pos(&v);
-        let hs = sync_pos(&h);
-        assert_eq!(vs.len(), hs.len());
-        let v_sum: usize = vs.iter().sum();
-        let h_sum: usize = hs.iter().sum();
+        let vs = sync_map(&v);
+        let hs = sync_map(&h);
+        assert!(!hs.is_empty(), "nothing survived the slow link");
+        let mut v_sum = 0;
+        let mut h_sum = 0;
+        for (t, &hp) in &hs {
+            let &vp = vs.get(t).expect("vdnn offloads every candidate");
+            assert!(hp >= vp, "HMMS sync for {t:?} earlier than vDNN");
+            v_sum += vp;
+            h_sum += hp;
+        }
         assert!(h_sum > v_sum, "HMMS syncs ({hs:?}) not later than vDNN ({vs:?})");
+    }
+
+    #[test]
+    fn slow_link_sync_never_precedes_transfer_completion() {
+        // Regression: the sync clamp used to stop at the last *forward*
+        // step, so on a slow link the plan freed the device copy while the
+        // modeled transfer was still in flight. Recompute the planner's
+        // own projection (prefix sums + the serialized link, in issue
+        // order) and check every sync covers its transfer.
+        for bw in [1e7, 1e8, 1e9, 10e9] {
+            let g = chain(5);
+            let tape = Tape::new(&g);
+            let tso = TsoAssignment::new(&g, &vec![0; g.len()], TsoOptions::default());
+            let profile = Profile::uniform(&g, 1e-4, bw);
+            let plan = plan_hmms(&g, &tape, &tso, &profile, PlannerOptions::default());
+
+            let t_len = tape.forward_len();
+            let step_time = |pos: usize| {
+                let n = tape.entries()[pos].node.0;
+                if pos < t_len { profile.fwd_time[n] } else { profile.bwd_time[n] }
+            };
+            let mut end_at = vec![0.0f64; 2 * t_len];
+            let mut acc = 0.0;
+            for (pos, e) in end_at.iter_mut().enumerate() {
+                acc += step_time(pos);
+                *e = acc;
+            }
+            let starts: Vec<(TsoId, usize)> = plan
+                .events()
+                .filter_map(|(i, _, e)| match e {
+                    MemEvent::OffloadStart { tso, .. } => Some((*tso, i)),
+                    _ => None,
+                })
+                .collect();
+            let syncs = sync_map(&plan);
+            let mut link_free = 0.0f64;
+            for (t, step) in starts {
+                let s = (end_at[step] - step_time(step)).max(link_free);
+                let done = s + tso.size(t) as f64 / bw;
+                link_free = done;
+                let sync = syncs[&t];
+                assert!(
+                    end_at[sync] + 1e-12 >= done,
+                    "bw {bw}: {t:?} freed at step {sync} (t={}) before transfer done (t={done})",
+                    end_at[sync]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn unhideable_offloads_are_dropped_not_freed_early() {
+        // At 1e8 B/s the chain's transfers cannot all complete before
+        // their backward deadlines: the planner must keep some candidates
+        // resident rather than free them mid-transfer — but not all.
+        let g = chain(5);
+        let tape = Tape::new(&g);
+        let tso = TsoAssignment::new(&g, &vec![0; g.len()], TsoOptions::default());
+        let candidates = candidate_tsos(&g, &tape, &tso).len();
+        let profile = Profile::uniform(&g, 1e-4, 1e8);
+        let plan = plan_hmms(&g, &tape, &tso, &profile, PlannerOptions::default());
+        assert!(
+            plan.offloaded.len() < candidates,
+            "slow link must drop unhideable offloads ({} of {candidates} kept)",
+            plan.offloaded.len()
+        );
+        assert!(!plan.offloaded.is_empty(), "hideable offloads must survive");
+        // Every survivor still has the full 2-instance lifecycle.
+        for &t in &plan.offloaded {
+            let count = |f: fn(&MemEvent) -> bool| {
+                plan.events().filter(|(_, _, e)| e.tso() == t && f(e)).count()
+            };
+            assert_eq!(count(|e| matches!(e, MemEvent::Alloc(_))), 2);
+            assert_eq!(count(|e| matches!(e, MemEvent::Free(_))), 2);
+        }
+    }
+
+    #[test]
+    fn vdnn_prefetch_lands_at_earliest_legal_step() {
+        // Ordinary chain: every vDNN prefetch starts exactly one op ahead
+        // of its first backward use, strictly before its sync.
+        let (g, tape, tso, profile) = setup(3);
+        let plan = plan_vdnn(&g, &tape, &tso, &profile, PlannerOptions::default());
+        for &t in &plan.offloaded {
+            let start = plan
+                .events()
+                .find_map(|(i, _, e)| {
+                    matches!(e, MemEvent::PrefetchStart { tso, .. } if *tso == t).then_some(i)
+                })
+                .expect("offloaded TSO has a prefetch start");
+            let sync = plan
+                .events()
+                .find_map(|(i, _, e)| {
+                    matches!(e, MemEvent::PrefetchSync { tso } if *tso == t).then_some(i)
+                })
+                .expect("offloaded TSO has a prefetch sync");
+            assert_eq!(start, sync - 1, "{t:?} prefetch not one op ahead");
+        }
+    }
+
+    #[test]
+    fn zero_window_prefetch_is_pinned_to_first_legal_step() {
+        // A graph whose *last* node re-reads its output in backward (a max
+        // pool with no classifier head) produces a TSO with
+        // `first_bwd == t_len` and `last_fwd == t_len - 1`: its forward
+        // instance is freed at the last forward step's end, so the
+        // earliest legal prefetch *is* `first_bwd` — a zero-width window
+        // by construction, not by the old `max(t_len)` accident. Pin that
+        // the plan emits it there and stays legal.
+        let mut g = Graph::new();
+        let x = g.input(&[2, 3, 8, 8]);
+        let c = g.conv2d(x, 4, 3, 1, Padding2d::symmetric(1), false, "c");
+        let r = g.relu(c, "r");
+        g.pool2d(r, scnn_graph::PoolKind::Max, 2, 2, Padding2d::default(), "p");
+        let tape = Tape::new(&g);
+        let tso = TsoAssignment::new(&g, &vec![0; g.len()], TsoOptions::default());
+        let profile = Profile::uniform(&g, 1e-3, 10e9);
+        let t_len = tape.forward_len();
+        let plan = plan_vdnn(&g, &tape, &tso, &profile, PlannerOptions::default());
+        let pool_tso = tso.activation[g.len() - 1];
+        assert!(plan.offloaded.contains(&pool_tso), "pool output offloads");
+        let start = plan
+            .events()
+            .find_map(|(i, _, e)| {
+                matches!(e, MemEvent::PrefetchStart { tso, .. } if *tso == pool_tso).then_some(i)
+            })
+            .expect("prefetch start emitted");
+        assert_eq!(start, t_len, "prefetch must land at the first legal step");
+        crate::layout::plan_layout(&g, &plan, &tso).expect("plan stays legal");
     }
 
     #[test]

@@ -39,7 +39,10 @@ use std::sync::mpsc::{channel, Receiver};
 use std::sync::Arc;
 
 use scnn_graph::Graph;
-use scnn_hmms::{export_plan, ExecPlan, LayoutError, MemEvent, MemoryPlan, TsoAssignment};
+use scnn_hmms::{
+    export_plan, export_plan_with, ExecPlan, LayoutError, LayoutOptions, MemEvent, MemoryPlan,
+    TsoAssignment,
+};
 use scnn_nn::BufferProvider;
 use scnn_par::background::{Ticket, Worker};
 use scnn_tensor::{BufferRecycler, PooledBuf, Tensor, Workspace};
@@ -160,6 +163,21 @@ impl PlanRuntime {
         tso: &TsoAssignment,
     ) -> Result<Self, LayoutError> {
         Ok(PlanRuntime::new(graph, export_plan(graph, tape, plan, tso)?))
+    }
+
+    /// Like [`PlanRuntime::from_plan`], with explicit [`LayoutOptions`] —
+    /// the way to run on a workspace/offload-overlapped layout.
+    pub fn from_plan_with(
+        graph: &Graph,
+        tape: &scnn_graph::Tape,
+        plan: &MemoryPlan,
+        tso: &TsoAssignment,
+        opts: LayoutOptions,
+    ) -> Result<Self, LayoutError> {
+        Ok(PlanRuntime::new(
+            graph,
+            export_plan_with(graph, tape, plan, tso, opts)?,
+        ))
     }
 
     /// The resolved plan this runtime executes.

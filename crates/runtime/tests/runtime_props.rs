@@ -9,11 +9,11 @@
 //! - **Savings** — the plan-driven lifetimes keep fewer activation bytes
 //!   resident than the baseline.
 
-use scnn_core::{lower_unsplit, plan_split, SplitConfig};
+use scnn_core::{conv_engine_workspace, lower_unsplit, plan_split, SplitConfig};
 use scnn_graph::{Graph, NodeId, ParamId, Tape};
 use scnn_hmms::{
-    plan_hmms, plan_no_offload, plan_vdnn, MemoryPlan, PlannerOptions, Profile, TsoAssignment,
-    TsoOptions,
+    plan_hmms, plan_layout, plan_layout_with, plan_no_offload, plan_vdnn, LayoutOptions,
+    MemoryPlan, PlannerOptions, Profile, TsoAssignment, TsoOptions,
 };
 use scnn_models::{resnet18, vgg19, ModelOptions};
 use scnn_nn::{BnState, Executor, Mode, ParamStore, Sgd, VecProvider};
@@ -45,6 +45,27 @@ fn plans(graph: &Graph) -> (Tape, TsoAssignment, Vec<MemoryPlan>) {
     let tape = Tape::new(graph);
     let tso = TsoAssignment::new(graph, &vec![0; graph.len()], TsoOptions::default());
     let profile = Profile::uniform(graph, 1e-3, 30e9);
+    let plans = vec![
+        plan_no_offload(graph, &tape, &tso, &profile),
+        plan_vdnn(graph, &tape, &tso, &profile, PlannerOptions::default()),
+        plan_hmms(graph, &tape, &tso, &profile, PlannerOptions::default()),
+    ];
+    (tape, tso, plans)
+}
+
+/// Like [`plans`], but with the tiled conv engine's real scratch sizes in
+/// the TSO table — the workspace traffic the overlap pass packs into
+/// offload windows.
+fn plans_with_workspace(graph: &Graph) -> (Tape, TsoAssignment, Vec<MemoryPlan>) {
+    let tape = Tape::new(graph);
+    let ws = conv_engine_workspace(graph, &vec![0; graph.len()]);
+    let tso = TsoAssignment::new(graph, &ws, TsoOptions::default());
+    let profile = Profile {
+        fwd_time: vec![1e-3; graph.len()],
+        bwd_time: vec![2e-3; graph.len()],
+        workspace_bytes: ws,
+        link_bandwidth: 30e9,
+    };
     let plans = vec![
         plan_no_offload(graph, &tape, &tso, &profile),
         plan_vdnn(graph, &tape, &tso, &profile, PlannerOptions::default()),
@@ -100,14 +121,83 @@ fn runtime_peak_matches_static_layout_prediction() {
 }
 
 #[test]
+fn workspace_overlap_strictly_shrinks_planned_pool() {
+    // The PR's headline number: with real conv scratch in the TSO table,
+    // packing workspace into offload windows strictly shrinks the planned
+    // device pool on both reference models — and leaves plans with no
+    // offloads untouched.
+    for graph in [vgg_graph(2), split_resnet_graph(2)] {
+        let (_tape, tso, plans) = plans_with_workspace(&graph);
+        let overlap = LayoutOptions {
+            overlap_workspace: true,
+        };
+        for plan in plans {
+            let plain = plan_layout(&graph, &plan, &tso).expect("plan is legal");
+            let packed =
+                plan_layout_with(&graph, &plan, &tso, overlap).expect("plan is legal with overlap");
+            if plan.offloaded.is_empty() {
+                assert_eq!(packed.addresses, plain.addresses, "{}", plan.strategy);
+                assert_eq!(packed.workspace_overlapped_bytes, 0);
+            } else {
+                assert!(
+                    packed.device_general_bytes < plain.device_general_bytes,
+                    "{}: overlap did not shrink the pool ({} vs {})",
+                    plan.strategy,
+                    packed.device_general_bytes,
+                    plain.device_general_bytes
+                );
+                assert!(
+                    packed.workspace_overlapped_bytes > 0,
+                    "{}: no workspace shares an offload window",
+                    plan.strategy
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn overlap_runtime_measures_exactly_the_packed_layout() {
+    // Golden agreement under the packed layout: the pool high-water the
+    // runtime measures while replaying the overlapped plan equals the
+    // packed layout's planned pool, for every strategy on both models.
+    for graph in [vgg_graph(2), split_resnet_graph(2)] {
+        let (tape, tso, plans) = plans_with_workspace(&graph);
+        let (images, labels) = batch_for(&graph, 11);
+        let overlap = LayoutOptions {
+            overlap_workspace: true,
+        };
+        for plan in plans {
+            let mut rt = PlanRuntime::from_plan_with(&graph, &tape, &plan, &tso, overlap)
+                .expect("plan is legal with overlap");
+            let predicted = rt.plan().layout.device_general_bytes;
+            let mut params = ParamStore::init(&graph, &mut SplitRng::seed_from_u64(1));
+            let mut bn = BnState::new();
+            let mut rng = SplitRng::seed_from_u64(2);
+            step_with(&graph, &mut params, &mut bn, &mut rng, &images, &labels, &mut rt);
+            let stats = rt.stats();
+            assert_eq!(
+                stats.plan_device_peak_bytes, predicted,
+                "strategy {} measured a different device peak than packed",
+                plan.strategy
+            );
+        }
+    }
+}
+
+#[test]
 fn training_is_bit_identical_to_vec_baseline_at_any_thread_count() {
     let graph = split_resnet_graph(2);
     let (tape, tso, plans) = plans(&graph);
     let hmms = plans.into_iter().last().expect("hmms plan");
+    let (wtape, wtso, wplans) = plans_with_workspace(&graph);
+    let whmms = wplans.into_iter().last().expect("hmms plan");
     let n_params = graph.params().len();
 
+    // Providers: 0 = Vec-per-node reference, 1 = plan runtime on the plain
+    // layout, 2 = plan runtime on the workspace-overlapped packed layout.
     // Reference: two SGD steps under the Vec provider, serial.
-    let run = |provider_is_runtime: bool, threads: usize| -> (Vec<f32>, ParamStore) {
+    let run = |provider_kind: u8, threads: usize| -> (Vec<f32>, ParamStore) {
         scnn_par::with_threads(threads, || {
             let mut params = ParamStore::init(&graph, &mut SplitRng::seed_from_u64(7));
             let mut bn = BnState::new();
@@ -116,13 +206,18 @@ fn training_is_bit_identical_to_vec_baseline_at_any_thread_count() {
             let mut vec_provider = VecProvider;
             let mut rt = PlanRuntime::from_plan(&graph, &tape, &hmms, &tso)
                 .expect("plan is legal");
+            let overlap = LayoutOptions {
+                overlap_workspace: true,
+            };
+            let mut wrt = PlanRuntime::from_plan_with(&graph, &wtape, &whmms, &wtso, overlap)
+                .expect("plan is legal with overlap");
             let mut losses = Vec::new();
             for step in 0..2 {
                 let (images, labels) = batch_for(&graph, 100 + step);
-                let provider: &mut dyn scnn_nn::BufferProvider = if provider_is_runtime {
-                    &mut rt
-                } else {
-                    &mut vec_provider
+                let provider: &mut dyn scnn_nn::BufferProvider = match provider_kind {
+                    0 => &mut vec_provider,
+                    1 => &mut rt,
+                    _ => &mut wrt,
                 };
                 losses.push(step_with(
                     &graph, &mut params, &mut bn, &mut rng, &images, &labels, provider,
@@ -133,14 +228,22 @@ fn training_is_bit_identical_to_vec_baseline_at_any_thread_count() {
         })
     };
 
-    let (ref_losses, ref_params) = run(false, 1);
-    for threads in [1, 4] {
-        let (losses, params) = run(true, threads);
-        assert_eq!(losses, ref_losses, "losses diverged at {threads} threads");
-        for i in 0..n_params {
-            let a = ref_params.value(ParamId(i)).as_slice();
-            let b = params.value(ParamId(i)).as_slice();
-            assert_eq!(a, b, "param {i} bits diverged at {threads} threads");
+    let (ref_losses, ref_params) = run(0, 1);
+    for kind in [1u8, 2] {
+        for threads in [1, 4] {
+            let (losses, params) = run(kind, threads);
+            assert_eq!(
+                losses, ref_losses,
+                "losses diverged at {threads} threads (provider {kind})"
+            );
+            for i in 0..n_params {
+                let a = ref_params.value(ParamId(i)).as_slice();
+                let b = params.value(ParamId(i)).as_slice();
+                assert_eq!(
+                    a, b,
+                    "param {i} bits diverged at {threads} threads (provider {kind})"
+                );
+            }
         }
     }
 }

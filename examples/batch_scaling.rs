@@ -29,6 +29,7 @@ fn main() {
         },
         plan_no_offload,
     )
+    .expect("legal plans")
     .expect("fits at batch 1");
 
     // ...vs Split-CNN + HMMS.
@@ -45,6 +46,7 @@ fn main() {
             plan_hmms(g, t, s, p, PlannerOptions { offload_cap: cap, mem_streams: 2 })
         },
     )
+    .expect("legal plans")
     .expect("fits at batch 1");
 
     println!(

@@ -163,7 +163,8 @@ fn split_plus_hmms_raises_max_batch() {
         },
         plan_no_offload,
     )
-    .unwrap();
+    .expect("legal plans")
+    .expect("fits at batch 1");
     let split = max_batch_size(
         capacity,
         256,
@@ -177,7 +178,8 @@ fn split_plus_hmms_raises_max_batch() {
             plan_hmms(g, t, s, p, PlannerOptions { offload_cap: cap, mem_streams: 2 })
         },
     )
-    .unwrap();
+    .expect("legal plans")
+    .expect("fits at batch 1");
     assert!(
         split.max_batch >= 2 * base.max_batch,
         "expected >=2x batch gain, got {} vs {}",
