@@ -17,7 +17,7 @@ use scnn_hmms::{plan_hmms, PlannerOptions};
 use scnn_models::{vgg19, ModelOptions};
 
 fn main() {
-    let smoke = Args::parse().bool("smoke");
+    let smoke = Args::parse(&["smoke", "bench"]).bool("smoke");
     let model = CostModel::default();
     // Smoke mode: CIFAR-sized VGG and one cold sample — just prove the
     // ablation paths run and emit parseable records.

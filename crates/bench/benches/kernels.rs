@@ -42,7 +42,7 @@ fn heap_annotate(g: &mut BenchGroup) {
 }
 
 fn main() {
-    let smoke = Args::parse().bool("smoke");
+    let smoke = Args::parse(&["smoke", "bench"]).bool("smoke");
     let mut rng = SplitRng::seed_from_u64(1);
 
     // Smoke mode: tiny shapes, one cold sample — just prove the paths run.

@@ -14,13 +14,18 @@
 //! printed per strategy (the allocator counter includes params, grads and
 //! kernel scratch, so it is strictly larger than the activation numbers).
 
+use std::sync::Arc;
+
 use scnn_bench::{Args, BenchGroup};
-use scnn_core::{conv_engine_workspace, plan_split, plan_split_auto, SplitConfig};
+use scnn_core::{
+    conv_engine_workspace, conv_micro_workspace, plan_micro_schedule, plan_split, plan_split_auto,
+    SplitConfig,
+};
 use scnn_graph::{NodeId, Tape};
-use scnn_gpusim::{profile_graph, CostModel};
+use scnn_gpusim::{max_batch_size, profile_graph, CostModel};
 use scnn_hmms::{
-    plan_hmms, plan_layout, plan_no_offload, plan_vdnn, LayoutOptions, MemoryPlan, PlannerOptions,
-    TsoAssignment, TsoOptions,
+    export_plan_with, plan_hmms, plan_layout, plan_no_offload, plan_vdnn, LayoutOptions,
+    MemoryPlan, PlannerOptions, TsoAssignment, TsoOptions,
 };
 use scnn_models::{resnet18, ModelOptions};
 use scnn_nn::{BnState, BufferProvider, Executor, Mode, ParamStore};
@@ -33,7 +38,7 @@ use scnn_tensor::uniform;
 static ALLOC: scnn_bench::heap::CountingAlloc = scnn_bench::heap::CountingAlloc;
 
 fn main() {
-    let smoke = Args::parse().bool("smoke");
+    let smoke = Args::parse(&["smoke", "bench"]).bool("smoke");
     let mut g = BenchGroup::new("memory");
     if smoke {
         g.sample_size(1);
@@ -144,6 +149,99 @@ fn main() {
             layout.device_general_bytes,
         );
     }
+
+    // Micro-batched HMMS: the planner's third axis. The schedule shrinks
+    // per-conv workspace, the TSO assignment carries the shrunken (honest,
+    // per-algorithm) sizes, and the runtime's executor chunks exactly as
+    // planned — the step's loss stays bit-identical to the full-batch runs.
+    let schedule = plan_micro_schedule(&graph, &profile.workspace_bytes);
+    println!(
+        "  micro schedule: {} of {} convs micro-batched",
+        schedule.len(),
+        graph
+            .nodes()
+            .iter()
+            .filter(|n| matches!(n.op, scnn_graph::Op::Conv2d { .. }))
+            .count()
+    );
+    let ws_micro = conv_micro_workspace(&graph, &profile.workspace_bytes, &schedule);
+    let tso_micro = TsoAssignment::new(&graph, &ws_micro, TsoOptions::default());
+    let plan_micro = plan_hmms(&graph, &tape, &tso_micro, &profile, opts);
+    let exec_plan = export_plan_with(&graph, &tape, &plan_micro, &tso_micro, overlap)
+        .expect("micro plan is legal with overlap")
+        .with_micro_schedule(Arc::new(schedule));
+    let mut rt = scnn_runtime::PlanRuntime::new(&graph, exec_plan);
+    let exec_micro = rt.executor();
+    let micro_step = |provider: &mut dyn BufferProvider| {
+        let mut params = ParamStore::init(&graph, &mut SplitRng::seed_from_u64(7));
+        let mut bn = BnState::new();
+        let mut rng = SplitRng::seed_from_u64(13);
+        exec_micro
+            .run_with(
+                &graph, &mut params, &mut bn, &images, &labels, Mode::Train, &mut rng, provider,
+            )
+            .loss
+    };
+    #[cfg(feature = "heap-track")]
+    scnn_bench::heap::reset_peak();
+    g.bench("train_step/hmms_micro", || micro_step(&mut rt));
+    let stats = rt.stats();
+    g.set_peak_bytes(stats.resident_peak_bytes);
+    println!(
+        "  hmms_micro: resident {} B, device pool {} B, kernel scratch peak {} B{}",
+        stats.resident_peak_bytes,
+        stats.plan_device_peak_bytes,
+        stats.scratch_peak_bytes,
+        heap_note()
+    );
+    g.record_bytes(
+        "planned_device/hmms_micro",
+        rt.plan().layout.device_general_bytes,
+    );
+
+    // Figure-10 capacity search at a fixed device budget: how many logical
+    // images fit, with and without the micro-batch axis. Micro-batching
+    // caps the workspace growth with batch, so the same budget trains
+    // strictly larger logical batches.
+    // Budgets sit just under the legacy plan's batch-16 device total (the
+    // parameter pool alone is ~22.4 MB at width 0.5), so the search has
+    // room to separate: the micro-batched plan's flatter workspace growth
+    // fits logical batch 16 where the full-batch plan already spills.
+    let (cap, limit) = if smoke {
+        (2_621_440, 32)
+    } else {
+        (27 << 20, 64)
+    };
+    let split_plan = plan_split(&desc, &SplitConfig::new(0.5, 2, 2)).expect("resnet splits");
+    let build_legacy = |b: usize| {
+        let gb = split_plan.lower(&desc, b);
+        let mut prof = profile_graph(&gb, &model);
+        prof.workspace_bytes = conv_engine_workspace(&gb, &prof.workspace_bytes);
+        (gb, prof)
+    };
+    let build_micro = |b: usize| {
+        let gb = split_plan.lower(&desc, b);
+        let mut prof = profile_graph(&gb, &model);
+        let sched = plan_micro_schedule(&gb, &prof.workspace_bytes);
+        prof.workspace_bytes = conv_micro_workspace(&gb, &prof.workspace_bytes, &sched);
+        (gb, prof)
+    };
+    let hmms_plan =
+        |g: &_, t: &_, s: &_, p: &_| plan_hmms(g, t, s, p, PlannerOptions::default());
+    let legacy_cap = max_batch_size(cap, limit, build_legacy, hmms_plan)
+        .expect("legal plans")
+        .expect("fits at batch 1");
+    let micro_cap = max_batch_size(cap, limit, build_micro, hmms_plan)
+        .expect("legal plans")
+        .expect("fits at batch 1");
+    println!(
+        "  capacity {} MiB: max logical batch {} full-batch, {} micro-batched",
+        cap >> 20,
+        legacy_cap.max_batch,
+        micro_cap.max_batch
+    );
+    g.record_bytes("capacity/max_batch/legacy", legacy_cap.max_batch);
+    g.record_bytes("capacity/max_batch/micro", micro_cap.max_batch);
 
     g.finish();
 }

@@ -38,10 +38,13 @@ fn usage_exit(err: &str) -> ! {
 }
 
 impl Args {
-    /// Parses the process arguments, printing usage to stderr and exiting
-    /// with status 2 on malformed input.
-    pub fn parse() -> Self {
-        match Args::parse_from(std::env::args().skip(1)) {
+    /// Parses the process arguments against the binary's declared flag
+    /// set, printing usage to stderr and exiting with status 2 on
+    /// malformed input or an unrecognized flag. Rejecting unknown keys is
+    /// what keeps a typo'd invocation (`--smokee`) from silently running
+    /// a full suite with defaults.
+    pub fn parse(allowed: &[&str]) -> Self {
+        match Args::parse_from(std::env::args().skip(1)).and_then(|a| a.restrict(allowed)) {
             Ok(a) => a,
             Err(e) => usage_exit(&e),
         }
@@ -69,6 +72,33 @@ impl Args {
             values.insert(key, v);
         }
         Ok(Args { values })
+    }
+
+    /// Validates every parsed key against `allowed`, consuming `self`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the first (alphabetically) unknown flag
+    /// and listing the recognized ones.
+    pub fn restrict(self, allowed: &[&str]) -> Result<Self, String> {
+        let mut unknown: Vec<&str> = self
+            .values
+            .keys()
+            .map(String::as_str)
+            .filter(|k| !allowed.contains(k))
+            .collect();
+        if let Some(first) = {
+            unknown.sort_unstable();
+            unknown.first()
+        } {
+            let mut known: Vec<&str> = allowed.to_vec();
+            known.sort_unstable();
+            return Err(format!(
+                "unknown flag --{first} (recognized: {})",
+                known.iter().map(|k| format!("--{k}")).collect::<Vec<_>>().join(", ")
+            ));
+        }
+        Ok(self)
     }
 
     /// Boolean switch: `true` iff the flag was present bare or with the
@@ -187,5 +217,36 @@ mod tests {
         let a = parse(&["--scale", "0.25", "--epochs", "3"]).unwrap();
         assert_eq!(a.try_f64("scale", 1.0), Ok(0.25));
         assert_eq!(a.try_usize("epochs", 8), Ok(3));
+    }
+
+    #[test]
+    fn unknown_flags_are_rejected() {
+        // Regression: `--smokee` (a typo of `--smoke`) used to parse
+        // cleanly, silently running the full suite. With the declared
+        // flag set it must be a usage error naming the offender.
+        let e = parse(&["--smokee"])
+            .unwrap()
+            .restrict(&["smoke", "scale"])
+            .unwrap_err();
+        assert!(e.contains("--smokee"), "{e}");
+        assert!(e.contains("--smoke"), "error must list recognized flags: {e}");
+
+        let e = parse(&["--scale", "0.5", "--bogus", "7"])
+            .unwrap()
+            .restrict(&["scale"])
+            .unwrap_err();
+        assert!(e.contains("--bogus"), "{e}");
+    }
+
+    #[test]
+    fn declared_flags_pass_restrict() {
+        let a = parse(&["--smoke", "--scale", "0.5"])
+            .unwrap()
+            .restrict(&["smoke", "scale", "epochs"])
+            .unwrap();
+        assert!(a.bool("smoke"));
+        assert_eq!(a.try_f64("scale", 1.0), Ok(0.5));
+        // Absent-but-declared flags still fall back to defaults.
+        assert_eq!(a.try_usize("epochs", 8), Ok(8));
     }
 }

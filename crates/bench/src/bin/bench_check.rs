@@ -30,10 +30,15 @@
 //!     # the named record's fresh median must be <= the bound (ns)
 //! bench_check --file ... --max-peak 'train_step/hmms:15392768,conv2d_fwd_scratch_peak:1048576'
 //!     # the named record must carry peak_bytes <= the bound
+//! bench_check --file ... --min-peak capacity/max_batch/micro:17
+//!     # the named record must carry peak_bytes >= the bound — for
+//!     # records whose "bytes" are a count that must not shrink (e.g.
+//!     # the capacity search's max batch)
 //! ```
 //!
-//! Both take comma-separated `name:bound` pairs; a missing record or a
-//! record without `peak_bytes` (for `--max-peak`) fails the gate.
+//! All take comma-separated `name:bound` pairs; a missing record or a
+//! record without `peak_bytes` (for `--max-peak`/`--min-peak`) fails the
+//! gate.
 
 use scnn_bench::{Args, BenchRecord};
 
@@ -61,7 +66,7 @@ fn load(path: &str) -> Vec<BenchRecord> {
 }
 
 fn main() {
-    let args = Args::parse();
+    let args = Args::parse(&["file", "baseline", "tolerance", "max-median", "max-peak", "min-peak"]);
     let Some(file) = args.str("file") else {
         eprintln!("usage: bench_check --file <BENCH_x.json> [--baseline <BENCH_x.json>] [--tolerance 0.25]");
         std::process::exit(2);
@@ -110,6 +115,28 @@ fn main() {
         }
     }
 
+    for (name, bound) in parse_bounds(args.str("min-peak"), "--min-peak") {
+        match fresh.iter().find(|r| r.name == name) {
+            None => {
+                eprintln!("GATE: `{name}` (--min-peak) was not measured");
+                failed = true;
+            }
+            Some(r) => match r.peak_bytes {
+                None => {
+                    eprintln!("GATE: `{name}` carries no peak_bytes to check");
+                    failed = true;
+                }
+                Some(p) if p < bound => {
+                    eprintln!("GATE: `{name}` peak {p} B is below the {bound} B bound");
+                    failed = true;
+                }
+                Some(p) => {
+                    println!("{:<40} {:>12} B   >= {:>12} B   ok", name, p, bound);
+                }
+            },
+        }
+    }
+
     let Some(baseline_path) = args.str("baseline") else {
         if failed {
             eprintln!("error: absolute gate violated in {file}");
@@ -153,7 +180,7 @@ fn main() {
     if failed {
         eprintln!(
             "error: gate violated (regression beyond {:.0}% against {baseline_path}, \
-             or an absolute --max-median/--max-peak bound)",
+             or an absolute --max-median/--max-peak/--min-peak bound)",
             tolerance * 100.0
         );
         std::process::exit(1);

@@ -19,7 +19,7 @@ use scnn_gpusim::{offload_analysis, CostModel};
 use scnn_models::{resnet18, vgg19, ModelOptions};
 
 fn main() {
-    let args = Args::parse();
+    let args = Args::parse(&["batch"]);
     let batch = args.usize("batch", 64);
     let model = CostModel::default();
 

@@ -20,7 +20,7 @@ use scnn_hmms::{plan_hmms, plan_no_offload, PlannerOptions};
 use scnn_models::{resnet18, vgg19, ModelOptions};
 
 fn main() {
-    let args = Args::parse();
+    let args = Args::parse(&["depth", "limit"]);
     let depth = args.f64("depth", 0.75);
     let limit = args.usize("limit", 4096);
     let device = DeviceSpec::p100_nvlink();

@@ -18,7 +18,7 @@ use scnn_gpusim::{profile_graph, CostModel};
 use scnn_models::{vgg19, ModelOptions};
 
 fn main() {
-    let args = Args::parse();
+    let args = Args::parse(&["base-batch", "gain", "overhead"]);
     let base_batch = args.usize("base-batch", 64);
     let gain = args.f64("gain", 6.0);
     let overhead = args.f64("overhead", 0.015);

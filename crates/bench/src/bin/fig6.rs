@@ -17,7 +17,7 @@ use scnn_data::SyntheticSpec;
 use scnn_models::{resnet18, vgg19_bn, ModelOptions};
 
 fn main() {
-    let args = Args::parse();
+    let args = Args::parse(&["scale", "epochs", "seed", "depth"]);
     let scale = args.f64("scale", 0.125);
     let epochs = args.usize("epochs", 10);
     let seed = args.u64("seed", 17);

@@ -18,7 +18,7 @@ use scnn_data::SyntheticSpec;
 use scnn_models::{alexnet, resnet50, ModelOptions};
 
 fn main() {
-    let args = Args::parse();
+    let args = Args::parse(&["scale", "epochs", "seed"]);
     let scale = args.f64("scale", 0.125);
     let epochs = args.usize("epochs", 10);
     let seed = args.u64("seed", 17);

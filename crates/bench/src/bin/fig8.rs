@@ -22,7 +22,7 @@ use scnn_hmms::{plan_hmms, plan_layout, PlannerOptions, TsoAssignment, TsoOption
 use scnn_models::{resnet50, vgg19, ModelOptions};
 
 fn main() {
-    let args = Args::parse();
+    let args = Args::parse(&["batch"]);
     let batch = args.usize("batch", 64);
     let model = CostModel::default();
 

@@ -17,7 +17,7 @@ use scnn_gpusim::CostModel;
 use scnn_models::{vgg19, ModelOptions};
 
 fn main() {
-    let args = Args::parse();
+    let args = Args::parse(&["batch", "width", "csv"]);
     let batch = args.usize("batch", 64);
     let width = args.usize("width", 100);
     let csv = args.usize("csv", 0) != 0;

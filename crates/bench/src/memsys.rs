@@ -115,6 +115,11 @@ mod tests {
             vdnn.total_time,
             hmms.total_time
         );
-        assert_eq!(vdnn.offloaded_bytes, hmms.offloaded_bytes);
+        // Both planners share the candidate set and cap, but HMMS drops
+        // tensors it cannot hide before their backward deadline minus the
+        // prefetch slot (vDNN stalls compute instead), so it may offload
+        // slightly less — never more.
+        assert!(hmms.offloaded_bytes <= vdnn.offloaded_bytes);
+        assert!(hmms.offloaded_bytes > 0);
     }
 }

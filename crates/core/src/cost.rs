@@ -16,49 +16,112 @@
 //! we reproduce. The full planner remains the source of truth for the
 //! chosen plan's actual layout.
 
-use scnn_graph::{Graph, Op};
+use scnn_graph::{Graph, MicroBatchChoice, MicroBatchSchedule, Node, Op};
 use scnn_rng::Rng;
-use scnn_tensor::{conv2d_workspace_bytes, Conv2dGeometry, Padding2d};
+use scnn_tensor::{
+    conv2d_dw_single_block, conv2d_workspace_bytes, default_conv_algo, min_micro_batch,
+    Conv2dGeometry, ConvAlgo, Padding2d,
+};
 
 use crate::model::ModelDesc;
 use crate::transform::{
     lower_unsplit, plan_split, plan_split_stochastic, PlanSplitError, SplitConfig, SplitPlan,
 };
 
+/// The cropped kernel geometry, batch, and output channels of a conv node
+/// — `None` for every other op. Negative padding crops the input before
+/// the kernel runs, so the geometry carries the non-negative remainder,
+/// exactly the split the conv kernels perform.
+fn conv_node_geometry(graph: &Graph, node: &Node) -> Option<(Conv2dGeometry, usize, usize)> {
+    let Op::Conv2d {
+        out_c,
+        kh,
+        kw,
+        sh,
+        sw,
+        pad,
+        ..
+    } = &node.op
+    else {
+        return None;
+    };
+    let xs = &graph.node(node.inputs[0]).out_shape;
+    let h = (xs[2] as i64 + pad.h_begin.min(0) + pad.h_end.min(0)) as usize;
+    let w = (xs[3] as i64 + pad.w_begin.min(0) + pad.w_end.min(0)) as usize;
+    let pos = Padding2d::new(
+        pad.h_begin.max(0),
+        pad.h_end.max(0),
+        pad.w_begin.max(0),
+        pad.w_end.max(0),
+    );
+    let g = Conv2dGeometry::new(xs[1], h, w, *kh, *kw, *sh, *sw, pos);
+    Some((g, xs[0], *out_c))
+}
+
 /// Per-node planner workspace: every conv node carries the tiled engine's
 /// actual scratch requirement ([`conv2d_workspace_bytes`]); every other
-/// node keeps `fallback[i]` (a profiled estimate, or zero). Negative
-/// padding crops the input before the kernel runs, so the geometry carries
-/// the non-negative remainder — the same split the conv kernels perform.
+/// node keeps `fallback[i]` (a profiled estimate, or zero).
 pub fn conv_engine_workspace(graph: &Graph, fallback: &[usize]) -> Vec<usize> {
     graph
         .nodes()
         .iter()
         .enumerate()
-        .map(|(i, node)| {
-            let Op::Conv2d {
-                out_c,
-                kh,
-                kw,
-                sh,
-                sw,
-                pad,
-                ..
-            } = &node.op
-            else {
-                return fallback.get(i).copied().unwrap_or(0);
-            };
-            let xs = &graph.node(node.inputs[0]).out_shape;
-            let h = (xs[2] as i64 + pad.h_begin.min(0) + pad.h_end.min(0)) as usize;
-            let w = (xs[3] as i64 + pad.w_begin.min(0) + pad.w_end.min(0)) as usize;
-            let pos = Padding2d::new(
-                pad.h_begin.max(0),
-                pad.h_end.max(0),
-                pad.w_begin.max(0),
-                pad.w_end.max(0),
-            );
-            let g = Conv2dGeometry::new(xs[1], h, w, *kh, *kw, *sh, *sw, pos);
-            conv2d_workspace_bytes(&g, xs[0], *out_c)
+        .map(|(i, node)| match conv_node_geometry(graph, node) {
+            Some((g, n, oc)) => conv2d_workspace_bytes(&g, n, oc),
+            None => fallback.get(i).copied().unwrap_or(0),
+        })
+        .collect()
+}
+
+/// The workspace one conv node needs when run in micro-batches of `u`
+/// images under `algo` — the per-algorithm honest model the joint planner
+/// scores: the tiled engine's scratch scales with `⌈u·oh·ow/KC⌉` partial
+/// blocks, the materialized path's with its `u`-image `im2col`/`dcols`
+/// matrices on top of the same GEMM partials. Single-block layers
+/// ([`conv2d_dw_single_block`] at the *logical* batch `n`) fold their
+/// weight gradient straight into the output with no partials at all, so
+/// their dw term is zero under either algorithm.
+fn conv_choice_workspace(g: &Conv2dGeometry, n: usize, u: usize, oc: usize, algo: ConvAlgo) -> usize {
+    let dw = if conv2d_dw_single_block(g, n) {
+        0
+    } else {
+        conv2d_workspace_bytes(g, u, oc)
+    };
+    match algo {
+        ConvAlgo::Tiled => dw,
+        ConvAlgo::Materialized => {
+            u * g.patch_count() * (g.patch_len() + oc) * 4 + dw
+        }
+    }
+}
+
+/// Per-node workspace under a micro-batch `schedule`: conv nodes carry the
+/// honest per-algorithm cost of their scheduled `(micro_batch, algo)`
+/// choice (unscheduled convs: full batch, [`default_conv_algo`]); other
+/// nodes keep `fallback[i]`.
+///
+/// Unlike [`conv_engine_workspace`] — which models every conv as tiled for
+/// continuity with earlier planning baselines — this accounts the
+/// materialized path's patch matrices too, so an empty schedule is the
+/// honest full-batch baseline the micro planner improves on.
+pub fn conv_micro_workspace(
+    graph: &Graph,
+    fallback: &[usize],
+    schedule: &MicroBatchSchedule,
+) -> Vec<usize> {
+    graph
+        .nodes()
+        .iter()
+        .enumerate()
+        .map(|(i, node)| match conv_node_geometry(graph, node) {
+            Some((g, n, oc)) => {
+                let (u, algo) = match schedule.get(node.id) {
+                    Some(c) => (c.micro_batch.min(n), c.algo.unwrap_or(default_conv_algo(&g))),
+                    None => (n, default_conv_algo(&g)),
+                };
+                conv_choice_workspace(&g, n, u, oc, algo)
+            }
+            None => fallback.get(i).copied().unwrap_or(0),
         })
         .collect()
 }
@@ -212,6 +275,153 @@ pub fn plan_split_stochastic_auto(
     Ok(auto)
 }
 
+/// One conv node's planner candidates in *least-intervention* order: full
+/// batch with the default algorithm first (no schedule entry at all), then
+/// pinning the tiled engine, then micro-batching, then both. `ws` is the
+/// honest per-choice workspace; candidates whose effect duplicates an
+/// earlier one (default algo already tiled, `u_min == n`) are dropped.
+fn conv_candidates(g: &Conv2dGeometry, n: usize, oc: usize) -> Vec<(Option<MicroBatchChoice>, usize)> {
+    let def = default_conv_algo(g);
+    let u_min = min_micro_batch(g, n);
+    let mut cands = vec![(None, conv_choice_workspace(g, n, n, oc, def))];
+    let push = |u: usize, algo: ConvAlgo, cands: &mut Vec<(Option<MicroBatchChoice>, usize)>| {
+        cands.push((
+            Some(MicroBatchChoice {
+                micro_batch: u,
+                algo: (algo != def).then_some(algo),
+            }),
+            conv_choice_workspace(g, n, u, oc, algo),
+        ));
+    };
+    if def != ConvAlgo::Tiled {
+        push(n, ConvAlgo::Tiled, &mut cands);
+    }
+    if u_min < n {
+        push(u_min, def, &mut cands);
+        if def != ConvAlgo::Tiled {
+            push(u_min, ConvAlgo::Tiled, &mut cands);
+        }
+    }
+    cands
+}
+
+/// Plans the micro-batch schedule minimizing per-conv workspace — the
+/// third planning axis, joint over per-conv micro-batch size *and*
+/// algorithm.
+///
+/// Every conv node's candidates are the bit-identity-preserving choices
+/// ([`min_micro_batch`]): full batch or the node's smallest aligned
+/// micro-batch, under the default or the tiled algorithm. Each node takes
+/// its *cheapest* candidate, with ties broken toward least intervention
+/// (full batch, default algorithm — such nodes get no schedule entry).
+///
+/// Per-node greedy is globally optimal here, not a heuristic: workspace
+/// TSOs live only during their owning step, so every step's device
+/// footprint — forward or backward, under any offload plan — is monotone
+/// in each node's workspace independently. Minimizing per node therefore
+/// minimizes every step simultaneously; there is no cross-node trade-off
+/// for a search to exploit.
+pub fn plan_micro_schedule(graph: &Graph, fallback: &[usize]) -> MicroBatchSchedule {
+    let _ = fallback;
+    let batch = graph
+        .nodes()
+        .iter()
+        .find_map(|n| match &n.op {
+            Op::Input { shape } => Some(shape[0]),
+            _ => None,
+        })
+        .unwrap_or(1);
+    let mut schedule = MicroBatchSchedule::new(batch);
+
+    for node in graph.nodes() {
+        let Some((g, n, oc)) = conv_node_geometry(graph, node) else {
+            continue;
+        };
+        let cands = conv_candidates(&g, n, oc);
+        // First occurrence of the minimum: candidates are ordered least
+        // intervention first, so ties keep the simpler execution.
+        let mut best = cands.first().copied().expect("candidate list is never empty");
+        for &cand in &cands[1..] {
+            if cand.1 < best.1 {
+                best = cand;
+            }
+        }
+        if let Some(c) = best.0 {
+            schedule.insert(node.id, c);
+        }
+    }
+    schedule
+}
+
+/// A jointly selected plan: split configuration *and* per-conv micro-batch
+/// schedule, the two memory axes the planner can trade against each other.
+#[derive(Clone, Debug)]
+pub struct JointAuto {
+    /// The winning split plan, ready to lower.
+    pub plan: SplitPlan,
+    /// The split candidate that produced it.
+    pub config: SplitConfig,
+    /// The winning micro-batch schedule for the lowered graph.
+    pub schedule: MicroBatchSchedule,
+    /// Modeled cost under the schedule ([`conv_micro_workspace`]).
+    pub cost: SplitCost,
+    /// The same graph's cost with an empty schedule (full-batch honest
+    /// model), for reporting what micro-batching alone saved.
+    pub full_batch_cost: SplitCost,
+    /// The unsplit, un-micro-batched model's cost at the same batch size.
+    pub unsplit_cost: SplitCost,
+}
+
+/// Joint counterpart of [`plan_split_auto`]: for every split candidate,
+/// plans the best micro-batch schedule for its lowered graph and selects
+/// the `(config, schedule)` pair minimizing the modeled peak. Ties keep
+/// the earliest candidate.
+///
+/// # Errors
+///
+/// As [`plan_split_auto`].
+pub fn plan_joint_auto(
+    desc: &ModelDesc,
+    batch: usize,
+    candidates: &[SplitConfig],
+) -> Result<JointAuto, PlanSplitError> {
+    let unsplit = lower_unsplit(desc, batch);
+    let unsplit_cost = split_cost(
+        &unsplit,
+        &conv_micro_workspace(&unsplit, &[], &MicroBatchSchedule::new(batch)),
+    );
+
+    let mut best: Option<JointAuto> = None;
+    let mut last_err = PlanSplitError::NothingToSplit;
+    for cfg in candidates {
+        let plan = match plan_split(desc, cfg) {
+            Ok(p) => p,
+            Err(e) => {
+                last_err = e;
+                continue;
+            }
+        };
+        let graph = plan.lower(desc, batch);
+        let schedule = plan_micro_schedule(&graph, &[]);
+        let cost = split_cost(&graph, &conv_micro_workspace(&graph, &[], &schedule));
+        if best.as_ref().is_none_or(|b| cost.peak_bytes < b.cost.peak_bytes) {
+            let full_batch_cost = split_cost(
+                &graph,
+                &conv_micro_workspace(&graph, &[], &MicroBatchSchedule::new(batch)),
+            );
+            best = Some(JointAuto {
+                plan,
+                config: *cfg,
+                schedule,
+                cost,
+                full_batch_cost,
+                unsplit_cost,
+            });
+        }
+    }
+    best.ok_or(last_err)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -310,6 +520,58 @@ mod tests {
         assert!(matches!(err, PlanSplitError::TooManyPatches { .. }));
         let err = plan_split_auto(&desc, 2, &[]).unwrap_err();
         assert_eq!(err, PlanSplitError::NothingToSplit);
+    }
+
+    #[test]
+    fn micro_schedule_entries_are_aligned_and_load_bearing() {
+        let desc = ModelDesc::tiny_cnn(10);
+        let batch = 8;
+        let g = lower_unsplit(&desc, batch);
+        let schedule = plan_micro_schedule(&g, &[]);
+        assert_eq!(schedule.batch, batch);
+        let empty = MicroBatchSchedule::new(batch);
+        let base_ws = conv_micro_workspace(&g, &[], &empty);
+        let micro_ws = conv_micro_workspace(&g, &[], &schedule);
+        let base = split_cost(&g, &base_ws);
+        let micro = split_cost(&g, &micro_ws);
+        assert!(micro.peak_bytes <= base.peak_bytes);
+        assert!(!schedule.is_empty(), "schedule is vacuous on tiny_cnn");
+        for (id, choice) in schedule.iter() {
+            // Every scheduled micro-batch preserves gradient bit-identity.
+            let (geom, n, _) = conv_node_geometry(&g, g.node(id)).expect("conv node");
+            assert!(
+                scnn_tensor::micro_batch_aligned(&geom, choice.micro_batch, n),
+                "unaligned micro-batch {} for node {id:?}",
+                choice.micro_batch
+            );
+            // And is load-bearing: the greedy planner schedules a node only
+            // when the choice strictly shrinks that node's own workspace
+            // (ties keep full-batch/default execution unscheduled).
+            assert!(
+                micro_ws[id.0] < base_ws[id.0],
+                "schedule entry for {id:?} is vacuous: ws {} vs default {}",
+                micro_ws[id.0],
+                base_ws[id.0]
+            );
+        }
+    }
+
+    #[test]
+    fn joint_auto_reduces_modeled_peak_on_tiny_cnn() {
+        let desc = ModelDesc::tiny_cnn(10);
+        let batch = 8;
+        let joint = plan_joint_auto(&desc, batch, &candidates()).expect("plans");
+        // The schedule must never cost peak against the same graph run
+        // full-batch, and on this model it strictly helps.
+        assert!(joint.cost.peak_bytes <= joint.full_batch_cost.peak_bytes);
+        assert!(joint.cost.peak_bytes < joint.unsplit_cost.peak_bytes);
+        // Joint selection can only improve on picking the split config
+        // first and the schedule second.
+        let split_first = plan_split_auto(&desc, batch, &candidates()).expect("plans");
+        let g = split_first.plan.lower(&desc, batch);
+        let s = plan_micro_schedule(&g, &[]);
+        let sequential = split_cost(&g, &conv_micro_workspace(&g, &[], &s));
+        assert!(joint.cost.peak_bytes <= sequential.peak_bytes);
     }
 
     #[test]

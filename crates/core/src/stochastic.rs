@@ -42,17 +42,21 @@ pub fn stochastic_starts(len: usize, n: usize, omega: f32, rng: &mut impl Rng) -
     let mut starts = Vec::with_capacity(n);
     starts.push(0usize);
     for i in 1..n {
-        let lo = (((i as f32 - omega) * len as f32) / n as f32).ceil() as i64;
-        let hi = (((i as f32 + omega) * len as f32) / n as f32).floor() as i64;
-        let draw = if hi > lo {
-            rng.gen_range(lo..=hi)
-        } else {
-            lo
-        };
-        // Keep strictly increasing and leave room for remaining patches.
+        // f64 throughout: an f32 mantissa (24 bits) cannot represent
+        // `(i ± ω)·len/n` once `len` nears 2^24, so ceil/floor on the f32
+        // value can land units away from the true window — or invert it.
+        let lo = (((i as f64 - f64::from(omega)) * len as f64) / n as f64).ceil() as i64;
+        let hi = (((i as f64 + f64::from(omega)) * len as f64) / n as f64).floor() as i64;
+        // Clamp the window itself (strictly increasing, room for the
+        // remaining patches) and keep it non-empty before drawing, so the
+        // draw never leaves the legal range. A non-integer zero-width
+        // window (`hi < lo` after floor/ceil) degenerates to `lo`.
         let min = starts[i - 1] as i64 + 1;
         let max = len as i64 - (n - i) as i64;
-        starts.push(draw.clamp(min, max) as usize);
+        let lo = lo.clamp(min, max);
+        let hi = hi.clamp(min, max).max(lo);
+        let draw = if hi > lo { rng.gen_range(lo..=hi) } else { lo };
+        starts.push(draw as usize);
     }
     starts
 }
@@ -118,5 +122,53 @@ mod tests {
     #[should_panic(expected = "omega")]
     fn omega_half_rejected() {
         stochastic_starts(32, 4, 0.5, &mut SplitRng::seed_from_u64(0));
+    }
+
+    /// Seeded property sweep over (len, n, ω) grids, including lengths far
+    /// beyond the f32 mantissa: every boundary must stay inside the
+    /// *exact* (f64) wiggle window after legality clamping, and the
+    /// scheme must always be a valid strictly-increasing split.
+    ///
+    /// Fails on the pre-fix f32 `ceil`/`floor` path: at `len ≈ 10^8` the
+    /// f32 rounding error (ulp = 8) moves boundaries several units off
+    /// the true window.
+    #[test]
+    fn boundaries_match_exact_window_over_grid() {
+        let lens = [7usize, 32, 1_000, 16_777_215, 999_983, 100_000_007];
+        let ns = [2usize, 3, 4, 7];
+        let omegas = [0.0f32, 0.1, 0.2, 0.45];
+        for (gi, &len) in lens.iter().enumerate() {
+            for &n in &ns {
+                for (oi, &omega) in omegas.iter().enumerate() {
+                    let seed = (gi * 100 + n * 10 + oi) as u64;
+                    let mut rng = SplitRng::seed_from_u64(seed);
+                    for _ in 0..20 {
+                        let s = stochastic_starts(len, n, omega, &mut rng);
+                        assert_eq!(s.len(), n);
+                        assert_eq!(s[0], 0);
+                        assert!(
+                            s.windows(2).all(|w| w[0] < w[1]),
+                            "not strictly increasing: {s:?} (len={len} n={n} omega={omega})"
+                        );
+                        assert!(*s.last().unwrap() < len);
+                        for (i, &v) in s.iter().enumerate().skip(1) {
+                            let lo = (((i as f64 - f64::from(omega)) * len as f64) / n as f64)
+                                .ceil() as i64;
+                            let hi = (((i as f64 + f64::from(omega)) * len as f64) / n as f64)
+                                .floor() as i64;
+                            let min = s[i - 1] as i64 + 1;
+                            let max = len as i64 - (n - i) as i64;
+                            let lo = lo.clamp(min, max);
+                            let hi = hi.clamp(min, max).max(lo);
+                            assert!(
+                                (lo..=hi).contains(&(v as i64)),
+                                "boundary {v} outside exact window [{lo}, {hi}] \
+                                 at index {i} (len={len} n={n} omega={omega})"
+                            );
+                        }
+                    }
+                }
+            }
+        }
     }
 }

@@ -44,22 +44,44 @@ impl DistConfig {
 
     /// Epoch time at `bandwidth_bps` (bits per second).
     ///
+    /// An epoch runs `⌊|D|/N⌋` full-batch updates plus, when `N ∤ |D|`,
+    /// one ragged update over the `|D| mod N` leftover samples. The
+    /// allreduce moves the whole gradient regardless of how many samples
+    /// contributed, so the ragged update pays the *full* `2|G|/(α·B)`
+    /// cost against its smaller backward time.
+    ///
     /// # Panics
     ///
     /// Panics on non-positive bandwidth or zero batch.
     pub fn epoch_time(&self, bandwidth_bps: f64) -> f64 {
         assert!(bandwidth_bps > 0.0, "bandwidth must be positive");
         assert!(self.batch > 0, "batch must be positive");
-        let updates = self.dataset_size as f64 / self.batch as f64;
-        let t_fwd = self.fwd_per_sample * self.batch as f64;
-        let t_bwd = self.bwd_per_sample * self.batch as f64;
-        updates * (t_fwd + t_bwd.max(self.allreduce_time(bandwidth_bps)))
+        let allreduce = self.allreduce_time(bandwidth_bps);
+        let update = |samples: usize| {
+            let t_fwd = self.fwd_per_sample * samples as f64;
+            let t_bwd = self.bwd_per_sample * samples as f64;
+            t_fwd + t_bwd.max(allreduce)
+        };
+        let full_updates = self.dataset_size / self.batch;
+        let remainder = self.dataset_size % self.batch;
+        let mut total = full_updates as f64 * update(self.batch);
+        if remainder > 0 {
+            total += update(remainder);
+        }
+        total
     }
 
-    /// Whether the epoch is communication-bound at this bandwidth (the
-    /// allreduce exceeds backward compute).
+    /// Whether the epoch is communication-bound at this bandwidth: the
+    /// allreduce exceeds backward compute for at least one update of the
+    /// epoch (equivalently, for the *smallest* update — the ragged final
+    /// batch when `N ∤ |D|`). Exactly when this holds, raising the
+    /// bandwidth strictly reduces [`epoch_time`](Self::epoch_time).
     pub fn is_bandwidth_bound(&self, bandwidth_bps: f64) -> bool {
-        self.allreduce_time(bandwidth_bps) > self.bwd_per_sample * self.batch as f64
+        let smallest = match self.dataset_size % self.batch {
+            0 => self.batch,
+            ragged => ragged,
+        };
+        self.allreduce_time(bandwidth_bps) > self.bwd_per_sample * smallest as f64
     }
 }
 
@@ -109,10 +131,50 @@ mod tests {
     fn low_bandwidth_is_communication_bound() {
         let c = vgg_like(64);
         assert!(c.is_bandwidth_bound(1e9)); // 1 Gbit/s
-        // Epoch time ≈ updates × allreduce.
+        // Epoch time = whole updates × (fwd + allreduce) plus the ragged
+        // final batch (1,281,167 = 20,018 × 64 + 15) paying one more full
+        // allreduce over its 15 samples.
         let t = c.epoch_time(1e9);
-        let expected = (1_281_167.0 / 64.0) * (64.0 * 3.5e-3 + 2.0 * 548e6 / (0.8 * 1e9 / 8.0));
+        let allreduce = 2.0 * 548e6 / (0.8 * 1e9 / 8.0);
+        let expected = 20_018.0 * (64.0 * 3.5e-3 + allreduce) + (15.0 * 3.5e-3 + allreduce);
         assert!((t - expected).abs() / expected < 1e-9);
+    }
+
+    #[test]
+    fn ragged_final_batch_is_priced_at_its_true_size() {
+        // 1000 = 15 × 64 + 40: the last update runs 40 samples but still
+        // moves the whole gradient.
+        let mut c = vgg_like(64);
+        c.dataset_size = 1000;
+        let bw = 1e9;
+        let allreduce = c.allreduce_time(bw);
+        let full = 15.0 * (64.0 * 3.5e-3 + (64.0 * 7.0e-3_f64).max(allreduce));
+        let ragged = 40.0 * 3.5e-3 + (40.0 * 7.0e-3_f64).max(allreduce);
+        let t = c.epoch_time(bw);
+        assert!((t - (full + ragged)).abs() / (full + ragged) < 1e-12);
+        // The fractional-update accounting (1000/64 updates) undercounts
+        // the ragged allreduce; the fixed model must not reproduce it.
+        let fractional =
+            (1000.0 / 64.0) * (64.0 * 3.5e-3 + (64.0 * 7.0e-3_f64).max(allreduce));
+        assert!((t - fractional).abs() / fractional > 1e-3);
+    }
+
+    #[test]
+    fn bandwidth_bound_iff_more_bandwidth_helps() {
+        let mut c = vgg_like(64);
+        c.dataset_size = 1000; // ragged final batch of 40 samples
+        // Pick a bandwidth where the allreduce (0.35 s) hides behind the
+        // full-batch backward (0.448 s) but not the ragged one (0.28 s).
+        let bw = 2.0 * 548e6 / (0.8 / 8.0) / 0.35;
+        assert!(c.is_bandwidth_bound(bw));
+        assert!(
+            c.epoch_time(bw) > c.epoch_time(2.0 * bw),
+            "bound epochs must speed up with bandwidth"
+        );
+        // Once the allreduce hides behind even the ragged backward, the
+        // epoch is compute-bound and bandwidth no longer matters.
+        assert!(!c.is_bandwidth_bound(100.0 * bw));
+        assert!((c.epoch_time(100.0 * bw) - c.epoch_time(200.0 * bw)).abs() < 1e-12);
     }
 
     #[test]

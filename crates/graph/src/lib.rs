@@ -16,9 +16,11 @@
 //! id order *is* a topological order and serialization is trivial.
 
 mod graph;
+mod micro;
 mod op;
 mod tape;
 
 pub use graph::{Graph, Node, NodeId, ParamId, ParamKind, ParamSpec};
+pub use micro::{MicroBatchChoice, MicroBatchSchedule};
 pub use op::{Op, PoolKind};
 pub use tape::{Tape, TapeEntry, TapeStep};

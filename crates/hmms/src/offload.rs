@@ -134,6 +134,14 @@ pub fn theoretical_offload_fraction(
 /// Offload-candidate TSOs: activations that survive into the backward pass,
 /// paired with the forward step during which their transfer can run (their
 /// last forward access). Sorted by that step.
+///
+/// A candidate must leave a non-empty prefetch window: the forward
+/// instance is freed no earlier than `last_fwd` (its offload sync), the
+/// prefetched instance must come strictly after that free and complete
+/// strictly before `first_bwd`. That needs `first_bwd ≥ last_fwd + 2`;
+/// tensors consumed by the very next tape step (e.g. the last node's
+/// output when `first_bwd == t_len`) have nowhere to prefetch and stay
+/// resident instead of receiving a zero-width transfer window.
 fn candidate_tsos(graph: &Graph, tape: &Tape, tso: &TsoAssignment) -> Vec<(TsoId, usize)> {
     let us = usages(graph, tape, tso);
     let mut seen = vec![false; tso.len()];
@@ -145,8 +153,10 @@ fn candidate_tsos(graph: &Graph, tape: &Tape, tso: &TsoAssignment) -> Vec<(TsoId
         }
         seen[t.0] = true;
         if let Some(u) = &us[t.0] {
-            if u.first_bwd.is_some() {
-                out.push((t, u.last_fwd));
+            if let Some(first_bwd) = u.first_bwd {
+                if first_bwd >= u.last_fwd + 2 {
+                    out.push((t, u.last_fwd));
+                }
             }
         }
     }
@@ -259,11 +269,10 @@ fn build_plan(
                         // Prefetch exactly one op ahead of use, clamped to
                         // the earliest *legal* position: the step after the
                         // forward instance's sync+free (the two instances
-                        // of one TSO must never coexist). `step + 1` is the
-                        // true bound; the old `t_len` clamp only happened
-                        // to coincide with it, and for `first_bwd == t_len`
-                        // it silently produced a zero-width window.
-                        prefetch_step: first_bwd.saturating_sub(1).max(step + 1),
+                        // of one TSO must never coexist). Candidates
+                        // guarantee `first_bwd ≥ step + 2`, so the clamp
+                        // always lands strictly before `first_bwd`.
+                        prefetch_step: (first_bwd - 1).max(step + 1),
                         first_bwd,
                         last: u.last,
                         stream: i % opts.mem_streams,
@@ -296,12 +305,15 @@ fn build_plan(
                 // on the serialized device→host link; the sync lands at
                 // the first op whose end time covers the projected
                 // completion. The sync may slide past the forward tape —
-                // any step before the TSO's first backward use is legal —
-                // but never further: a tensor whose transfer cannot finish
-                // by then would be freed mid-flight (violating Algorithm
-                // 1's own invariant), so it is *dropped* from the offload
-                // set and stays resident instead. Dropped transfers do not
-                // occupy the link.
+                // but no further than `first_bwd − 2`: the prefetched
+                // instance needs at least one full step strictly between
+                // the sync's free and the backward consumer (a sync at
+                // `first_bwd − 1` would leave only a zero-width transfer
+                // window). A tensor whose transfer cannot finish by then
+                // would be freed mid-flight (violating Algorithm 1's own
+                // invariant), so it is *dropped* from the offload set and
+                // stays resident instead. Dropped transfers do not occupy
+                // the link.
                 let mut sync_of = vec![None; tso.len()];
                 let mut link_free = 0.0f64;
                 let mut kept: Vec<(TsoId, usize)> = Vec::new();
@@ -311,7 +323,7 @@ fn build_plan(
                     let s = start_at(step).max(link_free);
                     let done = s + tso.size(t) as f64 / bw;
                     let mut sync = step;
-                    while sync + 1 < first_bwd && end_at[sync] < done {
+                    while sync + 2 < first_bwd && end_at[sync] < done {
                         sync += 1;
                     }
                     if end_at[sync] < done {
@@ -346,7 +358,9 @@ fn build_plan(
                     // `start_time` (clamped to the earliest legal step).
                     let floor = t_len.max(sync_of[t.0].expect("kept has sync") + 1);
                     let mut pos = floor;
-                    while pos < u && start_at(pos + 1) <= start_time {
+                    // `pos + 1 < u`, strictly: the prefetch must *start*
+                    // before the consuming step, never on it.
+                    while pos + 1 < u && start_at(pos + 1) <= start_time {
                         pos += 1;
                     }
                     prefetch_of[t.0] = Some(pos);
@@ -649,35 +663,107 @@ mod tests {
         }
     }
 
-    #[test]
-    fn zero_window_prefetch_is_pinned_to_first_legal_step() {
-        // A graph whose *last* node re-reads its output in backward (a max
-        // pool with no classifier head) produces a TSO with
-        // `first_bwd == t_len` and `last_fwd == t_len - 1`: its forward
-        // instance is freed at the last forward step's end, so the
-        // earliest legal prefetch *is* `first_bwd` — a zero-width window
-        // by construction, not by the old `max(t_len)` accident. Pin that
-        // the plan emits it there and stays legal.
+    /// The pool-last graph used by the zero-width-window regressions: the
+    /// last node re-reads its output in backward (a max pool with no
+    /// classifier head), so its TSO has `first_bwd == t_len` and
+    /// `last_fwd == t_len − 1` — a zero-width prefetch window by
+    /// construction.
+    fn pool_last_graph() -> Graph {
         let mut g = Graph::new();
         let x = g.input(&[2, 3, 8, 8]);
         let c = g.conv2d(x, 4, 3, 1, Padding2d::symmetric(1), false, "c");
         let r = g.relu(c, "r");
         g.pool2d(r, scnn_graph::PoolKind::Max, 2, 2, Padding2d::default(), "p");
+        g
+    }
+
+    #[test]
+    fn zero_window_tso_stays_resident() {
+        // Regression (supersedes the PR 5 pin): the planner used to emit
+        // the pool TSO's prefetch *at* `first_bwd` — a zero-width transfer
+        // window whose prefetch could never complete before its consumer.
+        // Such tensors are no longer offload candidates: they stay
+        // resident with the plain one-instance lifecycle, and the rest of
+        // the plan still offloads normally.
+        let g = pool_last_graph();
         let tape = Tape::new(&g);
         let tso = TsoAssignment::new(&g, &vec![0; g.len()], TsoOptions::default());
         let profile = Profile::uniform(&g, 1e-3, 10e9);
-        let t_len = tape.forward_len();
-        let plan = plan_vdnn(&g, &tape, &tso, &profile, PlannerOptions::default());
         let pool_tso = tso.activation[g.len() - 1];
-        assert!(plan.offloaded.contains(&pool_tso), "pool output offloads");
-        let start = plan
-            .events()
-            .find_map(|(i, _, e)| {
-                matches!(e, MemEvent::PrefetchStart { tso, .. } if *tso == pool_tso).then_some(i)
-            })
-            .expect("prefetch start emitted");
-        assert_eq!(start, t_len, "prefetch must land at the first legal step");
-        crate::layout::plan_layout(&g, &plan, &tso).expect("plan stays legal");
+        for plan in [
+            plan_vdnn(&g, &tape, &tso, &profile, PlannerOptions::default()),
+            plan_hmms(&g, &tape, &tso, &profile, PlannerOptions::default()),
+        ] {
+            assert!(
+                !plan.offloaded.contains(&pool_tso),
+                "{}: zero-window TSO must stay resident",
+                plan.strategy
+            );
+            assert!(
+                !plan.offloaded.is_empty(),
+                "{}: other tensors still offload",
+                plan.strategy
+            );
+            let count = |f: fn(&MemEvent) -> bool| {
+                plan.events()
+                    .filter(|(_, _, e)| e.tso() == pool_tso && f(e))
+                    .count()
+            };
+            assert_eq!(count(|e| matches!(e, MemEvent::Alloc(_))), 1);
+            assert_eq!(count(|e| matches!(e, MemEvent::Free(_))), 1);
+            assert_eq!(count(|e| matches!(e, MemEvent::PrefetchStart { .. })), 0);
+            crate::layout::plan_layout(&g, &plan, &tso).expect("plan stays legal");
+        }
+    }
+
+    #[test]
+    fn prefetch_start_strictly_precedes_its_sync() {
+        // Every planned prefetch must have a non-empty transfer window: a
+        // `PrefetchStart` at the same step as (or after) its
+        // `PrefetchSync` models a transfer completing in zero time. Fails
+        // on the pre-fix planner, which pinned the pool-last graph's
+        // prefetch to `first_bwd` itself and let the HMMS sync slide to
+        // `first_bwd − 1`.
+        for g in [pool_last_graph(), chain(3), chain(5)] {
+            let tape = Tape::new(&g);
+            let tso = TsoAssignment::new(&g, &vec![0; g.len()], TsoOptions::default());
+            for bw in [1e8, 1e9, 10e9] {
+                let profile = Profile::uniform(&g, 1e-3, bw);
+                for plan in [
+                    plan_vdnn(&g, &tape, &tso, &profile, PlannerOptions::default()),
+                    plan_hmms(&g, &tape, &tso, &profile, PlannerOptions::default()),
+                ] {
+                    for &t in &plan.offloaded {
+                        let find = |f: fn(&MemEvent, TsoId) -> bool| {
+                            plan.events()
+                                .find_map(|(i, _, e)| f(e, t).then_some(i))
+                                .expect("offloaded TSO has full lifecycle")
+                        };
+                        let start = find(|e, t| {
+                            matches!(e, MemEvent::PrefetchStart { tso, .. } if *tso == t)
+                        });
+                        let sync = find(
+                            |e, t| matches!(e, MemEvent::PrefetchSync { tso } if *tso == t),
+                        );
+                        assert!(
+                            start < sync,
+                            "{} bw {bw}: {t:?} prefetch start {start} not strictly \
+                             before sync {sync}",
+                            plan.strategy
+                        );
+                        let off_sync = find(
+                            |e, t| matches!(e, MemEvent::OffloadSync { tso } if *tso == t),
+                        );
+                        assert!(
+                            off_sync < start,
+                            "{} bw {bw}: {t:?} prefetch {start} overlaps forward \
+                             instance freed at {off_sync}",
+                            plan.strategy
+                        );
+                    }
+                }
+            }
+        }
     }
 
     #[test]

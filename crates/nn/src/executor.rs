@@ -1,16 +1,18 @@
 //! Graph executor: forward and backward passes with real tensors.
 
+use std::sync::Arc;
+
 use scnn_rng::Rng;
-use scnn_graph::{Graph, Node, NodeId, Op, ParamId, PoolKind};
+use scnn_graph::{Graph, MicroBatchSchedule, Node, NodeId, Op, ParamId, PoolKind};
 use scnn_tensor::Tensor;
 
 use crate::kernels::{
     avg_pool_backward, avg_pool_forward, batch_norm_backward, batch_norm_inference,
-    batch_norm_train, conv2d_backward, conv2d_forward, dropout_backward, dropout_mask,
+    batch_norm_train, conv2d_backward_micro, conv2d_forward_micro, dropout_backward, dropout_mask,
     global_avg_pool_backward, global_avg_pool_forward, linear_backward, linear_forward,
     max_pool_backward, max_pool_forward, relu_backward, relu_forward,
     softmax_cross_entropy_backward, softmax_cross_entropy_forward, update_running, BnSaved,
-    ConvAttrs, PoolAttrs,
+    ConvAlgo, ConvAttrs, PoolAttrs,
 };
 use crate::params::{BnState, ParamStore};
 use crate::provider::{BufferProvider, VecProvider};
@@ -99,13 +101,36 @@ enum Deferred {
 /// let res = exec.run(&g, &mut params, &mut bn, &images, &[1, 2], Mode::Eval, &mut rng);
 /// assert_eq!(res.n, 2);
 /// ```
-#[derive(Clone, Copy, Debug, Default)]
-pub struct Executor;
+#[derive(Clone, Debug, Default)]
+pub struct Executor {
+    /// Optional per-conv-node micro-batch schedule (planner's third axis).
+    /// Scheduled nodes chunk their conv kernels (`conv2d_forward_micro` /
+    /// `conv2d_backward_micro`) to shrink workspace; aligned schedules keep
+    /// training bit-identical to full-batch execution.
+    micro: Option<Arc<MicroBatchSchedule>>,
+}
 
 impl Executor {
-    /// Creates an executor.
+    /// Creates an executor (no micro-batching).
     pub fn new() -> Self {
-        Executor
+        Executor { micro: None }
+    }
+
+    /// Creates an executor that runs convolutions under `schedule`. Nodes
+    /// absent from the schedule execute exactly as [`Executor::new`]'s.
+    pub fn with_micro(schedule: Arc<MicroBatchSchedule>) -> Self {
+        Executor {
+            micro: Some(schedule),
+        }
+    }
+
+    /// The conv execution choice for `node`: `(micro images, pinned algo)`
+    /// with `(0, None)` meaning full batch / default algorithm.
+    fn conv_choice(&self, node: NodeId) -> (usize, Option<ConvAlgo>) {
+        match self.micro.as_ref().and_then(|s| s.get(node)) {
+            Some(c) => (c.micro_batch, c.algo),
+            None => (0, None),
+        }
     }
 
     /// Runs one mini-batch through `graph`. In [`Mode::Train`] the backward
@@ -340,7 +365,8 @@ impl Executor {
                 };
                 let w = params.value(*weight);
                 let b = bias.map(|id| params.value(id));
-                let y = conv2d_forward(input(0), w, b, &attrs);
+                let (u, algo) = self.conv_choice(node.id);
+                let y = conv2d_forward_micro(input(0), w, b, &attrs, algo, u);
                 (y, Aux::None, Deferred::None)
             }
             Op::Pool2d {
@@ -536,7 +562,16 @@ impl Executor {
                     };
                     let dy = grads[node.id.0].take().expect("conv has grad");
                     let x = out(node.inputs[0]);
-                    let g = conv2d_backward(x, params.value(*weight), bias.is_some(), &dy, &attrs);
+                    let (u, algo) = self.conv_choice(node.id);
+                    let g = conv2d_backward_micro(
+                        x,
+                        params.value(*weight),
+                        bias.is_some(),
+                        &dy,
+                        &attrs,
+                        algo,
+                        u,
+                    );
                     params.accumulate_grad(*weight, &g.dw);
                     if let (Some(bid), Some(db)) = (bias, g.db) {
                         params.accumulate_grad(*bid, &db);

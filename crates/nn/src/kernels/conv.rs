@@ -20,33 +20,22 @@
 use std::sync::{Arc, OnceLock};
 
 use scnn_tensor::{
-    col2im_cols_into, conv2d_dw_tiled, conv2d_dx_tiled, conv2d_fwd_tiled, im2col_into,
-    matmul_a_bt_into, matmul_at_b_into, matmul_into, BufferRecycler, Conv2dGeometry, Padding2d,
-    PooledBuf, Tensor, Workspace,
+    col2im_cols_range_into, conv2d_dw_single_block, conv2d_dw_tiled_acc, conv2d_dx_tiled,
+    conv2d_fwd_tiled, default_conv_algo, im2col_range_into, matmul_a_bt_into,
+    matmul_at_b_acc_into, matmul_at_b_seq_into, matmul_into, BufferRecycler, Conv2dGeometry,
+    Padding2d, PooledBuf, Tensor, Workspace,
 };
 
 use super::split_padding;
+
+pub use scnn_tensor::ConvAlgo;
 
 /// Square tile edge for the `[n·oh·ow, oc] ↔ NCHW` transposes; 32×32 f32
 /// tiles (4 KiB) keep both the strided and the sequential side in L1.
 const TILE: usize = 32;
 
-/// Which convolution implementation to run. Both produce identical bits;
-/// the choice is purely a locality/footprint trade.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum ConvAlgo {
-    /// Tile-fused implicit GEMM; no full patch-matrix allocation.
-    Tiled,
-    /// `im2col` + GEMM over workspace scratch (reference path).
-    Materialized,
-}
-
-/// Geometry-based algorithm choice, honouring a `SCNN_CONV_ALGO` override.
-///
-/// 1×1 kernels stay materialized: their `im2col` is a pure reshape, so the
-/// GEMM already streams contiguously and tiling only adds pack traffic.
-/// Tiny spatial outputs (fewer than 64 positions per image) also stay
-/// materialized — per-tile dispatch would dominate the arithmetic.
+/// Geometry-based algorithm choice ([`default_conv_algo`]), honouring a
+/// `SCNN_CONV_ALGO` override.
 ///
 /// # Panics
 ///
@@ -63,11 +52,7 @@ pub fn select_algo(g: &Conv2dGeometry) -> ConvAlgo {
     if let Some(a) = forced {
         return *a;
     }
-    if (g.kh == 1 && g.kw == 1) || g.patch_count() < 64 {
-        ConvAlgo::Materialized
-    } else {
-        ConvAlgo::Tiled
-    }
+    default_conv_algo(g)
 }
 
 /// Static attributes of a convolution node.
@@ -144,6 +129,23 @@ pub fn conv2d_forward_with(
     attrs: &ConvAttrs,
     algo: Option<ConvAlgo>,
 ) -> Tensor {
+    conv2d_forward_micro(x, w, b, attrs, algo, 0)
+}
+
+/// [`conv2d_forward_with`] executed in micro-batches of `micro` images
+/// (`0` = whole batch). Only the materialized path has batch-proportional
+/// scratch (`cols`/`ymat`), so only it actually chunks — the tiled engine's
+/// per-thread panels are already batch-independent. Forward outputs are
+/// bit-identical to the full-batch call for **any** `micro`: each output
+/// row's dot products never cross a chunk boundary.
+pub fn conv2d_forward_micro(
+    x: &Tensor,
+    w: &Tensor,
+    b: Option<&Tensor>,
+    attrs: &ConvAttrs,
+    algo: Option<ConvAlgo>,
+    micro: usize,
+) -> Tensor {
     assert_eq!(x.rank(), 4, "conv input must be NCHW");
     assert_eq!(w.rank(), 4, "conv weight must be [oc, ic, kh, kw]");
     assert_eq!(w.dim(1), x.dim(1), "conv channel mismatch");
@@ -155,25 +157,37 @@ pub fn conv2d_forward_with(
     let n = x.dim(0);
     let oc = w.dim(0);
     let (oh, ow) = (g.out_h(), g.out_w());
+    let hw = oh * ow;
+    let u = if micro == 0 { n } else { micro.min(n) };
 
     // Both paths overwrite every output element, so the pooled buffer's
     // previous contents never matter.
-    let mut out = Workspace::global().take(n * oc * oh * ow);
+    let mut out = Workspace::global().take(n * oc * hw);
     match algo {
         ConvAlgo::Tiled => {
             conv2d_fwd_tiled(&xc, w, b.map(Tensor::as_slice), &g, &mut out);
         }
         ConvAlgo::Materialized => {
-            let rows = n * oh * ow;
             let plen = g.patch_len();
-            scnn_par::scratch::with_scratch(rows * plen, |cols| {
-                im2col_into(&xc, &g, cols);
-                scnn_par::scratch::with_scratch(rows * oc, |ymat| {
-                    // The weight tensor is row-major [oc, ic·kh·kw] already.
-                    matmul_a_bt_into(cols, w.as_slice(), rows, plen, oc, ymat);
-                    transpose_rows_to_nchw(ymat, b.map(Tensor::as_slice), n, oc, oh * ow, &mut out);
+            for b0 in (0..n).step_by(u.max(1)) {
+                let bn = u.min(n - b0);
+                let rows = bn * hw;
+                scnn_par::scratch::with_scratch(rows * plen, |cols| {
+                    im2col_range_into(&xc, &g, b0, bn, cols);
+                    scnn_par::scratch::with_scratch(rows * oc, |ymat| {
+                        // The weight tensor is row-major [oc, ic·kh·kw] already.
+                        matmul_a_bt_into(cols, w.as_slice(), rows, plen, oc, ymat);
+                        transpose_rows_to_nchw(
+                            ymat,
+                            b.map(Tensor::as_slice),
+                            bn,
+                            oc,
+                            hw,
+                            &mut out[b0 * oc * hw..(b0 + bn) * oc * hw],
+                        );
+                    });
                 });
-            });
+            }
         }
     }
     pooled(out, &[n, oc, oh, ow])
@@ -236,6 +250,29 @@ pub fn conv2d_backward_with(
     attrs: &ConvAttrs,
     algo: Option<ConvAlgo>,
 ) -> ConvGrads {
+    conv2d_backward_micro(x, w, has_bias, dy, attrs, algo, 0)
+}
+
+/// [`conv2d_backward_with`] executed in micro-batches of `micro` images
+/// (`0` = whole batch), shrinking the batch-proportional scratch — the
+/// tiled path's `dw` partials, the materialized path's
+/// `dymat`/`cols`/`dcols` — by `n / micro` while accumulating the weight
+/// gradient across chunks in the full-batch fold order.
+///
+/// Gradients are bit-identical to the full-batch call when `micro`
+/// satisfies [`scnn_tensor::micro_batch_aligned`] for this geometry: `dw`'s
+/// `KC`-blocked reduction then replays the same block grid (`dx` and `db`
+/// are bit-identical for any `micro`). The planner only emits aligned
+/// schedules; unaligned values still compute correct sums.
+pub fn conv2d_backward_micro(
+    x: &Tensor,
+    w: &Tensor,
+    has_bias: bool,
+    dy: &Tensor,
+    attrs: &ConvAttrs,
+    algo: Option<ConvAlgo>,
+    micro: usize,
+) -> ConvGrads {
     let (crop, pos) = split_padding(attrs.pad);
     let xc = cropped(x, crop);
     let g = geometry(&xc, attrs, pos);
@@ -251,6 +288,7 @@ pub fn conv2d_backward_with(
     let hw = oh * ow;
     let plen = g.patch_len();
     let (off_h, off_w) = ((-crop.h_begin) as usize, (-crop.w_begin) as usize);
+    let u = if micro == 0 { n } else { micro.min(n) };
 
     let ws = Workspace::global();
     let mut dw = ws.take(oc * plen); // fully overwritten by both paths
@@ -260,37 +298,54 @@ pub fn conv2d_backward_with(
 
     match algo {
         ConvAlgo::Tiled => {
-            conv2d_dw_tiled(&xc, dy, &g, &mut dw);
+            for b0 in (0..n).step_by(u.max(1)) {
+                let bn = u.min(n - b0);
+                conv2d_dw_tiled_acc(&xc, dy, &g, b0, bn, &mut dw, b0 == 0);
+            }
+            // dx scratch is one patch row per thread — nothing to chunk.
             conv2d_dx_tiled(dy, w, &g, &mut dx, off_h, off_w);
         }
         ConvAlgo::Materialized => {
             let dsrc = dy.as_slice();
-            scnn_par::scratch::with_scratch(n * hw * oc, |dymat| {
-                // [n, oc, oh, ow] -> [n*hw, oc], blocked, parallel per image.
-                scnn_par::par_chunks_mut(dymat, hw * oc, |bidx, rows| {
-                    let img = &dsrc[bidx * oc * hw..(bidx + 1) * oc * hw];
-                    for p0 in (0..hw).step_by(TILE) {
-                        let p1 = (p0 + TILE).min(hw);
-                        for c0 in (0..oc).step_by(TILE) {
-                            let c1 = (c0 + TILE).min(oc);
-                            for p in p0..p1 {
-                                let drow = &mut rows[p * oc + c0..p * oc + c1];
-                                for (d, c) in drow.iter_mut().zip(c0..c1) {
-                                    *d = img[c * hw + p];
+            for b0 in (0..n).step_by(u.max(1)) {
+                let bn = u.min(n - b0);
+                let rows = bn * hw;
+                scnn_par::scratch::with_scratch(rows * oc, |dymat| {
+                    // [bn, oc, oh, ow] -> [bn*hw, oc], blocked, parallel per
+                    // image (local image index; dy is read at b0 + local).
+                    scnn_par::par_chunks_mut(dymat, hw * oc, |bidx, rows| {
+                        let img = &dsrc[(b0 + bidx) * oc * hw..(b0 + bidx + 1) * oc * hw];
+                        for p0 in (0..hw).step_by(TILE) {
+                            let p1 = (p0 + TILE).min(hw);
+                            for c0 in (0..oc).step_by(TILE) {
+                                let c1 = (c0 + TILE).min(oc);
+                                for p in p0..p1 {
+                                    let drow = &mut rows[p * oc + c0..p * oc + c1];
+                                    for (d, c) in drow.iter_mut().zip(c0..c1) {
+                                        *d = img[c * hw + p];
+                                    }
                                 }
                             }
                         }
-                    }
+                    });
+                    scnn_par::scratch::with_scratch(rows * plen, |cols| {
+                        im2col_range_into(&xc, &g, b0, bn, cols);
+                        // A single-block reduction is one sequential fold:
+                        // the seq form continues it bit-exactly at any
+                        // chunk boundary; larger reductions rely on
+                        // KC-aligned chunks with the blocked form.
+                        if conv2d_dw_single_block(&g, n) {
+                            matmul_at_b_seq_into(dymat, cols, rows, oc, plen, &mut dw, b0 == 0);
+                        } else {
+                            matmul_at_b_acc_into(dymat, cols, rows, oc, plen, &mut dw, b0 == 0);
+                        }
+                    });
+                    scnn_par::scratch::with_scratch(rows * plen, |dcols| {
+                        matmul_into(dymat, w.as_slice(), rows, oc, plen, dcols);
+                        col2im_cols_range_into(dcols, &g, b0, bn, &mut dx, off_h, off_w);
+                    });
                 });
-                scnn_par::scratch::with_scratch(n * hw * plen, |cols| {
-                    im2col_into(&xc, &g, cols);
-                    matmul_at_b_into(dymat, cols, n * hw, oc, plen, &mut dw);
-                });
-                scnn_par::scratch::with_scratch(n * hw * plen, |dcols| {
-                    matmul_into(dymat, w.as_slice(), n * hw, oc, plen, dcols);
-                    col2im_cols_into(dcols, n, &g, &mut dx, off_h, off_w);
-                });
-            });
+            }
         }
     }
     let dw = pooled(dw, w.shape().dims());

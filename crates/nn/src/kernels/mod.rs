@@ -17,8 +17,8 @@ pub use bn::{
     update_running, BnSaved,
 };
 pub use conv::{
-    conv2d_backward, conv2d_backward_with, conv2d_forward, conv2d_forward_with, ConvAlgo,
-    ConvAttrs, ConvGrads,
+    conv2d_backward, conv2d_backward_micro, conv2d_backward_with, conv2d_forward,
+    conv2d_forward_micro, conv2d_forward_with, ConvAlgo, ConvAttrs, ConvGrads,
 };
 pub use linear::{linear_backward, linear_forward, LinearGrads};
 pub use loss::{softmax_cross_entropy_backward, softmax_cross_entropy_forward, LossOut};

@@ -43,7 +43,7 @@ use scnn_hmms::{
     export_plan, export_plan_with, ExecPlan, LayoutError, LayoutOptions, MemEvent, MemoryPlan,
     TsoAssignment,
 };
-use scnn_nn::BufferProvider;
+use scnn_nn::{BufferProvider, Executor};
 use scnn_par::background::{Ticket, Worker};
 use scnn_tensor::{BufferRecycler, PooledBuf, Tensor, Workspace};
 
@@ -183,6 +183,18 @@ impl PlanRuntime {
     /// The resolved plan this runtime executes.
     pub fn plan(&self) -> &ExecPlan {
         &self.plan
+    }
+
+    /// An executor matching the plan: micro-batched per the plan's
+    /// schedule when one was attached ([`scnn_hmms::ExecPlan`]'s `micro`),
+    /// the plain full-batch executor otherwise. Running the step through
+    /// any other executor is still correct — but only this one realizes
+    /// the workspace footprint the plan's TSO accounting assumed.
+    pub fn executor(&self) -> Executor {
+        match &self.plan.micro {
+            Some(s) => Executor::with_micro(s.clone()),
+            None => Executor::new(),
+        }
     }
 
     /// Memory statistics of the last completed step.

@@ -41,6 +41,79 @@ use scnn_par::{scratch, DisjointMut};
 /// A-panel tile plus the weight rows it sweeps stay cache-resident.
 const PANEL_BUDGET: usize = 256 * 1024;
 
+/// Which convolution implementation to run. Both produce identical bits;
+/// the choice is purely a locality/footprint trade. The executing kernels
+/// live in `scnn-nn`, but the enum is defined here so the planner
+/// (`scnn-core`) can reason about per-algorithm workspace without a
+/// dependency on the executor crate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ConvAlgo {
+    /// Tile-fused implicit GEMM; no full patch-matrix allocation.
+    Tiled,
+    /// `im2col` + GEMM over workspace scratch (reference path).
+    Materialized,
+}
+
+/// The geometry-based default algorithm choice (no override applied).
+///
+/// 1×1 kernels stay materialized: their `im2col` is a pure reshape, so the
+/// GEMM already streams contiguously and tiling only adds pack traffic.
+/// Tiny spatial outputs (fewer than 64 positions per image) also stay
+/// materialized — per-tile dispatch would dominate the arithmetic.
+pub fn default_conv_algo(g: &Conv2dGeometry) -> ConvAlgo {
+    if (g.kh == 1 && g.kw == 1) || g.patch_count() < 64 {
+        ConvAlgo::Materialized
+    } else {
+        ConvAlgo::Tiled
+    }
+}
+
+fn gcd(mut a: usize, mut b: usize) -> usize {
+    while b != 0 {
+        (a, b) = (b, a % b);
+    }
+    a
+}
+
+/// Whether a conv layer's whole-batch weight-gradient reduction fits one
+/// `KC`-row block (`n·oh·ow ≤ KC`). Such layers accumulate `dw` in a
+/// single sequential fold, so the kernels continue it straight into the
+/// output with **no** partial-block scratch, and any micro-batch boundary
+/// replays the fold bit-for-bit — the deep small-map layers this describes
+/// are exactly the ones whose `oc·plen` partial buffer would otherwise
+/// dominate planned workspace.
+pub fn conv2d_dw_single_block(g: &Conv2dGeometry, n: usize) -> bool {
+    n * g.patch_count() <= KC
+}
+
+/// Whether running a conv layer in micro-batches of `u` images (logical
+/// batch `n`) preserves bit-identity with the full-batch kernels.
+///
+/// The weight-gradient reduction is blocked on `KC`-row boundaries of the
+/// `n·oh·ow` patch-row dimension ([`conv2d_dw_tiled`],
+/// [`matmul_at_b`](crate::matmul_at_b)). A micro-batch boundary that lands
+/// inside a block would re-shape the fold tree, so `u` is legal exactly
+/// when every `u`-image segment covers whole blocks (`u·oh·ow ≡ 0 mod
+/// KC`) — or when there is only one segment (`u ≥ n`) — or when the whole
+/// batch is one sequential fold ([`conv2d_dw_single_block`]), which any
+/// boundary continues exactly.
+pub fn micro_batch_aligned(g: &Conv2dGeometry, u: usize, n: usize) -> bool {
+    u >= n || (u * g.patch_count()).is_multiple_of(KC) || conv2d_dw_single_block(g, n)
+}
+
+/// The smallest bit-identity-preserving micro-batch size for a conv layer
+/// at logical batch `n`: one image when the whole batch is a single
+/// sequential fold ([`conv2d_dw_single_block`]), else `KC / gcd(oh·ow,
+/// KC)` images (the shortest image run covering whole `KC` blocks), capped
+/// at `n` when even that exceeds the batch — then the layer simply runs
+/// un-chunked.
+pub fn min_micro_batch(g: &Conv2dGeometry, n: usize) -> usize {
+    if conv2d_dw_single_block(g, n) {
+        return 1;
+    }
+    (KC / gcd(g.patch_count(), KC)).min(n.max(1))
+}
+
 /// Patch-row tile width under [`PANEL_BUDGET`], at least 1, at most `cap`.
 fn tile_rows(plen: usize, cap: usize) -> usize {
     (PANEL_BUDGET / 4 / plen.max(1)).clamp(1, cap.max(1))
@@ -242,6 +315,36 @@ pub fn conv2d_fwd_tiled(
 /// Panics if shapes disagree with the geometry.
 pub fn conv2d_dw_tiled(x: &Tensor, dy: &Tensor, g: &Conv2dGeometry, dw: &mut [f32]) {
     let n = check_input(x, g);
+    conv2d_dw_tiled_acc(x, dy, g, 0, n, dw, true);
+}
+
+/// Batch-range, continued-accumulation form of [`conv2d_dw_tiled`]: folds
+/// the weight-gradient contribution of images `b0 .. b0 + bn` into `dw`.
+/// With `init` the range's first partial block *overwrites* `dw` (use on
+/// the first segment); without it every block folds in, continuing the
+/// reduction of earlier segments.
+///
+/// Chaining aligned segments (see [`micro_batch_aligned`]) over the whole
+/// batch replays the full-batch call's block grid and fold order exactly —
+/// this is how micro-batched training keeps `dw` bit-identical while
+/// shrinking the partials scratch from `⌈n·oh·ow/KC⌉` to `⌈bn·oh·ow/KC⌉`
+/// blocks per call.
+///
+/// # Panics
+///
+/// Panics if shapes disagree with the geometry or the range exceeds the
+/// batch.
+pub fn conv2d_dw_tiled_acc(
+    x: &Tensor,
+    dy: &Tensor,
+    g: &Conv2dGeometry,
+    b0: usize,
+    bn: usize,
+    dw: &mut [f32],
+    init: bool,
+) {
+    let n = check_input(x, g);
+    assert!(bn > 0 && b0 + bn <= n, "image range {b0}+{bn} exceeds batch {n}");
     let (oh, ow) = (g.out_h(), g.out_w());
     assert_eq!(dy.rank(), 4, "conv dy must be NCHW");
     let oc = dy.dim(1);
@@ -256,53 +359,93 @@ pub fn conv2d_dw_tiled(x: &Tensor, dy: &Tensor, g: &Conv2dGeometry, dw: &mut [f3
     let src = x.as_slice();
     let dyv = dy.as_slice();
     let hw = oh * ow;
-    let k = n * hw;
-    let nblocks = k.div_ceil(KC).max(1);
+    let base = b0 * hw;
+    let k = bn * hw;
     let st = tile_rows(plen + oc, KC);
+    if conv2d_dw_single_block(g, n) {
+        // The whole batch is one sequential fold: accumulate straight into
+        // `dw` (zeroed on `init`), with no partial-block scratch. The add
+        // sequence equals what the blocked path runs inside block 0, so
+        // full-batch bits are unchanged — and any chunk boundary continues
+        // the fold exactly, which is what unlocks micro-batching the deep
+        // small-map layers whose `oc·plen` partials dominate workspace.
+        if init {
+            dw.fill(0.0);
+        }
+        fold_patch_rows(src, dyv, g, oc, st, base, base + k, dw);
+        return;
+    }
+    let nblocks = k.div_ceil(KC).max(1);
     scratch::with_scratch(nblocks * oc * plen, |partials| {
         let slots = DisjointMut::new(partials);
         scnn_par::parallel_for(nblocks, |bi| {
             // Safety: partial slot `bi` is written only by task `bi`.
             let part = unsafe { slots.range(bi * oc * plen, (bi + 1) * oc * plen) };
-            let p0 = bi * KC;
-            let p1 = (p0 + KC).min(k);
-            scratch::with_scratch(st * plen, |colpanel| {
-                scratch::with_scratch(st * oc, |dypanel| {
-                    for q0 in (p0..p1).step_by(st) {
-                        let q1 = (q0 + st).min(p1);
-                        for (t, p) in (q0..q1).enumerate() {
-                            let (b, rem) = (p / hw, p % hw);
-                            let (oy, ox) = (rem / ow, rem % ow);
-                            pack_patch(src, g, b, oy, ox, &mut colpanel[t * plen..(t + 1) * plen]);
-                            let drow = &mut dypanel[t * oc..(t + 1) * oc];
-                            for (c, d) in drow.iter_mut().enumerate() {
-                                *d = dyv[((b * oc + c) * oh + oy) * ow + ox];
-                            }
-                        }
-                        for t in 0..q1 - q0 {
-                            let arow = &dypanel[t * oc..(t + 1) * oc];
-                            let crow = &colpanel[t * plen..(t + 1) * plen];
-                            for (i, &aa) in arow.iter().enumerate() {
-                                if aa == 0.0 {
-                                    continue;
-                                }
-                                let orow = &mut part[i * plen..(i + 1) * plen];
-                                for (o, &cc) in orow.iter_mut().zip(crow) {
-                                    *o += aa * cc;
-                                }
-                            }
-                        }
-                    }
-                });
-            });
+            let p0 = base + bi * KC;
+            let p1 = (p0 + KC).min(base + k);
+            fold_patch_rows(src, dyv, g, oc, st, p0, p1, part);
         });
-        dw.copy_from_slice(&partials[..oc * plen]);
-        for bi in 1..nblocks {
+        let start = if init {
+            dw.copy_from_slice(&partials[..oc * plen]);
+            1
+        } else {
+            0
+        };
+        for bi in start..nblocks {
             let part = &partials[bi * oc * plen..(bi + 1) * oc * plen];
             for (o, p) in dw.iter_mut().zip(part) {
                 *o += p;
             }
         }
+    });
+}
+
+/// Accumulates patch rows `[p0, p1)` of the weight-gradient reduction into
+/// `acc` (`[oc·plen]`), packing `st`-row panels: the strictly `p`-ascending
+/// add order shared by the blocked partials and the single-block direct
+/// path — panel boundaries affect only packing, never the fold sequence.
+#[allow(clippy::too_many_arguments)]
+fn fold_patch_rows(
+    src: &[f32],
+    dyv: &[f32],
+    g: &Conv2dGeometry,
+    oc: usize,
+    st: usize,
+    p0: usize,
+    p1: usize,
+    acc: &mut [f32],
+) {
+    let (oh, ow) = (g.out_h(), g.out_w());
+    let hw = oh * ow;
+    let plen = g.patch_len();
+    scratch::with_scratch(st * plen, |colpanel| {
+        scratch::with_scratch(st * oc, |dypanel| {
+            for q0 in (p0..p1).step_by(st) {
+                let q1 = (q0 + st).min(p1);
+                for (t, p) in (q0..q1).enumerate() {
+                    let (b, rem) = (p / hw, p % hw);
+                    let (oy, ox) = (rem / ow, rem % ow);
+                    pack_patch(src, g, b, oy, ox, &mut colpanel[t * plen..(t + 1) * plen]);
+                    let drow = &mut dypanel[t * oc..(t + 1) * oc];
+                    for (c, d) in drow.iter_mut().enumerate() {
+                        *d = dyv[((b * oc + c) * oh + oy) * ow + ox];
+                    }
+                }
+                for t in 0..q1 - q0 {
+                    let arow = &dypanel[t * oc..(t + 1) * oc];
+                    let crow = &colpanel[t * plen..(t + 1) * plen];
+                    for (i, &aa) in arow.iter().enumerate() {
+                        if aa == 0.0 {
+                            continue;
+                        }
+                        let orow = &mut acc[i * plen..(i + 1) * plen];
+                        for (o, &cc) in orow.iter_mut().zip(crow) {
+                            *o += aa * cc;
+                        }
+                    }
+                }
+            }
+        });
     });
 }
 
@@ -417,6 +560,19 @@ pub fn conv2d_dx_tiled(
 pub fn conv2d_workspace_bytes(g: &Conv2dGeometry, n: usize, oc: usize) -> usize {
     let k = n * g.patch_count();
     k.div_ceil(KC).max(1) * oc * g.patch_len() * 4
+}
+
+/// Planned workspace bytes for one *materialized* conv layer at batch (or
+/// micro-batch) `n`: the backward pass's scratch peak, where the `dy`
+/// transpose (`n·oh·ow · oc`), the patch matrix (`n·oh·ow · plen`) and the
+/// weight-gradient partials ([`conv2d_workspace_bytes`]) are live at once.
+/// The forward peak (`cols` + the GEMM result) is strictly smaller. This
+/// is the honest planning term for layers the selector keeps on the
+/// `im2col` path — batch-proportional, which is exactly what the
+/// micro-batch planning axis shrinks.
+pub fn conv2d_materialized_workspace_bytes(g: &Conv2dGeometry, n: usize, oc: usize) -> usize {
+    let rows = n * g.patch_count();
+    rows * (g.patch_len() + oc) * 4 + conv2d_workspace_bytes(g, n, oc)
 }
 
 #[cfg(test)]

@@ -124,6 +124,33 @@ pub fn matmul_at_b(a: &Tensor, b: &Tensor) -> Tensor {
 /// per block; the fold copies block 0 and adds the rest in ascending block
 /// order, which reproduces the original fold bit-for-bit.
 pub fn matmul_at_b_into(av: &[f32], bv: &[f32], k: usize, m: usize, n: usize, out: &mut [f32]) {
+    matmul_at_b_acc_into(av, bv, k, m, n, out, true);
+}
+
+/// Continued-accumulation form of [`matmul_at_b_into`]: with `init` the
+/// first KC-block partial *overwrites* `out` and the rest fold in (exactly
+/// [`matmul_at_b_into`]); without it every partial folds in, continuing a
+/// reduction started by an earlier call.
+///
+/// This is the micro-batching hook: splitting the shared dimension `k`
+/// into caller-chosen segments and chaining calls (`init` on the first
+/// only) replays the full-`k` fold sequence bit-for-bit **provided every
+/// segment boundary lands on a `KC` (= 256 rows) block boundary** — then
+/// each call's block grid is a sub-grid of the full one. Unaligned
+/// segments still compute a correct sum, just not the bit-identical one.
+///
+/// # Panics
+///
+/// Panics if either operand length disagrees with `k·m` / `k·n`.
+pub fn matmul_at_b_acc_into(
+    av: &[f32],
+    bv: &[f32],
+    k: usize,
+    m: usize,
+    n: usize,
+    out: &mut [f32],
+    init: bool,
+) {
     assert_eq!(av.len(), k * m, "matmul_at_b_into lhs length");
     assert_eq!(bv.len(), k * n, "matmul_at_b_into rhs length");
     assert_eq!(out.len(), m * n, "matmul_at_b_into out length");
@@ -149,14 +176,62 @@ pub fn matmul_at_b_into(av: &[f32], bv: &[f32], k: usize, m: usize, n: usize, ou
                 }
             }
         });
-        out.copy_from_slice(&partials[..m * n]);
-        for bi in 1..nblocks {
+        let start = if init {
+            out.copy_from_slice(&partials[..m * n]);
+            1
+        } else {
+            0
+        };
+        for bi in start..nblocks {
             let part = &partials[bi * m * n..(bi + 1) * m * n];
             for (o, p) in out.iter_mut().zip(part) {
                 *o += p;
             }
         }
     });
+}
+
+/// Sequential single-block form of [`matmul_at_b_acc_into`]: folds all `k`
+/// rows straight into `out` (zeroed on `init`), with no partial-block
+/// scratch. When the *whole* reduction — across every chained call — has
+/// at most `KC` rows, this equals [`matmul_at_b_into`]'s single-block fold
+/// bit-for-bit at **any** segment boundaries, not just `KC`-aligned ones;
+/// larger reductions get a plain sequential fold whose bits differ from
+/// the blocked kernels. Callers pick this form exactly when the logical
+/// total fits one block (see
+/// [`conv2d_dw_single_block`](crate::conv2d_dw_single_block)).
+///
+/// # Panics
+///
+/// Panics if either operand length disagrees with `k·m` / `k·n`.
+pub fn matmul_at_b_seq_into(
+    av: &[f32],
+    bv: &[f32],
+    k: usize,
+    m: usize,
+    n: usize,
+    out: &mut [f32],
+    init: bool,
+) {
+    assert_eq!(av.len(), k * m, "matmul_at_b_seq_into lhs length");
+    assert_eq!(bv.len(), k * n, "matmul_at_b_seq_into rhs length");
+    assert_eq!(out.len(), m * n, "matmul_at_b_seq_into out length");
+    if init {
+        out.fill(0.0);
+    }
+    for p in 0..k {
+        let arow = &av[p * m..(p + 1) * m];
+        let brow = &bv[p * n..(p + 1) * n];
+        for (i, &aa) in arow.iter().enumerate() {
+            if aa == 0.0 {
+                continue;
+            }
+            let orow = &mut out[i * n..(i + 1) * n];
+            for (o, &bb) in orow.iter_mut().zip(brow) {
+                *o += aa * bb;
+            }
+        }
+    }
 }
 
 /// `C = A · Bᵀ` for `A: [m, k]`, `B: [n, k]` — the `im2col`-GEMM used by

@@ -1,0 +1,279 @@
+//! Property tests for the batch-range ("micro-batch") kernel variants.
+//!
+//! The contract under test: chaining aligned segments of
+//! [`conv2d_dw_tiled_acc`] / [`matmul_at_b_acc_into`] over the whole batch
+//! (first segment `init = true`) is **bit-identical** to the single
+//! full-batch call, and the `im2col`/`col2im` range forms reproduce exactly
+//! the rows/images of their full-batch counterparts. These are the
+//! invariants that let the executor micro-batch convolution layers without
+//! perturbing training numerics.
+
+use scnn_rng::prop::{check, Case};
+use scnn_rng::Rng;
+use scnn_tensor::{
+    col2im_cols_into, col2im_cols_range_into, conv2d_dw_single_block, conv2d_dw_tiled,
+    conv2d_dw_tiled_acc, im2col_into, im2col_range_into, matmul_at_b_acc_into, matmul_at_b_into,
+    matmul_at_b_seq_into, micro_batch_aligned, min_micro_batch, uniform, Conv2dGeometry,
+    Padding2d, Tensor,
+};
+
+const THREADS: [usize; 3] = [1, 2, 4];
+
+fn bits_equal(what: &str, a: &[f32], b: &[f32]) -> Case {
+    assert_eq!(a.len(), b.len());
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        if x.to_bits() != y.to_bits() {
+            return Case::Fail(format!("{what}: element {i} differs: {x} vs {y}"));
+        }
+    }
+    Case::Pass
+}
+
+fn random_geometry(rng: &mut impl Rng) -> (Conv2dGeometry, usize) {
+    let in_c = rng.gen_range(1..4usize);
+    let side = rng.gen_range(4..14usize);
+    let k = rng.gen_range(1..4usize).min(side);
+    let s = rng.gen_range(1..3usize);
+    let p = rng.gen_range(0..2i64);
+    let g = Conv2dGeometry::new(in_c, side, side, k, k, s, s, Padding2d::symmetric(p));
+    let n = rng.gen_range(2..7usize);
+    (g, n)
+}
+
+/// Segment starts covering `0..n` in steps of `u` (the last may be short).
+fn segments(n: usize, u: usize) -> Vec<(usize, usize)> {
+    (0..n).step_by(u).map(|b0| (b0, u.min(n - b0))).collect()
+}
+
+#[test]
+fn min_micro_batch_is_aligned_and_minimal() {
+    check("min_micro_batch legality", 32, |rng| {
+        let (g, n) = random_geometry(rng);
+        let u = min_micro_batch(&g, n);
+        if u == 0 || u > n {
+            return Case::Fail(format!("min_micro_batch out of range: {u} for n={n}"));
+        }
+        if !micro_batch_aligned(&g, u, n) {
+            return Case::Fail(format!("min_micro_batch {u} not aligned (n={n}, {g:?})"));
+        }
+        for smaller in 1..u {
+            if micro_batch_aligned(&g, smaller, n) {
+                return Case::Fail(format!("{smaller} < {u} already aligned (n={n}, {g:?})"));
+            }
+        }
+        Case::Pass
+    });
+}
+
+#[test]
+fn matmul_at_b_acc_chained_bitwise_equal() {
+    check("matmul_at_b_acc chained == full", 16, |rng| {
+        let blocks = rng.gen_range(1..5usize);
+        let k = blocks * 256 + if rng.gen_range(0..2usize) == 1 { rng.gen_range(1..256usize) } else { 0 };
+        let m = rng.gen_range(1..24usize);
+        let n = rng.gen_range(1..32usize);
+        let a = uniform(rng, &[k, m], -1.0, 1.0);
+        let b = uniform(rng, &[k, n], -1.0, 1.0);
+        let mut full = vec![0.0f32; m * n];
+        matmul_at_b_into(a.as_slice(), b.as_slice(), k, m, n, &mut full);
+        // Chain over KC-aligned segments of the shared dimension.
+        let seg = rng.gen_range(1..=blocks) * 256;
+        for &t in &THREADS {
+            let chained = scnn_par::with_threads(t, || {
+                let mut out = vec![0.0f32; m * n];
+                let mut k0 = 0;
+                while k0 < k {
+                    let kn = seg.min(k - k0);
+                    matmul_at_b_acc_into(
+                        &a.as_slice()[k0 * m..(k0 + kn) * m],
+                        &b.as_slice()[k0 * n..(k0 + kn) * n],
+                        kn,
+                        m,
+                        n,
+                        &mut out,
+                        k0 == 0,
+                    );
+                    k0 += kn;
+                }
+                out
+            });
+            let case = bits_equal(&format!("matmul_at_b_acc (t={t})"), &full, &chained);
+            if !matches!(case, Case::Pass) {
+                return case;
+            }
+        }
+        Case::Pass
+    });
+}
+
+#[test]
+fn conv2d_dw_acc_chained_bitwise_equal() {
+    check("conv2d_dw_tiled_acc chained == full", 16, |rng| {
+        let (g, n) = random_geometry(rng);
+        let oc = rng.gen_range(1..5usize);
+        let x = uniform(rng, &[n, g.in_c, g.in_h, g.in_w], -1.0, 1.0);
+        let dy = uniform(rng, &[n, oc, g.out_h(), g.out_w()], -1.0, 1.0);
+        let plen = g.patch_len();
+        let mut full = vec![0.0f32; oc * plen];
+        conv2d_dw_tiled(&x, &dy, &g, &mut full);
+        let u = min_micro_batch(&g, n);
+        for &t in &THREADS {
+            let chained = scnn_par::with_threads(t, || {
+                let mut dw = vec![0.0f32; oc * plen];
+                for (b0, bn) in segments(n, u) {
+                    conv2d_dw_tiled_acc(&x, &dy, &g, b0, bn, &mut dw, b0 == 0);
+                }
+                dw
+            });
+            let case = bits_equal(&format!("conv2d_dw_tiled_acc u={u} (t={t})"), &full, &chained);
+            if !matches!(case, Case::Pass) {
+                return case;
+            }
+        }
+        Case::Pass
+    });
+}
+
+#[test]
+fn single_block_dw_chained_bitwise_at_any_boundary() {
+    // A conv whose whole batch fits one KC block folds dw sequentially, so
+    // chunk boundaries need no alignment at all — every micro-batch size
+    // replays the full-batch bits.
+    check("single-block dw chained == full", 16, |rng| {
+        let in_c = rng.gen_range(1..4usize);
+        let side = rng.gen_range(3..7usize);
+        let k = rng.gen_range(1..3usize).min(side);
+        let g = Conv2dGeometry::new(in_c, side, side, k, k, 1, 1, Padding2d::symmetric(0));
+        let n = rng.gen_range(2..7usize).min(256 / g.patch_count().max(1)).max(2);
+        if !conv2d_dw_single_block(&g, n) {
+            return Case::Pass; // geometry too big for the single-block path
+        }
+        let oc = rng.gen_range(1..5usize);
+        let x = uniform(rng, &[n, g.in_c, g.in_h, g.in_w], -1.0, 1.0);
+        let dy = uniform(rng, &[n, oc, g.out_h(), g.out_w()], -1.0, 1.0);
+        let plen = g.patch_len();
+        let mut full = vec![0.0f32; oc * plen];
+        conv2d_dw_tiled(&x, &dy, &g, &mut full);
+        for u in 1..=n {
+            if !micro_batch_aligned(&g, u, n) {
+                return Case::Fail(format!("single-block u={u} not aligned (n={n}, {g:?})"));
+            }
+            for &t in &THREADS {
+                let chained = scnn_par::with_threads(t, || {
+                    let mut dw = vec![0.0f32; oc * plen];
+                    for (b0, bn) in segments(n, u) {
+                        conv2d_dw_tiled_acc(&x, &dy, &g, b0, bn, &mut dw, b0 == 0);
+                    }
+                    dw
+                });
+                let case =
+                    bits_equal(&format!("single-block dw u={u} (t={t})"), &full, &chained);
+                if !matches!(case, Case::Pass) {
+                    return case;
+                }
+            }
+        }
+        Case::Pass
+    });
+}
+
+#[test]
+fn matmul_at_b_seq_chained_bitwise_for_single_block() {
+    // For reductions of at most KC rows the sequential form reproduces the
+    // blocked kernel's single-block fold at arbitrary segment boundaries.
+    check("matmul_at_b_seq chained == full", 16, |rng| {
+        let k = rng.gen_range(2..=256usize);
+        let m = rng.gen_range(1..24usize);
+        let n = rng.gen_range(1..32usize);
+        let a = uniform(rng, &[k, m], -1.0, 1.0);
+        let b = uniform(rng, &[k, n], -1.0, 1.0);
+        let mut full = vec![0.0f32; m * n];
+        matmul_at_b_into(a.as_slice(), b.as_slice(), k, m, n, &mut full);
+        let seg = rng.gen_range(1..k);
+        for &t in &THREADS {
+            let chained = scnn_par::with_threads(t, || {
+                let mut out = vec![0.0f32; m * n];
+                let mut k0 = 0;
+                while k0 < k {
+                    let kn = seg.min(k - k0);
+                    matmul_at_b_seq_into(
+                        &a.as_slice()[k0 * m..(k0 + kn) * m],
+                        &b.as_slice()[k0 * n..(k0 + kn) * n],
+                        kn,
+                        m,
+                        n,
+                        &mut out,
+                        k0 == 0,
+                    );
+                    k0 += kn;
+                }
+                out
+            });
+            let case = bits_equal(&format!("matmul_at_b_seq seg={seg} (t={t})"), &full, &chained);
+            if !matches!(case, Case::Pass) {
+                return case;
+            }
+        }
+        Case::Pass
+    });
+}
+
+#[test]
+fn im2col_range_matches_full_rows() {
+    check("im2col_range == full row slice", 16, |rng| {
+        let (g, n) = random_geometry(rng);
+        let x = uniform(rng, &[n, g.in_c, g.in_h, g.in_w], -1.0, 1.0);
+        let (phw, plen) = (g.patch_count(), g.patch_len());
+        let mut full = vec![0.0f32; n * phw * plen];
+        im2col_into(&x, &g, &mut full);
+        let u = rng.gen_range(1..=n);
+        for (b0, bn) in segments(n, u) {
+            let mut part = vec![0.0f32; bn * phw * plen];
+            im2col_range_into(&x, &g, b0, bn, &mut part);
+            let want = &full[b0 * phw * plen..(b0 + bn) * phw * plen];
+            let case = bits_equal(&format!("im2col_range b0={b0} bn={bn}"), want, &part);
+            if !matches!(case, Case::Pass) {
+                return case;
+            }
+        }
+        Case::Pass
+    });
+}
+
+#[test]
+fn col2im_range_chained_bitwise_equal() {
+    check("col2im_cols_range chained == full", 16, |rng| {
+        let (g, n) = random_geometry(rng);
+        let (phw, plen) = (g.patch_count(), g.patch_len());
+        let cols = uniform(rng, &[n * phw, plen], -1.0, 1.0);
+        let mut full = Tensor::zeros(&[n, g.in_c, g.in_h, g.in_w]);
+        col2im_cols_into(cols.as_slice(), n, &g, &mut full, 0, 0);
+        let u = rng.gen_range(1..=n);
+        for &t in &THREADS {
+            let chained = scnn_par::with_threads(t, || {
+                let mut dst = Tensor::zeros(&[n, g.in_c, g.in_h, g.in_w]);
+                for (b0, bn) in segments(n, u) {
+                    col2im_cols_range_into(
+                        &cols.as_slice()[b0 * phw * plen..(b0 + bn) * phw * plen],
+                        &g,
+                        b0,
+                        bn,
+                        &mut dst,
+                        0,
+                        0,
+                    );
+                }
+                dst
+            });
+            let case = bits_equal(
+                &format!("col2im_cols_range u={u} (t={t})"),
+                full.as_slice(),
+                chained.as_slice(),
+            );
+            if !matches!(case, Case::Pass) {
+                return case;
+            }
+        }
+        Case::Pass
+    });
+}

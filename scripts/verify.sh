@@ -48,10 +48,14 @@ cargo run -q --release -p scnn-bench --bin bench_check --offline -- \
 # step must not creep past its committed resident activation peak. The
 # planned device pool under the workspace/offload-overlapped layout is
 # fully deterministic (no timing), so it is pinned to the exact byte
-# count the interval packer produces (DESIGN.md §12).
+# count the interval packer produces (DESIGN.md §12), and the
+# micro-batched plan (DESIGN.md §13) is pinned strictly below it —
+# together with the capacity-search pair (micro-batched max logical
+# batch must stay strictly above the full-batch one at the 27 MiB
+# budget), these gates are the PR's headline claims.
 declare -A abs_gates=(
   [kernels]="--max-median conv2d_fwd_8x16x32x32:5600000 --max-peak conv2d_fwd_scratch_peak:1048576,conv2d_bwd_scratch_peak:2097152"
-  [memory]="--max-peak train_step/hmms:15392768,planned_device/hmms:3300352"
+  [memory]="--max-peak train_step/hmms:15392768,planned_device/hmms:3300352,planned_device/hmms_micro:2707968,capacity/max_batch/legacy:13 --min-peak capacity/max_batch/micro:18"
 )
 if [[ "${SCNN_VERIFY_SKIP_BENCH:-0}" != 1 ]]; then
   for spec in kernels:0.25 planning:0.60 ablation:0.60 memory:0.60; do
