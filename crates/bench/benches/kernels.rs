@@ -20,7 +20,10 @@ use scnn_nn::kernels::{
     linear_forward, max_pool_forward, ConvAttrs, PoolAttrs,
 };
 use scnn_rng::SplitRng;
-use scnn_tensor::{col2im, im2col, matmul, uniform, Conv2dGeometry, Padding2d, Tensor};
+use scnn_tensor::{
+    clear_plans, col2im, detected_level, force_level, im2col, install_plans, matmul, uniform,
+    Conv2dGeometry, KernelPlans, Padding2d, SimdLevel, Tensor,
+};
 
 #[cfg(feature = "heap-track")]
 #[global_allocator]
@@ -130,5 +133,49 @@ fn main() {
     let a2 = uniform(&mut rng, &[m2, m2], -1.0, 1.0);
     let b2 = uniform(&mut rng, &[m2, m2], -1.0, 1.0);
     g.bench("matmul_512", || matmul(&a2, &b2));
+
+    // Per-ISA variants (DESIGN.md §14): the records above run under auto
+    // dispatch; these force each micro-kernel body so the scalar and AVX2
+    // trajectories are tracked separately. On a host without AVX2+FMA the
+    // `_avx2` records are skipped — the committed baseline assumes the
+    // ISA, so regenerate there with SCNN_VERIFY_SKIP_BENCH=1.
+    let mut levels = vec![SimdLevel::Scalar];
+    if detected_level() == SimdLevel::Avx2 {
+        levels.push(SimdLevel::Avx2);
+    }
+    for level in levels {
+        force_level(Some(level));
+        g.bench(&format!("conv2d_fwd_8x16x32x32_{}", level.name()), || {
+            conv2d_forward(&x, &w, None, &attrs)
+        });
+        g.bench(&format!("matmul_512_{}", level.name()), || matmul(&a2, &b2));
+    }
+    force_level(None);
+
+    // Tuned variants: install the committed plan cache — the `tuner`
+    // binary's full-sample winners for exactly these shapes — and rerun
+    // the same workloads ("plan once, execute many"; a quick in-process
+    // re-tune here proved flaky: 3 noisy samples can crown a mediocre
+    // candidate and the record then measures the wrong plan). A missing
+    // cache, or a cache tuned under another ISA/thread context, leaves
+    // the lookups on the default plan — the records still run; verify.sh
+    // checks the committed cache separately and gates the tuned conv
+    // forward strictly below the PR 6 fixed-blocking median.
+    let cache = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../PLAN_CACHE.json");
+    match KernelPlans::load(&cache) {
+        Ok(plans) => {
+            install_plans(&plans).expect("committed plan cache must install");
+        }
+        Err(e) => eprintln!("note: running untuned, no plan cache installed ({e})"),
+    }
+    g.bench("conv2d_fwd_8x16x32x32_tuned", || {
+        conv2d_forward(&x, &w, None, &attrs)
+    });
+    g.bench("conv2d_bwd_8x16x32x32_tuned", || {
+        conv2d_backward(&x, &w, false, &dy, &attrs)
+    });
+    g.bench("matmul_512_tuned", || matmul(&a2, &b2));
+    clear_plans();
+
     g.finish();
 }

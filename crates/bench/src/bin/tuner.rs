@@ -1,0 +1,117 @@
+//! Offline kernel-autotuner driver (DESIGN.md §14): times the candidate
+//! grid for the proxy workload's hot shapes — the tiled conv
+//! forward/`dw` at 8×16×32×32 and the square GEMMs — and persists the
+//! winning [`KernelPlan`]s as a JSON-lines plan cache that
+//! `SCNN_PLAN_CACHE=<path>` (or `PlanRuntime`) loads at startup.
+//!
+//! ```text
+//! tuner                       # full tune, writes PLAN_CACHE.json at the
+//!                             # workspace root
+//! tuner --samples 9 --out /tmp/plans.json
+//! tuner --smoke --out /tmp/p.json
+//!     # tiny shapes, 1 sample: proves the tuner runs end to end and the
+//!     # written cache loads back *identical* (scripts/verify.sh runs it)
+//! tuner --check /tmp/p.json
+//!     # load → re-serialize → reload: asserts the file is canonical and
+//!     # every plan installs cleanly, then exits
+//! ```
+//!
+//! Every run — smoke or full — ends with the same round-trip proof: the
+//! cache just written is read back and must compare equal record-for-
+//! record before the process exits 0. Plans are keyed by (shape, ISA,
+//! thread count), so a cache tuned on one host installs inertly anywhere
+//! else; retune per machine shape for real wins.
+
+use scnn_bench::Args;
+use scnn_tensor::tuner::{tune_conv_bwd, tune_conv_fwd, tune_matmul, TuneOutcome};
+use scnn_tensor::{Conv2dGeometry, KernelPlans, Padding2d};
+use std::path::{Path, PathBuf};
+
+/// Default cache location: the workspace root, next to the BENCH files.
+fn default_out() -> PathBuf {
+    // crates/bench/../.. == workspace root.
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../PLAN_CACHE.json")
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(1);
+}
+
+/// Prints one tuned shape: every trial, winner marked.
+fn report(out: &TuneOutcome) {
+    let r = &out.record;
+    println!(
+        "{} {:?}  (isa {}, {} threads)",
+        r.op.name(),
+        r.dims,
+        r.isa.name(),
+        r.threads
+    );
+    for t in &out.trials {
+        let mark = if t.plan == r.plan { "  <- winner" } else { "" };
+        println!(
+            "  nc {:>4}  panel {:>4} KiB   median {:>12} ns{mark}",
+            t.plan.nc,
+            t.plan.panel_bytes / 1024,
+            t.median_ns
+        );
+    }
+}
+
+/// `--check` mode: the cache must parse, re-serialize canonically, and
+/// every record must install (which validates each plan's `kc` contract).
+fn check(path: &Path) {
+    let plans = KernelPlans::load(path).unwrap_or_else(|e| fail(&e));
+    let text = plans.to_json_string();
+    let back = KernelPlans::from_json_str(&text).unwrap_or_else(|e| fail(&e));
+    if back != plans {
+        fail(&format!("{}: cache does not round-trip", path.display()));
+    }
+    let n = scnn_tensor::install_plans(&plans).unwrap_or_else(|e| fail(&e));
+    println!("{}: {n} plans round-trip and install: OK", path.display());
+}
+
+fn main() {
+    let args = Args::parse(&["smoke", "samples", "out", "check"]);
+    if let Some(path) = args.str("check") {
+        check(Path::new(path));
+        return;
+    }
+
+    let smoke = args.bool("smoke");
+    let samples = args.usize("samples", if smoke { 1 } else { 7 });
+
+    // The same shapes the kernels bench measures (tiny in smoke mode).
+    let (n, c, oc, hw) = if smoke { (1, 2, 4, 8) } else { (8, 16, 32, 32) };
+    let g = Conv2dGeometry::new(c, hw, hw, 3, 3, 1, 1, Padding2d::symmetric(1));
+    let msz = if smoke { 16 } else { 256 };
+    let m2 = if smoke { 24 } else { 512 };
+
+    let mut plans = KernelPlans::default();
+    for outcome in [
+        tune_conv_fwd(&g, n, oc, samples),
+        tune_conv_bwd(&g, n, oc, samples),
+        tune_matmul(msz, msz, msz, samples),
+        tune_matmul(m2, m2, m2, samples),
+    ] {
+        report(&outcome);
+        plans.records.push(outcome.record);
+    }
+
+    let out_path = args.str("out").map(PathBuf::from).unwrap_or_else(default_out);
+    plans.save(&out_path).unwrap_or_else(|e| fail(&e));
+    println!("wrote {} plans to {}", plans.records.len(), out_path.display());
+
+    // Round-trip proof (runs in smoke mode too, where verify.sh relies on
+    // it): the file just written must load back identical and install.
+    let back = KernelPlans::load(&out_path).unwrap_or_else(|e| fail(&e));
+    if back != plans {
+        fail(&format!(
+            "{}: reloaded cache differs from the tuned plans",
+            out_path.display()
+        ));
+    }
+    scnn_tensor::install_plans(&back).unwrap_or_else(|e| fail(&e));
+    println!("cache round-trips and installs: OK");
+}

@@ -81,6 +81,14 @@ pub fn conv_engine_workspace(graph: &Graph, fallback: &[usize]) -> Vec<usize> {
 /// ([`conv2d_dw_single_block`] at the *logical* batch `n`) fold their
 /// weight gradient straight into the output with no partials at all, so
 /// their dw term is zero under either algorithm.
+///
+/// `KC` here is `KernelPlan::reduction_kc()` — the same accessor the
+/// kernels, the micro-batch alignment rule and [`conv2d_workspace_bytes`]
+/// all read. Autotuned `KernelPlan`s (DESIGN.md §14) can only vary
+/// bit-free blocking (column tile, pack-panel budget), never `KC`: a plan
+/// carrying a different `kc` is rejected at install, so this model stays
+/// exact under any plan cache (pinned by
+/// `workspace_model_agrees_with_kernel_reduction_block` below).
 fn conv_choice_workspace(g: &Conv2dGeometry, n: usize, u: usize, oc: usize, algo: ConvAlgo) -> usize {
     let dw = if conv2d_dw_single_block(g, n) {
         0
@@ -466,6 +474,34 @@ mod tests {
             .nodes()
             .iter()
             .any(|n| matches!(n.op, Op::Conv2d { .. }) && ws[n.id.0] > 0));
+    }
+
+    #[test]
+    fn workspace_model_agrees_with_kernel_reduction_block() {
+        // The planner's conv workspace term and the micro-batch alignment
+        // rule must be keyed on the same reduction block the kernels
+        // execute — KernelPlan::reduction_kc(), the single accessor a
+        // tuned plan cannot override.
+        let kc = scnn_tensor::KernelPlan::reduction_kc();
+        let g = Conv2dGeometry::new(16, 32, 32, 3, 3, 1, 1, Padding2d::symmetric(1));
+        let (n, oc) = (8, 32);
+        // Workspace = ⌈n·oh·ow / kc⌉ partial blocks of [oc, plen] floats.
+        let blocks = (n * g.patch_count()).div_ceil(kc);
+        assert_eq!(
+            conv2d_workspace_bytes(&g, n, oc),
+            blocks * oc * g.patch_len() * 4
+        );
+        // Alignment legality is the same modulus: a u covering whole kc
+        // blocks is legal, and min_micro_batch returns exactly the
+        // smallest such u.
+        let u_min = min_micro_batch(&g, n);
+        assert!(scnn_tensor::micro_batch_aligned(&g, u_min, n));
+        assert!((u_min * g.patch_count()).is_multiple_of(kc));
+        // The micro-batch model shrinks workspace by the same block math.
+        assert_eq!(
+            conv_choice_workspace(&g, n, u_min, oc, ConvAlgo::Tiled),
+            (u_min * g.patch_count()).div_ceil(kc) * oc * g.patch_len() * 4
+        );
     }
 
     #[test]

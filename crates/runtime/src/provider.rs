@@ -117,6 +117,12 @@ impl PlanRuntime {
             graph.len(),
             "plan was exported for a different graph"
         );
+        // Load SCNN_PLAN_CACHE (tuned kernel blocking, DESIGN.md §14)
+        // eagerly: every kernel lookup also loads it lazily, but failing
+        // here surfaces a broken cache file at construction instead of
+        // mid-epoch. Tuned plans alter only bit-free blocking, so the
+        // step stays bit-identical with or without a cache.
+        scnn_tensor::ensure_plan_cache_loaded();
         let consumers: Vec<Vec<usize>> = graph
             .consumers()
             .into_iter()

@@ -33,13 +33,10 @@
 //! pack cache to invalidate on update.
 
 use crate::im2col::Conv2dGeometry;
-use crate::linalg::{dot8, dot8_x4, dot8_x8, KC};
+use crate::plan::{self, KernelPlan};
+use crate::simd::{add_assign, axpy, dot8, dot8_x4, dot8_x8};
 use crate::Tensor;
 use scnn_par::{scratch, DisjointMut};
-
-/// Per-thread pack panel budget in bytes (~half a typical L2 slice): the
-/// A-panel tile plus the weight rows it sweeps stay cache-resident.
-const PANEL_BUDGET: usize = 256 * 1024;
 
 /// Which convolution implementation to run. Both produce identical bits;
 /// the choice is purely a locality/footprint trade. The executing kernels
@@ -76,14 +73,14 @@ fn gcd(mut a: usize, mut b: usize) -> usize {
 }
 
 /// Whether a conv layer's whole-batch weight-gradient reduction fits one
-/// `KC`-row block (`n·oh·ow ≤ KC`). Such layers accumulate `dw` in a
-/// single sequential fold, so the kernels continue it straight into the
-/// output with **no** partial-block scratch, and any micro-batch boundary
-/// replays the fold bit-for-bit — the deep small-map layers this describes
-/// are exactly the ones whose `oc·plen` partial buffer would otherwise
-/// dominate planned workspace.
+/// `KC`-row block (`n·oh·ow ≤ KC`, `KC` = [`KernelPlan::reduction_kc`]).
+/// Such layers accumulate `dw` in a single sequential fold, so the kernels
+/// continue it straight into the output with **no** partial-block scratch,
+/// and any micro-batch boundary replays the fold bit-for-bit — the deep
+/// small-map layers this describes are exactly the ones whose `oc·plen`
+/// partial buffer would otherwise dominate planned workspace.
 pub fn conv2d_dw_single_block(g: &Conv2dGeometry, n: usize) -> bool {
-    n * g.patch_count() <= KC
+    n * g.patch_count() <= KernelPlan::reduction_kc()
 }
 
 /// Whether running a conv layer in micro-batches of `u` images (logical
@@ -98,7 +95,9 @@ pub fn conv2d_dw_single_block(g: &Conv2dGeometry, n: usize) -> bool {
 /// batch is one sequential fold ([`conv2d_dw_single_block`]), which any
 /// boundary continues exactly.
 pub fn micro_batch_aligned(g: &Conv2dGeometry, u: usize, n: usize) -> bool {
-    u >= n || (u * g.patch_count()).is_multiple_of(KC) || conv2d_dw_single_block(g, n)
+    u >= n
+        || (u * g.patch_count()).is_multiple_of(KernelPlan::reduction_kc())
+        || conv2d_dw_single_block(g, n)
 }
 
 /// The smallest bit-identity-preserving micro-batch size for a conv layer
@@ -111,12 +110,16 @@ pub fn min_micro_batch(g: &Conv2dGeometry, n: usize) -> usize {
     if conv2d_dw_single_block(g, n) {
         return 1;
     }
-    (KC / gcd(g.patch_count(), KC)).min(n.max(1))
+    let kc = KernelPlan::reduction_kc();
+    (kc / gcd(g.patch_count(), kc)).min(n.max(1))
 }
 
-/// Patch-row tile width under [`PANEL_BUDGET`], at least 1, at most `cap`.
-fn tile_rows(plen: usize, cap: usize) -> usize {
-    (PANEL_BUDGET / 4 / plen.max(1)).clamp(1, cap.max(1))
+/// Patch-row tile width under the plan's pack-panel budget, at least 1, at
+/// most `cap`. The tile width only partitions independent output positions
+/// (forward) or changes packing granularity (`dw`), never a fold order —
+/// which is what makes `panel_bytes` a legal tuning knob.
+fn tile_rows(panel_bytes: usize, plen: usize, cap: usize) -> usize {
+    (panel_bytes / 4 / plen.max(1)).clamp(1, cap.max(1))
 }
 
 /// Packs the `im2col` row of output position `(b, oy, ox)` into `row`
@@ -210,6 +213,21 @@ pub fn conv2d_fwd_tiled(
     g: &Conv2dGeometry,
     out: &mut [f32],
 ) {
+    let kp = plan::conv_fwd_plan(g, x.dim(0), w.dim(0));
+    conv2d_fwd_tiled_plan(&kp, x, w, bias, g, out);
+}
+
+/// Plan-parameterized core of [`conv2d_fwd_tiled`] — the tuner times
+/// candidate pack-panel budgets through this entry without touching the
+/// global registry. Any plan produces the same bits (see [`tile_rows`]).
+pub(crate) fn conv2d_fwd_tiled_plan(
+    kp: &KernelPlan,
+    x: &Tensor,
+    w: &Tensor,
+    bias: Option<&[f32]>,
+    g: &Conv2dGeometry,
+    out: &mut [f32],
+) {
     let n = check_input(x, g);
     let oc = check_weight(w, g);
     let plen = g.patch_len();
@@ -220,7 +238,7 @@ pub fn conv2d_fwd_tiled(
     }
     let src = x.as_slice();
     let wv = w.as_slice();
-    let tile = tile_rows(plen, ow);
+    let tile = tile_rows(kp.panel_bytes, plen, ow);
     let rows = n * oh;
     let rows_per_chunk = scnn_par::grain(rows, 2);
     let tasks = rows.div_ceil(rows_per_chunk.max(1)).max(1);
@@ -343,6 +361,26 @@ pub fn conv2d_dw_tiled_acc(
     dw: &mut [f32],
     init: bool,
 ) {
+    let kp = plan::conv_bwd_plan(g, x.dim(0), dy.dim(1));
+    conv2d_dw_tiled_acc_plan(&kp, x, dy, g, b0, bn, dw, init);
+}
+
+/// Plan-parameterized core of [`conv2d_dw_tiled_acc`] — the tuner times
+/// candidate pack sub-tile budgets through this entry without touching the
+/// global registry. The plan only sizes the pack panels; the `KC` block
+/// grid and fold order come from [`KernelPlan::reduction_kc`], so any plan
+/// produces the same bits.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn conv2d_dw_tiled_acc_plan(
+    kp: &KernelPlan,
+    x: &Tensor,
+    dy: &Tensor,
+    g: &Conv2dGeometry,
+    b0: usize,
+    bn: usize,
+    dw: &mut [f32],
+    init: bool,
+) {
     let n = check_input(x, g);
     assert!(bn > 0 && b0 + bn <= n, "image range {b0}+{bn} exceeds batch {n}");
     let (oh, ow) = (g.out_h(), g.out_w());
@@ -361,7 +399,8 @@ pub fn conv2d_dw_tiled_acc(
     let hw = oh * ow;
     let base = b0 * hw;
     let k = bn * hw;
-    let st = tile_rows(plen + oc, KC);
+    let kc = KernelPlan::reduction_kc();
+    let st = tile_rows(kp.panel_bytes, plen + oc, kc);
     if conv2d_dw_single_block(g, n) {
         // The whole batch is one sequential fold: accumulate straight into
         // `dw` (zeroed on `init`), with no partial-block scratch. The add
@@ -375,14 +414,14 @@ pub fn conv2d_dw_tiled_acc(
         fold_patch_rows(src, dyv, g, oc, st, base, base + k, dw);
         return;
     }
-    let nblocks = k.div_ceil(KC).max(1);
+    let nblocks = k.div_ceil(kc).max(1);
     scratch::with_scratch(nblocks * oc * plen, |partials| {
         let slots = DisjointMut::new(partials);
         scnn_par::parallel_for(nblocks, |bi| {
             // Safety: partial slot `bi` is written only by task `bi`.
             let part = unsafe { slots.range(bi * oc * plen, (bi + 1) * oc * plen) };
-            let p0 = base + bi * KC;
-            let p1 = (p0 + KC).min(base + k);
+            let p0 = base + bi * kc;
+            let p1 = (p0 + kc).min(base + k);
             fold_patch_rows(src, dyv, g, oc, st, p0, p1, part);
         });
         let start = if init {
@@ -392,10 +431,7 @@ pub fn conv2d_dw_tiled_acc(
             0
         };
         for bi in start..nblocks {
-            let part = &partials[bi * oc * plen..(bi + 1) * oc * plen];
-            for (o, p) in dw.iter_mut().zip(part) {
-                *o += p;
-            }
+            add_assign(dw, &partials[bi * oc * plen..(bi + 1) * oc * plen]);
         }
     });
 }
@@ -438,10 +474,7 @@ fn fold_patch_rows(
                         if aa == 0.0 {
                             continue;
                         }
-                        let orow = &mut acc[i * plen..(i + 1) * plen];
-                        for (o, &cc) in orow.iter_mut().zip(crow) {
-                            *o += aa * cc;
-                        }
+                        axpy(aa, crow, &mut acc[i * plen..(i + 1) * plen]);
                     }
                 }
             }
@@ -511,10 +544,7 @@ pub fn conv2d_dx_tiled(
                         if aa == 0.0 {
                             continue;
                         }
-                        let wrow = &wv[c * plen..(c + 1) * plen];
-                        for (o, &ww) in drow.iter_mut().zip(wrow) {
-                            *o += aa * ww;
-                        }
+                        axpy(aa, &wv[c * plen..(c + 1) * plen], drow);
                     }
                     // Interior positions add each kernel row as one
                     // contiguous run (same fast path as the pack).
@@ -530,10 +560,7 @@ pub fn conv2d_dx_tiled(
                             let q = (c * g.kh + ky) * g.kw;
                             if x_full {
                                 let d0 = cbase + iy * full_w + (ix0 as usize + off_w);
-                                let dst_run = &mut img[d0..d0 + g.kw];
-                                for (d, &v) in dst_run.iter_mut().zip(&drow[q..q + g.kw]) {
-                                    *d += v;
-                                }
+                                add_assign(&mut img[d0..d0 + g.kw], &drow[q..q + g.kw]);
                                 continue;
                             }
                             for kx in 0..g.kw {
@@ -553,13 +580,17 @@ pub fn conv2d_dx_tiled(
 
 /// Planned workspace bytes for one tiled conv layer (forward + backward):
 /// the thread-count-*independent* scratch footprint, i.e. the flat `dw`
-/// partial buffer (`⌈n·oh·ow / KC⌉ · oc · plen` floats). Per-thread pack
-/// panels are bounded by [`PANEL_BUDGET`] each and scale with the host's
-/// thread count, so the planner leaves them out of the per-layer term —
-/// this is the number `scnn-hmms` carries per conv node in its layouts.
+/// partial buffer (`⌈n·oh·ow / KC⌉ · oc · plen` floats, `KC` =
+/// [`KernelPlan::reduction_kc`] — the same accessor the kernels block on,
+/// so the planner's model can never drift from the executed grid). A
+/// tuned plan cannot change this number: plans carrying any other `kc`
+/// are rejected at install. Per-thread pack panels are bounded by the
+/// plan's `panel_bytes` each and scale with the host's thread count, so
+/// the planner leaves them out of the per-layer term — this is the number
+/// `scnn-hmms` carries per conv node in its layouts.
 pub fn conv2d_workspace_bytes(g: &Conv2dGeometry, n: usize, oc: usize) -> usize {
     let k = n * g.patch_count();
-    k.div_ceil(KC).max(1) * oc * g.patch_len() * 4
+    k.div_ceil(KernelPlan::reduction_kc()).max(1) * oc * g.patch_len() * 4
 }
 
 /// Planned workspace bytes for one *materialized* conv layer at batch (or

@@ -12,6 +12,13 @@
 //! Image tensors follow the NCHW convention: `[batch, channels, height,
 //! width]`.
 //!
+//! The floating-point inner loops dispatch at runtime between portable
+//! scalar and AVX2 bodies with identical reduction order ([`simd`],
+//! forced via `SCNN_SIMD=scalar|avx2|auto`), and the bit-free blocking
+//! parameters are per-shape tunable through a persistent plan cache
+//! ([`plan`], loaded from `SCNN_PLAN_CACHE`; winners produced by
+//! [`tuner`]). See DESIGN.md §14.
+//!
 //! # Example
 //!
 //! ```
@@ -27,10 +34,13 @@ mod im2col;
 mod init;
 mod linalg;
 mod pad;
+pub mod plan;
 mod shape;
+pub mod simd;
 mod slice;
 mod storage;
 mod tensor;
+pub mod tuner;
 mod workspace;
 
 pub use conv_engine::{
@@ -48,7 +58,12 @@ pub use linalg::{
     matmul_at_b_seq_into, matmul_into,
 };
 pub use pad::Padding2d;
+pub use plan::{
+    clear_plans, ensure_plan_cache_loaded, install_plan, install_plans, lookup_plan, KernelPlan,
+    KernelPlans, PlanOp, PlanRecord,
+};
 pub use shape::Shape;
+pub use simd::{active_level, detected_level, force_level, SimdLevel};
 pub use storage::{BufferRecycler, PooledBuf};
 pub use tensor::Tensor;
 pub use workspace::Workspace;

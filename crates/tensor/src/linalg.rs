@@ -17,16 +17,19 @@
 //!   order is a function of the shared dimension `k` only, which preserves
 //!   the paper's split-vs-unsplit exactness argument (both graphs reduce
 //!   identical `k = c·kh·kw` patch rows).
+//!
+//! The floating-point inner loops themselves (`dot8` family, `axpy`,
+//! `add_assign`) live in [`crate::simd`] and dispatch at runtime between
+//! scalar and AVX2 bodies with identical reduction order. Blocking
+//! parameters come from [`crate::plan`]: the shared-dimension block is
+//! the fixed [`KernelPlan::reduction_kc`] (bit-bearing — the fold trees
+//! and the micro-batch alignment rule are keyed on it), while [`matmul`]'s
+//! column tile `nc` is a bit-free, per-shape tunable.
 
+use crate::plan::{self, KernelPlan};
+use crate::simd::{add_assign, axpy, dot8, dot8_x4, dot8_x8};
 use crate::Tensor;
 
-/// Shared-dimension tile: keeps a KC×NC panel of `B` and the live output
-/// rows resident while streaming `A`. Crate-visible: the tiled convolution
-/// engine blocks its `dw` fold on the same boundaries so its partial sums
-/// reproduce [`matmul_at_b`] bit-for-bit.
-pub(crate) const KC: usize = 256;
-/// Output-column tile width for [`matmul`].
-const NC: usize = 128;
 /// Minimum rows per parallel chunk (amortizes task-claim overhead).
 const MIN_ROWS: usize = 8;
 
@@ -59,22 +62,41 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
 /// product in pooled/workspace storage; values are bit-identical to
 /// [`matmul`] for a zeroed target.
 pub fn matmul_into(av: &[f32], bv: &[f32], m: usize, k: usize, n: usize, out: &mut [f32]) {
+    matmul_into_plan(&plan::matmul_plan(m, k, n), av, bv, m, k, n, out);
+}
+
+/// Plan-parameterized core of [`matmul_into`] — the tuner times candidate
+/// plans through this entry without touching the global registry. The
+/// plan's column tile `nc` partitions independent output elements, so any
+/// plan produces the same bits.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn matmul_into_plan(
+    kp: &KernelPlan,
+    av: &[f32],
+    bv: &[f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    out: &mut [f32],
+) {
     assert_eq!(av.len(), m * k, "matmul_into lhs length");
     assert_eq!(bv.len(), k * n, "matmul_into rhs length");
     assert_eq!(out.len(), m * n, "matmul_into out length");
+    let kc = KernelPlan::reduction_kc();
     let row_grain = scnn_par::grain(m, MIN_ROWS);
     scnn_par::par_chunks_mut(out, row_grain * n, |ci, ochunk| {
         let i0 = ci * row_grain;
         let rows = ochunk.len() / n.max(1);
         // p ascends globally per output element (KC blocks in order, p in
         // order within each), matching the naive ikj loop bit-for-bit.
-        // Skip column blocking when n barely exceeds NC: a lone narrow
-        // tail block re-streams the A rows for little locality benefit.
-        // Block boundaries partition independent output elements, so the
-        // choice (a function of n only) cannot affect any element's value.
-        let nc = if n <= NC + NC / 2 { n.max(1) } else { NC };
-        for p0 in (0..k).step_by(KC) {
-            let p1 = (p0 + KC).min(k);
+        // Skip column blocking when n barely exceeds the tile: a lone
+        // narrow tail block re-streams the A rows for little locality
+        // benefit. Block boundaries partition independent output elements,
+        // so the choice (a function of n and the plan only) cannot affect
+        // any element's value.
+        let nc = if n <= kp.nc + kp.nc / 2 { n.max(1) } else { kp.nc };
+        for p0 in (0..k).step_by(kc) {
+            let p1 = (p0 + kc).min(k);
             for j0 in (0..n).step_by(nc) {
                 let j1 = (j0 + nc).min(n);
                 for r in 0..rows {
@@ -85,10 +107,7 @@ pub fn matmul_into(av: &[f32], bv: &[f32], m: usize, k: usize, n: usize, out: &m
                         if aip == 0.0 {
                             continue;
                         }
-                        let brow = &bv[p * n + j0..p * n + j1];
-                        for (o, &bb) in orow.iter_mut().zip(brow) {
-                            *o += aip * bb;
-                        }
+                        axpy(aip, &bv[p * n + j0..p * n + j1], orow);
                     }
                 }
             }
@@ -154,14 +173,15 @@ pub fn matmul_at_b_acc_into(
     assert_eq!(av.len(), k * m, "matmul_at_b_into lhs length");
     assert_eq!(bv.len(), k * n, "matmul_at_b_into rhs length");
     assert_eq!(out.len(), m * n, "matmul_at_b_into out length");
-    let nblocks = k.div_ceil(KC).max(1);
+    let kc = KernelPlan::reduction_kc();
+    let nblocks = k.div_ceil(kc).max(1);
     scnn_par::scratch::with_scratch(nblocks * m * n, |partials| {
         let slots = scnn_par::DisjointMut::new(partials);
         scnn_par::parallel_for(nblocks, |bi| {
             // Safety: slot `bi` is written only by task `bi`.
             let part = unsafe { slots.range(bi * m * n, (bi + 1) * m * n) };
-            let p0 = bi * KC;
-            let p1 = (p0 + KC).min(k);
+            let p0 = bi * kc;
+            let p1 = (p0 + kc).min(k);
             for p in p0..p1 {
                 let arow = &av[p * m..(p + 1) * m];
                 let brow = &bv[p * n..(p + 1) * n];
@@ -169,10 +189,7 @@ pub fn matmul_at_b_acc_into(
                     if aa == 0.0 {
                         continue;
                     }
-                    let orow = &mut part[i * n..(i + 1) * n];
-                    for (o, &bb) in orow.iter_mut().zip(brow) {
-                        *o += aa * bb;
-                    }
+                    axpy(aa, brow, &mut part[i * n..(i + 1) * n]);
                 }
             }
         });
@@ -183,10 +200,7 @@ pub fn matmul_at_b_acc_into(
             0
         };
         for bi in start..nblocks {
-            let part = &partials[bi * m * n..(bi + 1) * m * n];
-            for (o, p) in out.iter_mut().zip(part) {
-                *o += p;
-            }
+            add_assign(out, &partials[bi * m * n..(bi + 1) * m * n]);
         }
     });
 }
@@ -226,10 +240,7 @@ pub fn matmul_at_b_seq_into(
             if aa == 0.0 {
                 continue;
             }
-            let orow = &mut out[i * n..(i + 1) * n];
-            for (o, &bb) in orow.iter_mut().zip(brow) {
-                *o += aa * bb;
-            }
+            axpy(aa, brow, &mut out[i * n..(i + 1) * n]);
         }
     }
 }
@@ -300,131 +311,6 @@ pub fn matmul_a_bt_into(av: &[f32], bv: &[f32], m: usize, k: usize, n: usize, ou
             }
         }
     });
-}
-
-/// Number of independent accumulator lanes in the blocked dot product.
-const LANES: usize = 8;
-
-/// Reduces the 8 lanes with a fixed pairwise tree, then folds the scalar
-/// tail. The evaluation order depends only on `k`, never on threads or on
-/// which caller (quad or single) produced the lanes.
-#[inline]
-fn lane_sum(acc: [f32; LANES], tail: f32) -> f32 {
-    let s0 = acc[0] + acc[4];
-    let s1 = acc[1] + acc[5];
-    let s2 = acc[2] + acc[6];
-    let s3 = acc[3] + acc[7];
-    ((s0 + s2) + (s1 + s3)) + tail
-}
-
-/// Fixed-size view of the next 8-lane block; the `&[f32; 8]` conversion
-/// lets the compiler drop per-element bounds checks in the hot loops.
-#[inline]
-fn block8(s: &[f32], base: usize) -> &[f32; LANES] {
-    s[base..base + LANES].try_into().unwrap()
-}
-
-/// 8-lane blocked dot product: lane `l` accumulates elements `p ≡ l (mod
-/// 8)`, breaking the serial FP dependency chain so the loop vectorizes.
-/// Crate-visible so the tiled convolution engine reduces packed patch rows
-/// with the exact same order as the materialized GEMM path.
-#[inline]
-pub(crate) fn dot8(a: &[f32], b: &[f32]) -> f32 {
-    let mut acc = [0.0f32; LANES];
-    let blocks = a.len() / LANES;
-    for ci in 0..blocks {
-        let base = ci * LANES;
-        let ka = block8(a, base);
-        let kb = block8(b, base);
-        for l in 0..LANES {
-            acc[l] += ka[l] * kb[l];
-        }
-    }
-    let mut tail = 0.0f32;
-    for p in blocks * LANES..a.len() {
-        tail += a[p] * b[p];
-    }
-    lane_sum(acc, tail)
-}
-
-/// Four simultaneous [`dot8`]s sharing one pass over `a` (so the A-row is
-/// loaded once per quad instead of once per dot). Bit-identical to four
-/// independent `dot8` calls.
-#[inline]
-pub(crate) fn dot8_x4(a: &[f32], b0: &[f32], b1: &[f32], b2: &[f32], b3: &[f32]) -> [f32; 4] {
-    let mut acc0 = [0.0f32; LANES];
-    let mut acc1 = [0.0f32; LANES];
-    let mut acc2 = [0.0f32; LANES];
-    let mut acc3 = [0.0f32; LANES];
-    let blocks = a.len() / LANES;
-    for ci in 0..blocks {
-        let base = ci * LANES;
-        let ka = block8(a, base);
-        let k0 = block8(b0, base);
-        let k1 = block8(b1, base);
-        let k2 = block8(b2, base);
-        let k3 = block8(b3, base);
-        for l in 0..LANES {
-            acc0[l] += ka[l] * k0[l];
-            acc1[l] += ka[l] * k1[l];
-            acc2[l] += ka[l] * k2[l];
-            acc3[l] += ka[l] * k3[l];
-        }
-    }
-    let rem = blocks * LANES;
-    let mut tails = [0.0f32; 4];
-    for p in rem..a.len() {
-        tails[0] += a[p] * b0[p];
-        tails[1] += a[p] * b1[p];
-        tails[2] += a[p] * b2[p];
-        tails[3] += a[p] * b3[p];
-    }
-    [
-        lane_sum(acc0, tails[0]),
-        lane_sum(acc1, tails[1]),
-        lane_sum(acc2, tails[2]),
-        lane_sum(acc3, tails[3]),
-    ]
-}
-
-/// Eight simultaneous [`dot8`]s sharing one pass over `a`. Bit-identical to
-/// eight independent `dot8` calls — each accumulator set is private to its
-/// B row and reduces through the same [`lane_sum`] tree.
-///
-/// Taking the rows as `[&[f32]; 8]` (rather than one contiguous `8·k`
-/// slice) matters: with eight independent bases the compiler keeps the
-/// per-row block loads simple and vectorizes the whole sweep, measured ~3×
-/// faster than both the contiguous form and the 4-wide quad on the conv
-/// GEMM shape. `inline(never)` is equally deliberate: inlined into the
-/// large tiled-conv closure the sweep loses its vectorization (measured
-/// ~2.5× slower); as a standalone function it always compiles clean, and
-/// the call cost is noise next to the 8·k multiplies.
-#[inline(never)]
-pub(crate) fn dot8_x8(a: &[f32], bs: [&[f32]; 8]) -> [f32; 8] {
-    let mut acc = [[0.0f32; LANES]; 8];
-    let blocks = a.len() / LANES;
-    for ci in 0..blocks {
-        let base = ci * LANES;
-        let ka = block8(a, base);
-        for (j, b) in bs.iter().enumerate() {
-            let kb = block8(b, base);
-            for l in 0..LANES {
-                acc[j][l] += ka[l] * kb[l];
-            }
-        }
-    }
-    let rem = blocks * LANES;
-    let mut tails = [0.0f32; 8];
-    for p in rem..a.len() {
-        for (j, b) in bs.iter().enumerate() {
-            tails[j] += a[p] * b[p];
-        }
-    }
-    let mut out = [0.0f32; 8];
-    for j in 0..8 {
-        out[j] = lane_sum(acc[j], tails[j]);
-    }
-    out
 }
 
 fn dims2(t: &Tensor, what: &str) -> (usize, usize) {

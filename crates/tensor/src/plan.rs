@@ -1,0 +1,646 @@
+//! Per-shape kernel plans and the persistent plan cache (DESIGN.md §14).
+//!
+//! The blocked kernels in this crate used to hard-code their blocking
+//! (`KC = 256`, `NC = 128`, a 256 KiB pack-panel budget). Those constants
+//! fall into two classes with very different contracts:
+//!
+//! - **Bit-bearing:** the shared-dimension block `KC` shapes the
+//!   `matmul_at_b` / conv-`dw` fold tree, and the micro-batch legality
+//!   rule (`micro_batch_aligned`) plus the planner's workspace model are
+//!   keyed on it. It is **not tunable**: every plan must carry
+//!   [`KernelPlan::reduction_kc`], and [`KernelPlan::validate`] rejects
+//!   anything else, so a tuned plan can never silently disagree with the
+//!   alignment rule or the cost model.
+//! - **Bit-free:** the matmul column tile `nc` partitions independent
+//!   output elements, and the pack-panel byte budget only changes how
+//!   patch rows are staged, never any fold order. These are fair game for
+//!   the autotuner (`crate::tuner`).
+//!
+//! A [`KernelPlan`] bundles the three; a process-global registry maps
+//! `(op, dims, ISA, threads)` → plan. Kernels consult the registry through
+//! the `*_plan` lookup helpers and fall back to [`KernelPlan::default`]
+//! (the historical constants) on a miss, so an empty registry reproduces
+//! the untuned kernels bit-for-bit — and, because tuned parameters are
+//! bit-free, so does a populated one.
+//!
+//! Winners are persisted as JSON lines ([`PlanRecord::to_json_line`]) in a
+//! plan-cache file; `SCNN_PLAN_CACHE=<path>` loads it once per process on
+//! first kernel use (the runtime's `PlanRuntime` also loads it eagerly).
+//! The cache is keyed by ISA and thread count because a blocking choice
+//! that wins on one machine shape routinely loses on another; records for
+//! other ISAs/thread counts install inertly and simply never match a
+//! lookup.
+
+use crate::im2col::Conv2dGeometry;
+use crate::simd::{self, SimdLevel};
+use std::collections::HashMap;
+use std::sync::{OnceLock, RwLock};
+
+/// The fixed shared-dimension reduction block, in rows. See the module
+/// docs: this is bit-bearing and deliberately *not* tunable.
+const REDUCTION_KC: usize = 256;
+
+/// Fixed dimension-vector width of a registry key (shorter op dims are
+/// zero-padded).
+const KEY_DIMS: usize = 9;
+
+/// Blocking parameters for one kernel shape.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct KernelPlan {
+    /// Shared-dimension reduction block in rows. Must equal
+    /// [`KernelPlan::reduction_kc`] — carried explicitly (rather than
+    /// implied) so a cache written by a future build with a different
+    /// contract is rejected instead of silently reinterpreted.
+    pub kc: usize,
+    /// Output-column tile width for the `matmul` kernel (bit-free).
+    pub nc: usize,
+    /// Per-thread pack-panel budget in bytes for the tiled conv engine
+    /// (bit-free; sizes the patch-row tile and the `dw` pack sub-tile).
+    pub panel_bytes: usize,
+}
+
+impl KernelPlan {
+    /// The one source of truth for the reduction block size. Everything
+    /// keyed on `KC` — the `matmul_at_b` fold grid, the conv `dw`
+    /// partials, `micro_batch_aligned` / `conv2d_dw_single_block` /
+    /// `min_micro_batch`, and the planner's `conv2d_workspace_bytes` —
+    /// reads this accessor, so they cannot drift apart.
+    pub fn reduction_kc() -> usize {
+        REDUCTION_KC
+    }
+
+    /// Sanity bounds for a plan coming out of a cache file or a tuner.
+    ///
+    /// `kc` must equal [`KernelPlan::reduction_kc`] (bit-identity + the
+    /// micro-batch alignment rule depend on it); the bit-free parameters
+    /// only need to be inside generous engineering bounds.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.kc != Self::reduction_kc() {
+            return Err(format!(
+                "plan kc={} disagrees with the reduction block ({}): \
+                 the micro-batch alignment rule and the fold tree are keyed on it",
+                self.kc,
+                Self::reduction_kc()
+            ));
+        }
+        if self.nc == 0 || self.nc > 65536 {
+            return Err(format!("plan nc={} out of range [1, 65536]", self.nc));
+        }
+        if self.panel_bytes < 4096 || self.panel_bytes > (64 << 20) {
+            return Err(format!(
+                "plan panel_bytes={} out of range [4 KiB, 64 MiB]",
+                self.panel_bytes
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl Default for KernelPlan {
+    /// The historical fixed constants — an empty registry behaves exactly
+    /// like the pre-plan kernels.
+    fn default() -> Self {
+        KernelPlan {
+            kc: REDUCTION_KC,
+            nc: 128,
+            panel_bytes: 256 * 1024,
+        }
+    }
+}
+
+/// Which kernel a plan applies to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum PlanOp {
+    /// `matmul_into` (`C = A·B`); dims `[m, k, n]`.
+    Matmul,
+    /// Tiled conv forward; dims `[n, ic, oh, ow, oc, kh, kw, sh, sw]`.
+    ConvFwd,
+    /// Tiled conv `dw` reduction; dims as [`PlanOp::ConvFwd`].
+    ConvBwd,
+}
+
+impl PlanOp {
+    /// Stable name used in cache files.
+    pub fn name(self) -> &'static str {
+        match self {
+            PlanOp::Matmul => "matmul",
+            PlanOp::ConvFwd => "conv_fwd",
+            PlanOp::ConvBwd => "conv_bwd",
+        }
+    }
+
+    /// Parses [`PlanOp::name`] output.
+    pub fn parse(s: &str) -> Option<PlanOp> {
+        match s {
+            "matmul" => Some(PlanOp::Matmul),
+            "conv_fwd" => Some(PlanOp::ConvFwd),
+            "conv_bwd" => Some(PlanOp::ConvBwd),
+            _ => None,
+        }
+    }
+}
+
+/// One tuned entry: the full registry key plus the winning plan and its
+/// measured median, as written to / read from the cache file.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PlanRecord {
+    pub op: PlanOp,
+    /// Shape dimensions in the op's documented order (see [`PlanOp`]).
+    pub dims: Vec<usize>,
+    /// ISA the measurement ran under.
+    pub isa: SimdLevel,
+    /// `scnn_par::max_threads()` at measurement time.
+    pub threads: usize,
+    pub plan: KernelPlan,
+    /// Median wall time of the winning candidate, for trajectory review
+    /// (not used by lookups).
+    pub median_ns: u64,
+}
+
+impl PlanRecord {
+    /// Serializes as one flat JSON object (one line of the cache file).
+    pub fn to_json_line(&self) -> String {
+        let dims: Vec<String> = self.dims.iter().map(|d| d.to_string()).collect();
+        format!(
+            "{{\"op\":\"{}\",\"dims\":[{}],\"isa\":\"{}\",\"threads\":{},\
+             \"kc\":{},\"nc\":{},\"panel_bytes\":{},\"median_ns\":{}}}",
+            self.op.name(),
+            dims.join(","),
+            self.isa.name(),
+            self.threads,
+            self.plan.kc,
+            self.plan.nc,
+            self.plan.panel_bytes,
+            self.median_ns
+        )
+    }
+
+    /// Parses one cache line. Strict about structure (it only ever reads
+    /// files this crate wrote) but order-insensitive about keys.
+    pub fn from_json_line(s: &str) -> Result<PlanRecord, String> {
+        let mut cur = Cursor::new(s);
+        cur.expect('{')?;
+        let mut op = None;
+        let mut dims = None;
+        let mut isa = None;
+        let mut threads = None;
+        let mut kc = None;
+        let mut nc = None;
+        let mut panel_bytes = None;
+        let mut median_ns = None;
+        loop {
+            let key = cur.string()?;
+            cur.expect(':')?;
+            match key.as_str() {
+                "op" => {
+                    let v = cur.string()?;
+                    op = Some(PlanOp::parse(&v).ok_or_else(|| format!("unknown op {v:?}"))?);
+                }
+                "dims" => dims = Some(cur.usize_array()?),
+                "isa" => {
+                    let v = cur.string()?;
+                    isa = Some(
+                        SimdLevel::parse(&v).ok_or_else(|| format!("unknown isa {v:?}"))?,
+                    );
+                }
+                "threads" => threads = Some(cur.number()? as usize),
+                "kc" => kc = Some(cur.number()? as usize),
+                "nc" => nc = Some(cur.number()? as usize),
+                "panel_bytes" => panel_bytes = Some(cur.number()? as usize),
+                "median_ns" => median_ns = Some(cur.number()?),
+                other => return Err(format!("unexpected key {other:?}")),
+            }
+            if !cur.comma_or_end()? {
+                break;
+            }
+        }
+        cur.end()?;
+        let missing = |what: &str| format!("missing key {what:?}");
+        Ok(PlanRecord {
+            op: op.ok_or_else(|| missing("op"))?,
+            dims: dims.ok_or_else(|| missing("dims"))?,
+            isa: isa.ok_or_else(|| missing("isa"))?,
+            threads: threads.ok_or_else(|| missing("threads"))?,
+            plan: KernelPlan {
+                kc: kc.ok_or_else(|| missing("kc"))?,
+                nc: nc.ok_or_else(|| missing("nc"))?,
+                panel_bytes: panel_bytes.ok_or_else(|| missing("panel_bytes"))?,
+            },
+            median_ns: median_ns.ok_or_else(|| missing("median_ns"))?,
+        })
+    }
+}
+
+/// A whole plan-cache file: zero or more [`PlanRecord`] lines.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct KernelPlans {
+    pub records: Vec<PlanRecord>,
+}
+
+impl KernelPlans {
+    /// Serializes to the cache-file format (one JSON object per line,
+    /// trailing newline).
+    pub fn to_json_string(&self) -> String {
+        let mut out = String::new();
+        for r in &self.records {
+            out.push_str(&r.to_json_line());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parses a cache file's contents (blank lines ignored).
+    pub fn from_json_str(s: &str) -> Result<KernelPlans, String> {
+        let mut records = Vec::new();
+        for (ln, line) in s.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            records.push(
+                PlanRecord::from_json_line(line)
+                    .map_err(|e| format!("plan cache line {}: {e}", ln + 1))?,
+            );
+        }
+        Ok(KernelPlans { records })
+    }
+
+    /// Writes the cache to `path`.
+    pub fn save(&self, path: &std::path::Path) -> Result<(), String> {
+        std::fs::write(path, self.to_json_string())
+            .map_err(|e| format!("write plan cache {}: {e}", path.display()))
+    }
+
+    /// Reads a cache from `path`.
+    pub fn load(path: &std::path::Path) -> Result<KernelPlans, String> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("read plan cache {}: {e}", path.display()))?;
+        Self::from_json_str(&text)
+    }
+}
+
+/// Full registry key. Dimensions are zero-padded to a fixed width so the
+/// key stays `Copy`/hashable without allocation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+struct PlanKey {
+    op: PlanOp,
+    dims: [usize; KEY_DIMS],
+    isa: SimdLevel,
+    threads: usize,
+}
+
+impl PlanKey {
+    fn new(op: PlanOp, dims: &[usize], isa: SimdLevel, threads: usize) -> Result<PlanKey, String> {
+        if dims.len() > KEY_DIMS {
+            return Err(format!(
+                "plan key for {} has {} dims (max {KEY_DIMS})",
+                op.name(),
+                dims.len()
+            ));
+        }
+        let mut d = [0usize; KEY_DIMS];
+        d[..dims.len()].copy_from_slice(dims);
+        Ok(PlanKey {
+            op,
+            dims: d,
+            isa,
+            threads,
+        })
+    }
+}
+
+fn registry() -> &'static RwLock<HashMap<PlanKey, KernelPlan>> {
+    static REGISTRY: OnceLock<RwLock<HashMap<PlanKey, KernelPlan>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| RwLock::new(HashMap::new()))
+}
+
+/// Loads `SCNN_PLAN_CACHE` (if set) exactly once per process. A broken
+/// cache file panics — a tuned run must not silently degrade to defaults.
+fn ensure_env_loaded() {
+    static LOADED: OnceLock<()> = OnceLock::new();
+    LOADED.get_or_init(|| {
+        if let Ok(path) = std::env::var("SCNN_PLAN_CACHE") {
+            if !path.is_empty() {
+                let plans = KernelPlans::load(std::path::Path::new(&path))
+                    .unwrap_or_else(|e| panic!("SCNN_PLAN_CACHE: {e}"));
+                install_plans(&plans).unwrap_or_else(|e| panic!("SCNN_PLAN_CACHE: {e}"));
+            }
+        }
+    });
+}
+
+/// Installs one tuned record into the process-global registry.
+///
+/// The plan is validated first — in particular a `kc` that disagrees with
+/// [`KernelPlan::reduction_kc`] is rejected, never installed. Records for
+/// a different ISA or thread count install fine; they simply never match a
+/// lookup on this host, which is what makes one cache file shareable
+/// across machines.
+pub fn install_plan(record: &PlanRecord) -> Result<(), String> {
+    record
+        .plan
+        .validate()
+        .map_err(|e| format!("{} {:?}: {e}", record.op.name(), record.dims))?;
+    let key = PlanKey::new(record.op, &record.dims, record.isa, record.threads)?;
+    registry().write().unwrap().insert(key, record.plan);
+    Ok(())
+}
+
+/// Installs every record of a cache; returns how many were installed.
+/// Fails atomically per record (earlier records stay installed).
+pub fn install_plans(plans: &KernelPlans) -> Result<usize, String> {
+    for r in &plans.records {
+        install_plan(r)?;
+    }
+    Ok(plans.records.len())
+}
+
+/// Empties the registry (tests and A/B bench runs).
+pub fn clear_plans() {
+    registry().write().unwrap().clear();
+}
+
+/// Raw lookup by explicit key parts; `None` on miss. Public for the tuner
+/// driver and tests — kernels use the `*_plan` helpers below.
+pub fn lookup_plan(
+    op: PlanOp,
+    dims: &[usize],
+    isa: SimdLevel,
+    threads: usize,
+) -> Option<KernelPlan> {
+    let key = PlanKey::new(op, dims, isa, threads).ok()?;
+    registry().read().unwrap().get(&key).copied()
+}
+
+/// Lookup under the *active* execution context (current ISA level, current
+/// `scnn_par::max_threads()`), falling back to the defaults on a miss.
+fn active_lookup(op: PlanOp, dims: &[usize]) -> KernelPlan {
+    ensure_env_loaded();
+    lookup_plan(op, dims, simd::active_level(), scnn_par::max_threads()).unwrap_or_default()
+}
+
+/// The conv registry dimensions for geometry `g` at batch `n`, `oc` output
+/// channels — shared by forward and `dw` so the tuner and the kernels
+/// can't disagree on key layout.
+pub fn conv_plan_dims(g: &Conv2dGeometry, n: usize, oc: usize) -> [usize; KEY_DIMS] {
+    [
+        n,
+        g.in_c,
+        g.out_h(),
+        g.out_w(),
+        oc,
+        g.kh,
+        g.kw,
+        g.sh,
+        g.sw,
+    ]
+}
+
+/// Plan for `matmul_into` at `[m, k] · [k, n]`.
+pub(crate) fn matmul_plan(m: usize, k: usize, n: usize) -> KernelPlan {
+    active_lookup(PlanOp::Matmul, &[m, k, n])
+}
+
+/// Plan for the tiled conv forward at this geometry/batch.
+pub(crate) fn conv_fwd_plan(g: &Conv2dGeometry, n: usize, oc: usize) -> KernelPlan {
+    active_lookup(PlanOp::ConvFwd, &conv_plan_dims(g, n, oc))
+}
+
+/// Plan for the tiled conv `dw` reduction at this geometry/batch.
+pub(crate) fn conv_bwd_plan(g: &Conv2dGeometry, n: usize, oc: usize) -> KernelPlan {
+    active_lookup(PlanOp::ConvBwd, &conv_plan_dims(g, n, oc))
+}
+
+/// Eagerly loads `SCNN_PLAN_CACHE` (idempotent). The lazy path inside
+/// every lookup makes this optional; `PlanRuntime` calls it at
+/// construction so a broken cache fails at startup, not mid-epoch.
+pub fn ensure_plan_cache_loaded() {
+    ensure_env_loaded();
+}
+
+/// Minimal strict cursor over one flat JSON object (the only shape the
+/// cache format uses: string keys, string/number/number-array values).
+struct Cursor<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(s: &'a str) -> Cursor<'a> {
+        Cursor {
+            b: s.as_bytes(),
+            i: 0,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.i < self.b.len() && self.b[self.i].is_ascii_whitespace() {
+            self.i += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.b.get(self.i).copied()
+    }
+
+    fn expect(&mut self, c: char) -> Result<(), String> {
+        match self.peek() {
+            Some(got) if got == c as u8 => {
+                self.i += 1;
+                Ok(())
+            }
+            got => Err(format!("expected {c:?} at byte {}, got {got:?}", self.i)),
+        }
+    }
+
+    /// Parses a quoted string (no escapes — the format never emits any).
+    fn string(&mut self) -> Result<String, String> {
+        self.expect('"')?;
+        let start = self.i;
+        while self.i < self.b.len() && self.b[self.i] != b'"' {
+            if self.b[self.i] == b'\\' {
+                return Err(format!("unexpected escape at byte {}", self.i));
+            }
+            self.i += 1;
+        }
+        if self.i >= self.b.len() {
+            return Err("unterminated string".into());
+        }
+        let s = std::str::from_utf8(&self.b[start..self.i])
+            .map_err(|_| "invalid utf8 in string".to_string())?
+            .to_string();
+        self.i += 1;
+        Ok(s)
+    }
+
+    /// Parses a non-negative integer.
+    fn number(&mut self) -> Result<u64, String> {
+        self.skip_ws();
+        let start = self.i;
+        while self.i < self.b.len() && self.b[self.i].is_ascii_digit() {
+            self.i += 1;
+        }
+        if self.i == start {
+            return Err(format!("expected number at byte {start}"));
+        }
+        std::str::from_utf8(&self.b[start..self.i])
+            .unwrap()
+            .parse::<u64>()
+            .map_err(|e| format!("bad number at byte {start}: {e}"))
+    }
+
+    fn usize_array(&mut self) -> Result<Vec<usize>, String> {
+        self.expect('[')?;
+        let mut out = Vec::new();
+        if self.peek() == Some(b']') {
+            self.i += 1;
+            return Ok(out);
+        }
+        loop {
+            out.push(self.number()? as usize);
+            match self.peek() {
+                Some(b',') => self.i += 1,
+                Some(b']') => {
+                    self.i += 1;
+                    return Ok(out);
+                }
+                got => return Err(format!("expected ',' or ']' at byte {}, got {got:?}", self.i)),
+            }
+        }
+    }
+
+    /// After a value: consumes `,` (returns `true`) or `}` (returns
+    /// `false`).
+    fn comma_or_end(&mut self) -> Result<bool, String> {
+        match self.peek() {
+            Some(b',') => {
+                self.i += 1;
+                Ok(true)
+            }
+            Some(b'}') => {
+                self.i += 1;
+                Ok(false)
+            }
+            got => Err(format!("expected ',' or '}}' at byte {}, got {got:?}", self.i)),
+        }
+    }
+
+    /// Asserts the object already closed and only whitespace remains.
+    fn end(&mut self) -> Result<(), String> {
+        self.skip_ws();
+        if self.i != self.b.len() {
+            return Err(format!("trailing bytes at {}", self.i));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_record() -> PlanRecord {
+        PlanRecord {
+            op: PlanOp::ConvFwd,
+            dims: vec![8, 16, 32, 32, 32, 3, 3, 1, 1],
+            isa: SimdLevel::Avx2,
+            threads: 4,
+            plan: KernelPlan {
+                kc: KernelPlan::reduction_kc(),
+                nc: 192,
+                panel_bytes: 128 * 1024,
+            },
+            median_ns: 4_321_000,
+        }
+    }
+
+    #[test]
+    fn record_json_round_trips_exactly() {
+        let r = sample_record();
+        let line = r.to_json_line();
+        assert_eq!(PlanRecord::from_json_line(&line).unwrap(), r);
+
+        let plans = KernelPlans {
+            records: vec![
+                r,
+                PlanRecord {
+                    op: PlanOp::Matmul,
+                    dims: vec![512, 512, 512],
+                    isa: SimdLevel::Scalar,
+                    threads: 1,
+                    plan: KernelPlan::default(),
+                    median_ns: 9,
+                },
+            ],
+        };
+        let text = plans.to_json_string();
+        assert_eq!(KernelPlans::from_json_str(&text).unwrap(), plans);
+        // Serialization is canonical: a second round trip is byte-equal.
+        assert_eq!(
+            KernelPlans::from_json_str(&text).unwrap().to_json_string(),
+            text
+        );
+    }
+
+    #[test]
+    fn parser_rejects_malformed_lines() {
+        for bad in [
+            "",
+            "{",
+            "{\"op\":\"matmul\"}",                          // missing keys
+            "{\"op\":\"warp_speed\",\"dims\":[1]}",         // unknown op
+            "{\"op\":\"matmul\",\"mystery\":3}",            // unknown key
+            "{\"op\":\"matmul\",\"dims\":[1,2,3]} trailing",
+        ] {
+            assert!(PlanRecord::from_json_line(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn mismatched_kc_plan_is_rejected_not_installed() {
+        // The satellite pin: a plan whose kc disagrees with the reduction
+        // block must be refused, because micro_batch_aligned and the
+        // workspace model are keyed on reduction_kc().
+        let mut r = sample_record();
+        r.dims = vec![77, 7, 5, 5, 7, 3, 3, 1, 1]; // keys no other test uses
+        r.plan.kc = 128;
+        let err = install_plan(&r).unwrap_err();
+        assert!(err.contains("alignment rule"), "unexpected error: {err}");
+        assert_eq!(
+            lookup_plan(r.op, &r.dims, r.isa, r.threads),
+            None,
+            "rejected plan must not reach the registry"
+        );
+
+        // Same record with the contract kc installs and round-trips.
+        r.plan.kc = KernelPlan::reduction_kc();
+        install_plan(&r).unwrap();
+        assert_eq!(lookup_plan(r.op, &r.dims, r.isa, r.threads), Some(r.plan));
+    }
+
+    #[test]
+    fn lookup_misses_on_different_isa_or_threads() {
+        let mut r = sample_record();
+        r.dims = vec![88, 3, 9, 9, 4, 3, 3, 1, 1];
+        r.isa = SimdLevel::Scalar;
+        r.threads = 3;
+        install_plan(&r).unwrap();
+        assert_eq!(lookup_plan(r.op, &r.dims, SimdLevel::Avx2, 3), None);
+        assert_eq!(lookup_plan(r.op, &r.dims, SimdLevel::Scalar, 2), None);
+        assert_eq!(
+            lookup_plan(r.op, &r.dims, SimdLevel::Scalar, 3),
+            Some(r.plan)
+        );
+    }
+
+    #[test]
+    fn default_plan_validates_and_matches_historical_constants() {
+        let d = KernelPlan::default();
+        d.validate().unwrap();
+        assert_eq!(
+            (d.kc, d.nc, d.panel_bytes),
+            (KernelPlan::reduction_kc(), 128, 256 * 1024)
+        );
+    }
+}

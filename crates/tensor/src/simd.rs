@@ -1,0 +1,623 @@
+//! Runtime-dispatched SIMD micro-kernels (DESIGN.md §14).
+//!
+//! Every floating-point inner loop in this crate funnels through the
+//! handful of primitives defined here: the blocked dot products
+//! ([`dot8`], [`dot8_x4`], [`dot8_x8`]) behind `matmul_a_bt` and the
+//! tiled conv engine's packed-panel sweep, and the elementwise
+//! accumulators ([`axpy`], [`add_assign`]) behind `matmul`,
+//! `matmul_at_b`, the `dw` fold and the `dx` scatter. Each primitive has
+//! two implementations:
+//!
+//! - a **portable scalar** body, compiled for the baseline target — the
+//!   reference semantics; and
+//! - an **AVX2+FMA** body written with `core::arch::x86_64` intrinsics,
+//!   compiled with `#[target_feature(enable = "avx2,fma")]` so it emits
+//!   256-bit vector ops even though the crate itself targets baseline
+//!   x86-64 (the old blanket `target-cpu=x86-64-v3` flag is gone).
+//!
+//! The implementation is picked **once per call site reached**, by
+//! [`active_level`]: a relaxed atomic read resolving (in order) an
+//! in-process [`force_level`] override, the `SCNN_SIMD` environment knob
+//! (`scalar|avx2|auto`, read once), and `is_x86_feature_detected!`.
+//!
+//! # The bit-identity contract
+//!
+//! Both bodies of every primitive evaluate the **same IEEE-754 operations
+//! in the same order**:
+//!
+//! - The 8 accumulator lanes of the dot kernels map one-to-one onto one
+//!   `__m256`; lane `l` still accumulates elements `p ≡ l (mod 8)`, the
+//!   scalar tail still folds sequentially, and the final reduction is the
+//!   same fixed [`lane_sum`] tree.
+//! - [`axpy`]/[`add_assign`] are elementwise: each output element is one
+//!   mul-add (resp. one add) regardless of vector width.
+//! - **FMA contraction is deliberately not used.** `_mm256_fmadd_ps`
+//!   rounds once where `mul` + `add` round twice, which would break
+//!   bit-identity with the scalar body; the AVX2 kernels therefore issue
+//!   separate `_mm256_mul_ps` / `_mm256_add_ps`, which are exactly
+//!   rounded and hence bit-identical to scalar IEEE mul/add at any
+//!   width. The `fma` feature is still part of the detection gate only
+//!   so "avx2" means the full Haswell tier the kernels were tuned on.
+//!
+//! Consequently `SCNN_SIMD=scalar` and `SCNN_SIMD=avx2` produce
+//! bit-identical tensors at any `SCNN_THREADS` — a tested contract
+//! (`simd_props`), which is what lets the ISA choice be a pure
+//! performance decision and lets one plan cache serve both paths.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::OnceLock;
+
+/// Number of independent accumulator lanes in the blocked dot product —
+/// exactly the f32 width of one AVX2 register, which is why the scalar
+/// accumulator array maps onto a single `__m256`.
+pub(crate) const LANES: usize = 8;
+
+/// Which micro-kernel implementation set is executing.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum SimdLevel {
+    /// Portable scalar bodies (compile anywhere, autovectorize at the
+    /// build's baseline width).
+    Scalar,
+    /// Explicit AVX2 256-bit bodies (x86-64 with AVX2+FMA only).
+    Avx2,
+}
+
+impl SimdLevel {
+    /// Stable lowercase name — the ISA component of plan-cache keys and
+    /// bench record suffixes.
+    pub fn name(self) -> &'static str {
+        match self {
+            SimdLevel::Scalar => "scalar",
+            SimdLevel::Avx2 => "avx2",
+        }
+    }
+
+    /// Parses [`SimdLevel::name`] output (`"scalar"` / `"avx2"`).
+    pub fn parse(s: &str) -> Option<SimdLevel> {
+        match s {
+            "scalar" => Some(SimdLevel::Scalar),
+            "avx2" => Some(SimdLevel::Avx2),
+            _ => None,
+        }
+    }
+}
+
+/// In-process override: 0 = none, 1 = scalar, 2 = avx2. A process-global
+/// (not thread-local) because kernels run on pool worker threads; flipping
+/// it mid-run is safe precisely because both paths are bit-identical.
+static FORCED: AtomicU8 = AtomicU8::new(0);
+
+/// The highest level this host can execute.
+pub fn detected_level() -> SimdLevel {
+    static DETECTED: OnceLock<SimdLevel> = OnceLock::new();
+    *DETECTED.get_or_init(|| {
+        #[cfg(target_arch = "x86_64")]
+        {
+            if std::is_x86_feature_detected!("avx2") && std::is_x86_feature_detected!("fma") {
+                return SimdLevel::Avx2;
+            }
+        }
+        SimdLevel::Scalar
+    })
+}
+
+/// The `SCNN_SIMD` environment knob, read once: `Some(level)` for an
+/// explicit `scalar`/`avx2`, `None` for `auto`/unset.
+///
+/// # Panics
+///
+/// Panics on an unrecognized value, or on `avx2` when the host cannot
+/// execute it — a forced-but-impossible knob must fail loudly, not
+/// silently fall back and invalidate an A/B measurement.
+fn env_level() -> Option<SimdLevel> {
+    static ENV: OnceLock<Option<SimdLevel>> = OnceLock::new();
+    *ENV.get_or_init(|| match std::env::var("SCNN_SIMD") {
+        Ok(v) if v.eq_ignore_ascii_case("scalar") => Some(SimdLevel::Scalar),
+        Ok(v) if v.eq_ignore_ascii_case("avx2") => {
+            assert!(
+                detected_level() == SimdLevel::Avx2,
+                "SCNN_SIMD=avx2 but this host does not support AVX2+FMA"
+            );
+            Some(SimdLevel::Avx2)
+        }
+        Ok(v) if v.is_empty() || v.eq_ignore_ascii_case("auto") => None,
+        Ok(v) => panic!("SCNN_SIMD must be scalar|avx2|auto, got {v:?}"),
+        Err(_) => None,
+    })
+}
+
+/// Forces an implementation set process-wide (`None` restores the
+/// `SCNN_SIMD`/detection default). For A/B benches and the `simd_props`
+/// identity suite; results are unaffected by construction.
+///
+/// # Panics
+///
+/// Panics when forcing [`SimdLevel::Avx2`] on a host without it.
+pub fn force_level(level: Option<SimdLevel>) {
+    let code = match level {
+        None => 0,
+        Some(SimdLevel::Scalar) => 1,
+        Some(SimdLevel::Avx2) => {
+            assert!(
+                detected_level() == SimdLevel::Avx2,
+                "cannot force AVX2 kernels: host does not support AVX2+FMA"
+            );
+            2
+        }
+    };
+    FORCED.store(code, Ordering::Relaxed);
+}
+
+/// The implementation set the next kernel call will run: the
+/// [`force_level`] override if set, else `SCNN_SIMD`, else detection.
+pub fn active_level() -> SimdLevel {
+    match FORCED.load(Ordering::Relaxed) {
+        1 => SimdLevel::Scalar,
+        2 => SimdLevel::Avx2,
+        _ => env_level().unwrap_or_else(detected_level),
+    }
+}
+
+/// `true` when the AVX2 bodies should run — the single branch every
+/// dispatcher below evaluates.
+#[inline]
+fn use_avx2() -> bool {
+    // On non-x86 builds the AVX2 bodies do not exist; `active_level` can
+    // only ever say Scalar there (detection returns Scalar and forcing
+    // Avx2 panics), so this compiles to `false`.
+    cfg!(target_arch = "x86_64") && active_level() == SimdLevel::Avx2
+}
+
+/// Reduces the 8 lanes with a fixed pairwise tree, then folds the scalar
+/// tail. The evaluation order depends only on `k`, never on threads, on
+/// the executing ISA, or on which caller (octet, quad or single) produced
+/// the lanes.
+#[inline]
+pub(crate) fn lane_sum(acc: [f32; LANES], tail: f32) -> f32 {
+    let s0 = acc[0] + acc[4];
+    let s1 = acc[1] + acc[5];
+    let s2 = acc[2] + acc[6];
+    let s3 = acc[3] + acc[7];
+    ((s0 + s2) + (s1 + s3)) + tail
+}
+
+/// 8-lane blocked dot product: lane `l` accumulates elements `p ≡ l (mod
+/// 8)`, breaking the serial FP dependency chain. Crate-visible so the
+/// tiled convolution engine reduces packed patch rows with the exact same
+/// order as the materialized GEMM path.
+///
+/// # Panics
+///
+/// Panics if the slices' lengths differ (checked once, up front — never
+/// deep inside the lane loop).
+#[inline]
+pub(crate) fn dot8(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "dot8 operand length mismatch");
+    #[cfg(target_arch = "x86_64")]
+    if use_avx2() {
+        // Safety: AVX2+FMA presence established by `active_level`, equal
+        // lengths asserted above.
+        return unsafe { avx2::dot8(a, b) };
+    }
+    dot8_scalar(a, b)
+}
+
+/// Portable body of [`dot8`]. The `as_chunks` split is infallible — a
+/// malformed length can no longer panic inside the hot loop (the old
+/// `try_into().unwrap()` tail-lane extraction could).
+fn dot8_scalar(a: &[f32], b: &[f32]) -> f32 {
+    let (ab, at) = a.as_chunks::<LANES>();
+    let (bb, bt) = b.as_chunks::<LANES>();
+    let mut acc = [0.0f32; LANES];
+    for (ka, kb) in ab.iter().zip(bb) {
+        for l in 0..LANES {
+            acc[l] += ka[l] * kb[l];
+        }
+    }
+    let mut tail = 0.0f32;
+    for (x, y) in at.iter().zip(bt) {
+        tail += x * y;
+    }
+    lane_sum(acc, tail)
+}
+
+/// Four simultaneous [`dot8`]s sharing one pass over `a` (so the A-row is
+/// loaded once per quad instead of once per dot). Bit-identical to four
+/// independent `dot8` calls.
+///
+/// # Panics
+///
+/// Panics if any operand length differs from `a`'s.
+#[inline]
+pub(crate) fn dot8_x4(a: &[f32], b0: &[f32], b1: &[f32], b2: &[f32], b3: &[f32]) -> [f32; 4] {
+    let k = a.len();
+    assert!(
+        b0.len() == k && b1.len() == k && b2.len() == k && b3.len() == k,
+        "dot8_x4 operand length mismatch"
+    );
+    #[cfg(target_arch = "x86_64")]
+    if use_avx2() {
+        // Safety: AVX2+FMA presence established; equal lengths asserted.
+        return unsafe { avx2::dot8_x4(a, b0, b1, b2, b3) };
+    }
+    dot8_x4_scalar(a, b0, b1, b2, b3)
+}
+
+fn dot8_x4_scalar(a: &[f32], b0: &[f32], b1: &[f32], b2: &[f32], b3: &[f32]) -> [f32; 4] {
+    let mut acc0 = [0.0f32; LANES];
+    let mut acc1 = [0.0f32; LANES];
+    let mut acc2 = [0.0f32; LANES];
+    let mut acc3 = [0.0f32; LANES];
+    let (ab, at) = a.as_chunks::<LANES>();
+    let (b0b, b0t) = b0.as_chunks::<LANES>();
+    let (b1b, b1t) = b1.as_chunks::<LANES>();
+    let (b2b, b2t) = b2.as_chunks::<LANES>();
+    let (b3b, b3t) = b3.as_chunks::<LANES>();
+    for (ci, ka) in ab.iter().enumerate() {
+        let (k0, k1, k2, k3) = (&b0b[ci], &b1b[ci], &b2b[ci], &b3b[ci]);
+        for l in 0..LANES {
+            acc0[l] += ka[l] * k0[l];
+            acc1[l] += ka[l] * k1[l];
+            acc2[l] += ka[l] * k2[l];
+            acc3[l] += ka[l] * k3[l];
+        }
+    }
+    let mut tails = [0.0f32; 4];
+    for (p, &x) in at.iter().enumerate() {
+        tails[0] += x * b0t[p];
+        tails[1] += x * b1t[p];
+        tails[2] += x * b2t[p];
+        tails[3] += x * b3t[p];
+    }
+    [
+        lane_sum(acc0, tails[0]),
+        lane_sum(acc1, tails[1]),
+        lane_sum(acc2, tails[2]),
+        lane_sum(acc3, tails[3]),
+    ]
+}
+
+/// Eight simultaneous [`dot8`]s sharing one pass over `a`. Bit-identical
+/// to eight independent `dot8` calls — each accumulator set is private to
+/// its B row and reduces through the same [`lane_sum`] tree.
+///
+/// Taking the rows as `[&[f32]; 8]` (rather than one contiguous `8·k`
+/// slice) matters for the scalar body: with eight independent bases the
+/// compiler keeps the per-row block loads simple and vectorizes the whole
+/// sweep (measured ~3× on the conv GEMM shape). The AVX2 body maps the
+/// eight accumulator sets onto eight `__m256` registers directly.
+///
+/// # Panics
+///
+/// Panics if any row's length differs from `a`'s.
+#[inline]
+pub(crate) fn dot8_x8(a: &[f32], bs: [&[f32]; 8]) -> [f32; 8] {
+    for b in &bs {
+        assert_eq!(b.len(), a.len(), "dot8_x8 operand length mismatch");
+    }
+    #[cfg(target_arch = "x86_64")]
+    if use_avx2() {
+        // Safety: AVX2+FMA presence established; equal lengths asserted.
+        return unsafe { avx2::dot8_x8(a, bs) };
+    }
+    dot8_x8_scalar(a, bs)
+}
+
+/// `inline(never)` is load-bearing for the scalar body: inlined into the
+/// large tiled-conv closure the sweep loses its autovectorization
+/// (measured ~2.5× slower); as a standalone function it always compiles
+/// clean, and the call cost is noise next to the `8·k` multiplies.
+#[inline(never)]
+fn dot8_x8_scalar(a: &[f32], bs: [&[f32]; 8]) -> [f32; 8] {
+    let mut acc = [[0.0f32; LANES]; 8];
+    let (ab, at) = a.as_chunks::<LANES>();
+    for (ci, ka) in ab.iter().enumerate() {
+        for (j, b) in bs.iter().enumerate() {
+            let kb = &b.as_chunks::<LANES>().0[ci];
+            for l in 0..LANES {
+                acc[j][l] += ka[l] * kb[l];
+            }
+        }
+    }
+    let rem = ab.len() * LANES;
+    let mut tails = [0.0f32; 8];
+    for (p, &x) in at.iter().enumerate() {
+        for (j, b) in bs.iter().enumerate() {
+            tails[j] += x * b[rem + p];
+        }
+    }
+    let mut out = [0.0f32; 8];
+    for j in 0..8 {
+        out[j] = lane_sum(acc[j], tails[j]);
+    }
+    out
+}
+
+/// `y[i] += alpha * x[i]` — the accumulation row of `matmul`,
+/// `matmul_at_b`, the conv `dw` fold and the `dx` weight reduction.
+/// Elementwise (each output element is exactly one mul and one add in
+/// both bodies), so any vector width produces identical bits; callers
+/// keep their zero-skip (`alpha == 0.0`) outside.
+///
+/// # Panics
+///
+/// Panics if the slices' lengths differ.
+#[inline]
+pub(crate) fn axpy(alpha: f32, x: &[f32], y: &mut [f32]) {
+    assert_eq!(x.len(), y.len(), "axpy operand length mismatch");
+    #[cfg(target_arch = "x86_64")]
+    if use_avx2() {
+        // Safety: AVX2+FMA presence established; equal lengths asserted.
+        unsafe { avx2::axpy(alpha, x, y) };
+        return;
+    }
+    for (o, &v) in y.iter_mut().zip(x) {
+        *o += alpha * v;
+    }
+}
+
+/// `y[i] += x[i]` — partial-block folds and the contiguous `dx` scatter
+/// runs. Elementwise, hence width-independent bits.
+///
+/// # Panics
+///
+/// Panics if the slices' lengths differ.
+#[inline]
+pub(crate) fn add_assign(y: &mut [f32], x: &[f32]) {
+    assert_eq!(x.len(), y.len(), "add_assign operand length mismatch");
+    #[cfg(target_arch = "x86_64")]
+    if use_avx2() {
+        // Safety: AVX2+FMA presence established; equal lengths asserted.
+        unsafe { avx2::add_assign(y, x) };
+        return;
+    }
+    for (o, &v) in y.iter_mut().zip(x) {
+        *o += v;
+    }
+}
+
+/// The AVX2+FMA bodies. Every function here is `unsafe` with the same
+/// contract: the caller has verified AVX2+FMA support and equal slice
+/// lengths. Arithmetic is `mul` + `add` (never `fmadd`) — see the module
+/// docs for why FMA contraction would break the bit-identity contract.
+#[cfg(target_arch = "x86_64")]
+mod avx2 {
+    use super::{lane_sum, LANES};
+    use core::arch::x86_64::{
+        __m256, _mm256_add_ps, _mm256_loadu_ps, _mm256_mul_ps, _mm256_set1_ps, _mm256_setzero_ps,
+        _mm256_storeu_ps,
+    };
+
+    /// Spills one accumulator register back to the scalar lane array, so
+    /// the final reduction is literally the same [`lane_sum`] call the
+    /// scalar body makes.
+    #[inline]
+    #[target_feature(enable = "avx2,fma")]
+    unsafe fn spill(acc: __m256) -> [f32; LANES] {
+        let mut lanes = [0.0f32; LANES];
+        unsafe { _mm256_storeu_ps(lanes.as_mut_ptr(), acc) };
+        lanes
+    }
+
+    #[target_feature(enable = "avx2,fma")]
+    pub(super) unsafe fn dot8(a: &[f32], b: &[f32]) -> f32 {
+        let blocks = a.len() / LANES;
+        let mut acc = _mm256_setzero_ps();
+        unsafe {
+            for ci in 0..blocks {
+                let base = ci * LANES;
+                let va = _mm256_loadu_ps(a.as_ptr().add(base));
+                let vb = _mm256_loadu_ps(b.as_ptr().add(base));
+                acc = _mm256_add_ps(acc, _mm256_mul_ps(va, vb));
+            }
+        }
+        let mut tail = 0.0f32;
+        for p in blocks * LANES..a.len() {
+            tail += a[p] * b[p];
+        }
+        lane_sum(unsafe { spill(acc) }, tail)
+    }
+
+    #[target_feature(enable = "avx2,fma")]
+    pub(super) unsafe fn dot8_x4(
+        a: &[f32],
+        b0: &[f32],
+        b1: &[f32],
+        b2: &[f32],
+        b3: &[f32],
+    ) -> [f32; 4] {
+        let blocks = a.len() / LANES;
+        let mut acc = [_mm256_setzero_ps(); 4];
+        unsafe {
+            let bp = [b0.as_ptr(), b1.as_ptr(), b2.as_ptr(), b3.as_ptr()];
+            for ci in 0..blocks {
+                let base = ci * LANES;
+                let va = _mm256_loadu_ps(a.as_ptr().add(base));
+                for j in 0..4 {
+                    let vb = _mm256_loadu_ps(bp[j].add(base));
+                    acc[j] = _mm256_add_ps(acc[j], _mm256_mul_ps(va, vb));
+                }
+            }
+        }
+        let rem = blocks * LANES;
+        let mut tails = [0.0f32; 4];
+        for p in rem..a.len() {
+            tails[0] += a[p] * b0[p];
+            tails[1] += a[p] * b1[p];
+            tails[2] += a[p] * b2[p];
+            tails[3] += a[p] * b3[p];
+        }
+        let spilled = unsafe { [spill(acc[0]), spill(acc[1]), spill(acc[2]), spill(acc[3])] };
+        [
+            lane_sum(spilled[0], tails[0]),
+            lane_sum(spilled[1], tails[1]),
+            lane_sum(spilled[2], tails[2]),
+            lane_sum(spilled[3], tails[3]),
+        ]
+    }
+
+    #[target_feature(enable = "avx2,fma")]
+    pub(super) unsafe fn dot8_x8(a: &[f32], bs: [&[f32]; 8]) -> [f32; 8] {
+        let blocks = a.len() / LANES;
+        let mut acc = [_mm256_setzero_ps(); 8];
+        unsafe {
+            let bp: [*const f32; 8] = [
+                bs[0].as_ptr(),
+                bs[1].as_ptr(),
+                bs[2].as_ptr(),
+                bs[3].as_ptr(),
+                bs[4].as_ptr(),
+                bs[5].as_ptr(),
+                bs[6].as_ptr(),
+                bs[7].as_ptr(),
+            ];
+            for ci in 0..blocks {
+                let base = ci * LANES;
+                let va = _mm256_loadu_ps(a.as_ptr().add(base));
+                for j in 0..8 {
+                    let vb = _mm256_loadu_ps(bp[j].add(base));
+                    acc[j] = _mm256_add_ps(acc[j], _mm256_mul_ps(va, vb));
+                }
+            }
+        }
+        let rem = blocks * LANES;
+        let mut tails = [0.0f32; 8];
+        for p in rem..a.len() {
+            for (j, b) in bs.iter().enumerate() {
+                tails[j] += a[p] * b[p];
+            }
+        }
+        let mut out = [0.0f32; 8];
+        for j in 0..8 {
+            out[j] = lane_sum(unsafe { spill(acc[j]) }, tails[j]);
+        }
+        out
+    }
+
+    #[target_feature(enable = "avx2,fma")]
+    pub(super) unsafe fn axpy(alpha: f32, x: &[f32], y: &mut [f32]) {
+        let n = y.len();
+        let blocks = n / LANES;
+        unsafe {
+            let va = _mm256_set1_ps(alpha);
+            for ci in 0..blocks {
+                let base = ci * LANES;
+                let vx = _mm256_loadu_ps(x.as_ptr().add(base));
+                let vy = _mm256_loadu_ps(y.as_ptr().add(base));
+                _mm256_storeu_ps(
+                    y.as_mut_ptr().add(base),
+                    _mm256_add_ps(vy, _mm256_mul_ps(va, vx)),
+                );
+            }
+        }
+        for p in blocks * LANES..n {
+            y[p] += alpha * x[p];
+        }
+    }
+
+    #[target_feature(enable = "avx2,fma")]
+    pub(super) unsafe fn add_assign(y: &mut [f32], x: &[f32]) {
+        let n = y.len();
+        let blocks = n / LANES;
+        unsafe {
+            for ci in 0..blocks {
+                let base = ci * LANES;
+                let vx = _mm256_loadu_ps(x.as_ptr().add(base));
+                let vy = _mm256_loadu_ps(y.as_ptr().add(base));
+                _mm256_storeu_ps(y.as_mut_ptr().add(base), _mm256_add_ps(vy, vx));
+            }
+        }
+        for p in blocks * LANES..n {
+            y[p] += x[p];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fill(len: usize, seed: u32) -> Vec<f32> {
+        let mut state = seed.wrapping_mul(2654435761).wrapping_add(1);
+        (0..len)
+            .map(|_| {
+                state = state.wrapping_mul(1664525).wrapping_add(1013904223);
+                (state >> 8) as f32 / (1u32 << 24) as f32 - 0.5
+            })
+            .collect()
+    }
+
+    /// Runs `f` under each level this host supports and asserts the
+    /// results' bits agree. Restores the default afterwards.
+    fn assert_levels_agree<T: PartialEq + std::fmt::Debug>(f: impl Fn() -> T) {
+        force_level(Some(SimdLevel::Scalar));
+        let scalar = f();
+        if detected_level() == SimdLevel::Avx2 {
+            force_level(Some(SimdLevel::Avx2));
+            let avx2 = f();
+            assert_eq!(scalar, avx2, "scalar vs avx2 mismatch");
+        }
+        force_level(None);
+    }
+
+    #[test]
+    fn dot8_bitwise_identical_across_levels_and_tails() {
+        // Every tail residue 0..8 and a couple of longer shapes.
+        for k in (0..=16).chain([31, 64, 129, 300]) {
+            let a = fill(k, 1 + k as u32);
+            let b = fill(k, 1000 + k as u32);
+            assert_levels_agree(|| dot8(&a, &b).to_bits());
+        }
+    }
+
+    #[test]
+    fn multi_dot_kernels_match_single_dot() {
+        for k in [0, 1, 7, 8, 9, 40, 257] {
+            let a = fill(k, 7);
+            let bs: Vec<Vec<f32>> = (0..8).map(|j| fill(k, 100 + j)).collect();
+            let refs: [&[f32]; 8] = std::array::from_fn(|j| bs[j].as_slice());
+            assert_levels_agree(|| {
+                let singles: Vec<u32> = bs.iter().map(|b| dot8(&a, b).to_bits()).collect();
+                let quad = dot8_x4(&a, &bs[0], &bs[1], &bs[2], &bs[3]);
+                let octet = dot8_x8(&a, refs);
+                for j in 0..4 {
+                    assert_eq!(quad[j].to_bits(), singles[j], "quad lane {j} k={k}");
+                }
+                for j in 0..8 {
+                    assert_eq!(octet[j].to_bits(), singles[j], "octet lane {j} k={k}");
+                }
+                singles
+            });
+        }
+    }
+
+    #[test]
+    fn axpy_and_add_assign_are_elementwise_identical() {
+        for n in [0, 1, 5, 8, 13, 256] {
+            let x = fill(n, 3);
+            let y0 = fill(n, 4);
+            assert_levels_agree(|| {
+                let mut y = y0.clone();
+                axpy(0.37, &x, &mut y);
+                add_assign(&mut y, &x);
+                y.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+            });
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_are_a_checked_error() {
+        // The old tail extraction `try_into().unwrap()`ed deep in the lane
+        // loop; now the contract is checked once at entry.
+        dot8(&[1.0, 2.0], &[1.0]);
+    }
+
+    #[test]
+    fn level_name_round_trips() {
+        for l in [SimdLevel::Scalar, SimdLevel::Avx2] {
+            assert_eq!(SimdLevel::parse(l.name()), Some(l));
+        }
+        assert_eq!(SimdLevel::parse("sse9"), None);
+    }
+}

@@ -262,6 +262,48 @@ fn epoch_is_bit_identical_across_thread_counts() {
     assert_eq!(serial, threaded, "thread count changed the epoch loss bits");
 }
 
+/// The runtime-SIMD-dispatch contract (DESIGN.md §14), end to end: a
+/// seeded training epoch must produce bit-identical losses whether the
+/// micro-kernels run their portable scalar bodies or the AVX2 ones, at
+/// any thread count — the AVX2 bodies evaluate the same IEEE mul/add
+/// sequence (no FMA contraction), so the ISA is a pure speed choice.
+/// `force_level` is the in-process equivalent of `SCNN_SIMD=scalar|avx2`;
+/// on a host without AVX2 the test degenerates to scalar vs scalar.
+#[test]
+fn epoch_is_bit_identical_across_simd_levels() {
+    use split_cnn::tensor::{detected_level, force_level, SimdLevel};
+    let epoch_loss = || {
+        let desc = resnet18(&ModelOptions::cifar().with_width(0.125));
+        let plan = plan_split(&desc, &SplitConfig::new(0.5, 2, 2)).unwrap();
+        let g = plan.lower(&desc, 4);
+        let mut spec = SyntheticSpec::cifar_like(11);
+        spec.classes = 3;
+        let data = SyntheticDataset::new(spec);
+        let (train, _) = data.train_test(3, 1, 4);
+        let mut rng = SplitRng::seed_from_u64(77);
+        let mut params = ParamStore::init(&g, &mut rng);
+        let mut bn = BnState::new();
+        let mut opt = Sgd::new(&params, 0.05, 0.9, 1e-4);
+        let mut provider = |_| g.clone();
+        train_epoch(&mut provider, &mut params, &mut bn, &mut opt, &train, &mut rng)
+            .loss
+            .to_bits()
+    };
+    force_level(Some(SimdLevel::Scalar));
+    let scalar_1 = split_cnn::par::with_threads(1, epoch_loss);
+    let scalar_4 = split_cnn::par::with_threads(4, epoch_loss);
+    let mut results = vec![("scalar@4", scalar_4)];
+    if detected_level() == SimdLevel::Avx2 {
+        force_level(Some(SimdLevel::Avx2));
+        results.push(("avx2@1", split_cnn::par::with_threads(1, epoch_loss)));
+        results.push(("avx2@4", split_cnn::par::with_threads(4, epoch_loss)));
+    }
+    force_level(None);
+    for (label, bits) in results {
+        assert_eq!(bits, scalar_1, "{label} loss bits differ from scalar@1");
+    }
+}
+
 /// Regression test for the hermetic RNG migration: two identically-seeded
 /// multi-epoch runs must agree bit-for-bit on every per-epoch loss, and
 /// identically-seeded stochastic planners must emit the same scheme
