@@ -170,7 +170,7 @@ fn main() {
     let exec_plan = export_plan_with(&graph, &tape, &plan_micro, &tso_micro, overlap)
         .expect("micro plan is legal with overlap")
         .with_micro_schedule(Arc::new(schedule));
-    let mut rt = scnn_runtime::PlanRuntime::new(&graph, exec_plan);
+    let mut rt = scnn_runtime::PlanRuntime::new(&graph, exec_plan).expect("runtime builds");
     let exec_micro = rt.executor();
     let micro_step = |provider: &mut dyn BufferProvider| {
         let mut params = ParamStore::init(&graph, &mut SplitRng::seed_from_u64(7));

@@ -1,0 +1,138 @@
+//! Serving-path benchmark: request latency, throughput and memory of the
+//! `scnn-serve` runtime on a split ResNet-18, at several concurrency
+//! levels. Results land in `BENCH_serving.json`:
+//!
+//! - `serve_latency/c{N}` — per-request wall latency through the dynamic
+//!   batcher with `N` closed-loop clients; `median_ns` is the p50 and
+//!   `p99_ns` the tail the `--max-p99` gate pins;
+//! - `serve_rps/c{N}` — requests per second over the same run (a count in
+//!   the `peak_bytes` slot, like the capacity records);
+//! - `serve_pool/c{N}` — measured pool high-water of one `N`-slot batch.
+//!   [`Engine::run_batch`] asserts it equals the planned
+//!   `N × device_general_bytes` exactly, so verify pins it from both
+//!   sides (`--max-peak` + `--min-peak` at the same value);
+//! - `serve_resident_peak/c{N}` — peak physically resident activation
+//!   bytes of that batch (deterministic: sampled at wave barriers);
+//! - `capacity/max_concurrency` — the Fig. 10-style search: the largest
+//!   concurrency whose planned footprint fits a fixed device budget.
+//!
+//! Flags: `--smoke` (tiny model, few requests), `--concurrency 1,8,64`
+//! (comma-separated levels), `--deadline-us 2000` (batcher deadline).
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use scnn_bench::{Args, BenchGroup};
+use scnn_core::{plan_split, SplitConfig};
+use scnn_graph::{Graph, NodeId};
+use scnn_models::{resnet18, ModelOptions};
+use scnn_nn::{BnState, Executor, Mode, ParamStore};
+use scnn_rng::SplitRng;
+use scnn_serve::{BatchPolicy, Engine, Server};
+use scnn_tensor::{uniform, Tensor};
+
+fn request(graph: &Graph, seed: u64) -> Tensor {
+    let dims = graph.node(NodeId(0)).out_shape.clone();
+    uniform(&mut SplitRng::seed_from_u64(seed), &dims, -1.0, 1.0)
+}
+
+fn main() {
+    let args = Args::parse(&["smoke", "bench", "concurrency", "deadline-us"]);
+    let smoke = args.bool("smoke");
+    let levels = args.usize_list("concurrency", &[1, 8, 64]);
+    let deadline = Duration::from_micros(args.u64("deadline-us", 2_000));
+    let mut g = BenchGroup::new("serving");
+
+    let (width, reqs_per_client) = if smoke { (0.125, 2) } else { (0.25, 8) };
+    let desc = resnet18(&ModelOptions::cifar().with_width(width));
+    let split = plan_split(&desc, &SplitConfig::new(0.5, 2, 2)).expect("resnet splits");
+    let graph = split.lower(&desc, 1);
+
+    // One training step populates the BN running statistics and
+    // de-trivializes the weights; the engine then freezes both.
+    let mut rng = SplitRng::seed_from_u64(17);
+    let mut params = ParamStore::init(&graph, &mut rng);
+    let mut bn = BnState::new();
+    let seed_request = request(&graph, 1);
+    Executor::new().run(
+        &graph, &mut params, &mut bn, &seed_request, &[3], Mode::Train, &mut rng,
+    );
+    let engine = Arc::new(
+        Engine::new(split.lower(&desc, 1), Arc::new(params), Arc::new(bn))
+            .expect("plan is legal"),
+    );
+    // Warm the kernels and the workspace pool before anything is timed.
+    engine.run_batch(std::slice::from_ref(&seed_request));
+
+    for &c in &levels {
+        assert!(c > 0, "--concurrency levels must be positive");
+        // Memory accounting first: one direct batch at this concurrency.
+        // Both numbers are shape-determined, so verify can pin them.
+        let batch: Vec<Tensor> = (0..c).map(|i| request(engine.graph(), 200 + i as u64)).collect();
+        let (_, stats) = engine.run_batch(&batch);
+        g.record_bytes(&format!("serve_pool/c{c}"), stats.pool_high_water);
+        g.record_bytes(&format!("serve_resident_peak/c{c}"), stats.resident_peak);
+        println!(
+            "  c={c}: pool high-water {} B (planned {} B), resident peak {} B",
+            stats.pool_high_water, stats.planned_pool_bytes, stats.resident_peak
+        );
+
+        // Latency and throughput through the dynamic batcher: `c`
+        // closed-loop clients, each sending its requests back to back.
+        let server = Server::start(
+            engine.clone(),
+            BatchPolicy {
+                max_batch: c,
+                deadline,
+            },
+        );
+        let started = Instant::now();
+        let latencies: Vec<u128> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..c)
+                .map(|client| {
+                    let server = &server;
+                    let engine = engine.clone();
+                    s.spawn(move || {
+                        let mut mine = Vec::with_capacity(reqs_per_client);
+                        for r in 0..reqs_per_client {
+                            let req =
+                                request(engine.graph(), (client * 1_000 + r) as u64);
+                            let t = Instant::now();
+                            let logits = server.infer(req);
+                            assert!(!logits.is_empty(), "a response carries logits");
+                            mine.push(t.elapsed().as_nanos());
+                        }
+                        mine
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("client thread"))
+                .collect()
+        });
+        let wall = started.elapsed();
+        drop(server);
+        let total = c * reqs_per_client;
+        let rps = total as f64 / wall.as_secs_f64();
+        g.record_latency(&format!("serve_latency/c{c}"), &latencies);
+        g.record_bytes(&format!("serve_rps/c{c}"), rps as usize);
+        println!("  c={c}: {total} requests in {wall:?} — {rps:.1} req/s");
+    }
+
+    // Capacity search at a fixed device budget — the serving counterpart
+    // of the memory bench's Fig. 10 `max_batch_size` records.
+    let budget = if smoke { 8 << 20 } else { 64 << 20 };
+    let cap = engine
+        .max_concurrency(budget, 4096)
+        .expect("at least one request fits the budget");
+    g.record_bytes("capacity/max_concurrency", cap.max_concurrency);
+    println!(
+        "  capacity {} MiB: max concurrency {} ({} B planned at that level)",
+        budget >> 20,
+        cap.max_concurrency,
+        cap.device_bytes
+    );
+
+    g.finish();
+}

@@ -158,6 +158,38 @@ impl Args {
         self.get_parsed(key, "a non-negative integer", default)
     }
 
+    /// Comma-separated integer list with default (e.g.
+    /// `--concurrency 1,8,64`); exits with usage on a malformed or empty
+    /// element.
+    pub fn usize_list(&self, key: &str, default: &[usize]) -> Vec<usize> {
+        self.try_usize_list(key, default)
+            .unwrap_or_else(|e| usage_exit(&e))
+    }
+
+    /// Fallible comma-separated integer list accessor.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the flag is present and any element fails
+    /// to parse as a non-negative integer (empty elements included, so
+    /// `1,,8` and a trailing comma are rejected).
+    pub fn try_usize_list(&self, key: &str, default: &[usize]) -> Result<Vec<usize>, String> {
+        match self.values.get(key) {
+            None => Ok(default.to_vec()),
+            Some(v) => v
+                .split(',')
+                .map(|part| {
+                    part.parse().map_err(|_| {
+                        format!(
+                            "--{key} must be a comma-separated list of \
+                             non-negative integers, got `{v}`"
+                        )
+                    })
+                })
+                .collect(),
+        }
+    }
+
     fn get_parsed<T: std::str::FromStr>(
         &self,
         key: &str,
@@ -236,6 +268,20 @@ mod tests {
             .restrict(&["scale"])
             .unwrap_err();
         assert!(e.contains("--bogus"), "{e}");
+    }
+
+    #[test]
+    fn usize_lists_parse_and_reject_garbage() {
+        let a = parse(&["--concurrency", "1,8,64", "--deadline-us", "500"]).unwrap();
+        assert_eq!(a.try_usize_list("concurrency", &[1]), Ok(vec![1, 8, 64]));
+        assert_eq!(a.try_usize_list("absent", &[2, 4]), Ok(vec![2, 4]));
+        assert_eq!(a.try_usize("deadline-us", 1000), Ok(500));
+
+        for bad in ["1,eight", "1,,8", "8,", "-1"] {
+            let a = parse(&["--concurrency", bad]).unwrap();
+            let e = a.try_usize_list("concurrency", &[1]).unwrap_err();
+            assert!(e.contains("--concurrency"), "{bad}: {e}");
+        }
     }
 
     #[test]

@@ -34,11 +34,14 @@
 //!     # the named record must carry peak_bytes >= the bound — for
 //!     # records whose "bytes" are a count that must not shrink (e.g.
 //!     # the capacity search's max batch)
+//! bench_check --file ... --max-p99 serve_latency/c8:90000000
+//!     # the named record must carry p99_ns <= the bound — for
+//!     # latency-distribution records (serving tail latency)
 //! ```
 //!
-//! All take comma-separated `name:bound` pairs; a missing record or a
-//! record without `peak_bytes` (for `--max-peak`/`--min-peak`) fails the
-//! gate.
+//! All take comma-separated `name:bound` pairs; a missing record, a
+//! record without `peak_bytes` (for `--max-peak`/`--min-peak`), or one
+//! without `p99_ns` (for `--max-p99`) fails the gate.
 
 use scnn_bench::{Args, BenchRecord};
 
@@ -66,7 +69,15 @@ fn load(path: &str) -> Vec<BenchRecord> {
 }
 
 fn main() {
-    let args = Args::parse(&["file", "baseline", "tolerance", "max-median", "max-peak", "min-peak"]);
+    let args = Args::parse(&[
+        "file",
+        "baseline",
+        "tolerance",
+        "max-median",
+        "max-peak",
+        "min-peak",
+        "max-p99",
+    ]);
     let Some(file) = args.str("file") else {
         eprintln!("usage: bench_check --file <BENCH_x.json> [--baseline <BENCH_x.json>] [--tolerance 0.25]");
         std::process::exit(2);
@@ -137,6 +148,28 @@ fn main() {
         }
     }
 
+    for (name, bound) in parse_bounds(args.str("max-p99"), "--max-p99") {
+        match fresh.iter().find(|r| r.name == name) {
+            None => {
+                eprintln!("GATE: `{name}` (--max-p99) was not measured");
+                failed = true;
+            }
+            Some(r) => match r.p99_ns {
+                None => {
+                    eprintln!("GATE: `{name}` carries no p99_ns to check");
+                    failed = true;
+                }
+                Some(p) if p > bound => {
+                    eprintln!("GATE: `{name}` p99 {p} ns exceeds the {bound} ns bound");
+                    failed = true;
+                }
+                Some(p) => {
+                    println!("{:<40} {:>12} ns  <= {:>12} ns  ok (p99)", name, p, bound);
+                }
+            },
+        }
+    }
+
     let Some(baseline_path) = args.str("baseline") else {
         if failed {
             eprintln!("error: absolute gate violated in {file}");
@@ -180,7 +213,7 @@ fn main() {
     if failed {
         eprintln!(
             "error: gate violated (regression beyond {:.0}% against {baseline_path}, \
-             or an absolute --max-median/--max-peak/--min-peak bound)",
+             or an absolute --max-median/--max-peak/--min-peak/--max-p99 bound)",
             tolerance * 100.0
         );
         std::process::exit(1);

@@ -47,6 +47,11 @@ pub struct BenchRecord {
     /// memory benchmarks (the `memory` group annotates resident
     /// activation peaks via [`BenchGroup::set_peak_bytes`]).
     pub peak_bytes: Option<u128>,
+    /// 99th-percentile per-call time, nanoseconds — present only for
+    /// latency-distribution records ([`BenchGroup::record_latency`]),
+    /// where `median_ns` doubles as the p50. Gated by
+    /// `bench_check --max-p99`.
+    pub p99_ns: Option<u128>,
 }
 
 impl BenchRecord {
@@ -57,9 +62,13 @@ impl BenchRecord {
             .peak_bytes
             .map(|b| format!(",\"peak_bytes\":{b}"))
             .unwrap_or_default();
+        let p99 = self
+            .p99_ns
+            .map(|v| format!(",\"p99_ns\":{v}"))
+            .unwrap_or_default();
         format!(
             "{{\"group\":\"{}\",\"name\":\"{}\",\"median_ns\":{},\"min_ns\":{},\
-             \"mean_ns\":{},\"samples\":{},\"warmup\":{}{peak}}}",
+             \"mean_ns\":{},\"samples\":{},\"warmup\":{}{peak}{p99}}}",
             escape(&self.group),
             escape(&self.name),
             self.median_ns,
@@ -88,6 +97,7 @@ impl BenchRecord {
         let (mut median_ns, mut min_ns, mut mean_ns) = (None, None, None);
         let (mut samples, mut warmup) = (None, None);
         let mut peak_bytes = None;
+        let mut p99_ns = None;
         loop {
             let key = p.string()?;
             p.expect(':')?;
@@ -100,6 +110,7 @@ impl BenchRecord {
                 "samples" => samples = Some(p.number()? as usize),
                 "warmup" => warmup = Some(p.number()? as usize),
                 "peak_bytes" => peak_bytes = Some(p.number()?),
+                "p99_ns" => p99_ns = Some(p.number()?),
                 other => return Err(format!("unknown field `{other}`")),
             }
             if p.eat(',') {
@@ -119,6 +130,7 @@ impl BenchRecord {
             samples: samples.ok_or_else(|| missing("samples"))?,
             warmup: warmup.ok_or_else(|| missing("warmup"))?,
             peak_bytes,
+            p99_ns,
         })
     }
 }
@@ -279,6 +291,7 @@ impl BenchGroup {
             samples: self.samples,
             warmup: self.warmup,
             peak_bytes: None,
+            p99_ns: None,
         };
         println!(
             "{:<40} median {:>12} ns   min {:>12} ns   ({} samples)",
@@ -319,11 +332,47 @@ impl BenchGroup {
             samples: 0,
             warmup: 0,
             peak_bytes: Some(bytes as u128),
+            p99_ns: None,
         };
         println!(
             "{:<40} peak   {:>12} B",
             format!("{}/{}", rec.group, rec.name),
             bytes
+        );
+        self.records.push(rec);
+        self
+    }
+
+    /// Records a latency distribution measured *by the caller* — one
+    /// nanosecond value per observed request. `median_ns` carries the p50
+    /// and `p99_ns` the 99th percentile (nearest-rank), so serving
+    /// benchmarks report tail latency the `--max-p99` gate can pin.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `latencies_ns` is empty.
+    pub fn record_latency(&mut self, name: &str, latencies_ns: &[u128]) -> &mut Self {
+        assert!(!latencies_ns.is_empty(), "a latency record needs samples");
+        let mut sorted = latencies_ns.to_vec();
+        sorted.sort_unstable();
+        let p99 = sorted[(sorted.len() * 99).div_ceil(100).max(1) - 1];
+        let rec = BenchRecord {
+            group: self.group.clone(),
+            name: name.to_string(),
+            median_ns: sorted[sorted.len() / 2],
+            min_ns: sorted[0],
+            mean_ns: sorted.iter().sum::<u128>() / sorted.len() as u128,
+            samples: sorted.len(),
+            warmup: 0,
+            peak_bytes: None,
+            p99_ns: Some(p99),
+        };
+        println!(
+            "{:<40} p50    {:>12} ns   p99 {:>12} ns   ({} requests)",
+            format!("{}/{}", rec.group, rec.name),
+            rec.median_ns,
+            p99,
+            rec.samples
         );
         self.records.push(rec);
         self
@@ -398,6 +447,7 @@ mod tests {
             samples: 1,
             warmup: 0,
             peak_bytes: None,
+            p99_ns: None,
         };
         assert!(r.to_json().contains("we\\\"ird"));
     }
@@ -413,6 +463,7 @@ mod tests {
             samples: 7,
             warmup: 2,
             peak_bytes: None,
+            p99_ns: None,
         };
         let back = BenchRecord::from_json(&r.to_json()).unwrap();
         assert_eq!(back.group, r.group);
@@ -440,6 +491,24 @@ mod tests {
             "{\"group\":\"g\",\"name\":\"n\",\"median_ns\":1,\"min_ns\":1,\
              \"mean_ns\":1,\"samples\":1,\"warmup\":1}";
         assert_eq!(BenchRecord::from_json(plain).unwrap().peak_bytes, None);
+    }
+
+    #[test]
+    fn latency_records_carry_p50_and_p99() {
+        let mut g = BenchGroup::new("serving");
+        let lat: Vec<u128> = (1..=100).collect();
+        g.record_latency("serve_latency/c1", &lat);
+        let r = &g.records()[0];
+        assert_eq!(r.median_ns, 51); // sorted[50]
+        assert_eq!(r.p99_ns, Some(99)); // nearest-rank p99 of 1..=100
+        assert_eq!(r.min_ns, 1);
+        assert_eq!(r.samples, 100);
+        let back = BenchRecord::from_json(&r.to_json()).unwrap();
+        assert_eq!(back.p99_ns, Some(99));
+        // A single observation is its own p50 and p99.
+        g.record_latency("one", &[7]);
+        assert_eq!(g.records()[1].p99_ns, Some(7));
+        assert_eq!(g.records()[1].median_ns, 7);
     }
 
     #[test]

@@ -24,6 +24,25 @@ pub struct Schedule {
     pub waves: Vec<Vec<usize>>,
 }
 
+/// One base [`Schedule`] replicated across `slots` concurrent request
+/// slots and merged wave-by-wave, so split-patch branches of *different*
+/// requests become sibling work units inside a single wave.
+///
+/// Wave `l` holds the pair `(slot, segment)` for every segment of the base
+/// wave `l` and every slot, in **segment-major** order: all slots of the
+/// first segment, then all slots of the next. The order is part of the
+/// contract — executors scatter results in unit order, so pinning it keeps
+/// batched inference bit-identical at any worker count. Dependencies never
+/// cross slots (each request reads only its own activations), so the merge
+/// preserves the base schedule's legality per slot.
+#[derive(Clone, Debug)]
+pub struct InterleavedSchedule {
+    /// Number of interleaved request slots.
+    pub slots: usize,
+    /// Merged waves of `(slot, segment)` work units (see type docs).
+    pub waves: Vec<Vec<(usize, usize)>>,
+}
+
 impl Schedule {
     /// Builds the schedule for `graph`.
     pub fn build(graph: &Graph) -> Schedule {
@@ -75,6 +94,30 @@ impl Schedule {
             waves[l].push(s);
         }
         Schedule { segments, waves }
+    }
+
+    /// Interleaves this schedule across `slots` concurrent requests (see
+    /// [`InterleavedSchedule`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `slots` is zero — a batch of nothing has no schedule.
+    pub fn interleave(&self, slots: usize) -> InterleavedSchedule {
+        assert!(slots > 0, "interleave needs at least one request slot");
+        let waves = self
+            .waves
+            .iter()
+            .map(|wave| {
+                let mut merged = Vec::with_capacity(wave.len() * slots);
+                for &seg in wave {
+                    for slot in 0..slots {
+                        merged.push((slot, seg));
+                    }
+                }
+                merged
+            })
+            .collect();
+        InterleavedSchedule { slots, waves }
     }
 }
 
@@ -177,5 +220,74 @@ mod tests {
             }
         }
         assert!(seen.iter().all(|&v| v), "all nodes scheduled");
+    }
+
+    #[test]
+    fn interleave_one_slot_is_the_base_schedule() {
+        let mut g = Graph::new();
+        let x = g.input(&[2, 2, 4, 8]);
+        let a = g.slice(x, 3, 0, 4, "a");
+        let b = g.slice(x, 3, 4, 4, "b");
+        let j = g.concat(&[a, b], 3, "j");
+        let f = g.flatten(j, "f");
+        let l = g.linear(f, 2, "fc");
+        g.softmax_cross_entropy(l, "loss");
+
+        let s = Schedule::build(&g);
+        let i = s.interleave(1);
+        assert_eq!(i.slots, 1);
+        let flat: Vec<Vec<usize>> = i
+            .waves
+            .iter()
+            .map(|w| w.iter().map(|&(slot, seg)| {
+                assert_eq!(slot, 0);
+                seg
+            }).collect())
+            .collect();
+        assert_eq!(flat, s.waves);
+    }
+
+    #[test]
+    fn interleave_is_segment_major_and_covers_every_pair_once() {
+        let mut g = Graph::new();
+        let x = g.input(&[2, 2, 4, 8]);
+        let a = g.slice(x, 3, 0, 4, "a");
+        let b = g.slice(x, 3, 4, 4, "b");
+        let ca = g.conv2d(a, 2, 3, 1, Padding2d::symmetric(1), true, "ca");
+        let cb = g.conv2d(b, 2, 3, 1, Padding2d::symmetric(1), true, "cb");
+        let j = g.concat(&[ca, cb], 3, "j");
+        let f = g.flatten(j, "f");
+        let l = g.linear(f, 2, "fc");
+        g.softmax_cross_entropy(l, "loss");
+
+        let s = Schedule::build(&g);
+        let slots = 3;
+        let i = s.interleave(slots);
+        assert_eq!(i.waves.len(), s.waves.len(), "interleave keeps wave depth");
+        let mut seen = std::collections::HashSet::new();
+        for (l, wave) in i.waves.iter().enumerate() {
+            // Segment-major: each base segment expands into a contiguous
+            // run of ascending slots.
+            let expect: Vec<(usize, usize)> = s.waves[l]
+                .iter()
+                .flat_map(|&seg| (0..slots).map(move |r| (r, seg)))
+                .collect();
+            assert_eq!(*wave, expect, "wave {l} order");
+            for &unit in wave {
+                assert!(seen.insert(unit), "unit {unit:?} scheduled twice");
+            }
+        }
+        assert_eq!(seen.len(), s.segments.len() * slots, "full coverage");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one request slot")]
+    fn interleave_zero_slots_panics() {
+        let mut g = Graph::new();
+        let x = g.input(&[1, 1, 2, 2]);
+        let f = g.flatten(x, "f");
+        let l = g.linear(f, 2, "fc");
+        g.softmax_cross_entropy(l, "loss");
+        Schedule::build(&g).interleave(0);
     }
 }

@@ -48,4 +48,4 @@ pub mod provider;
 
 pub use host::HostArena;
 pub use pool::PoolGauge;
-pub use provider::{MeterProvider, PlanRuntime, StepStats};
+pub use provider::{MeterProvider, PlanRuntime, RuntimeError, StepStats};

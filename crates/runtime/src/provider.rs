@@ -77,6 +77,34 @@ pub struct StepStats {
     pub plan_workspace_bytes: usize,
 }
 
+/// Why a [`PlanRuntime`] could not be built.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RuntimeError {
+    /// The memory plan failed first-fit layout replay.
+    Layout(LayoutError),
+    /// `SCNN_PLAN_CACHE` names a cache file that failed to load or
+    /// validate. Surfaced at construction so a corrupt cache cannot take
+    /// down a long-lived process from inside a kernel call.
+    PlanCache(String),
+}
+
+impl std::fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RuntimeError::Layout(e) => write!(f, "layout: {e}"),
+            RuntimeError::PlanCache(e) => write!(f, "plan cache: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
+impl From<LayoutError> for RuntimeError {
+    fn from(e: LayoutError) -> Self {
+        RuntimeError::Layout(e)
+    }
+}
+
 /// A pooled, plan-driven [`BufferProvider`]. One instance serves one graph
 /// and one plan, for any number of training steps.
 pub struct PlanRuntime {
@@ -111,18 +139,22 @@ pub struct PlanRuntime {
 
 impl PlanRuntime {
     /// Builds a runtime for `graph` executing `plan`.
-    pub fn new(graph: &Graph, plan: ExecPlan) -> Self {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::PlanCache`] when `SCNN_PLAN_CACHE` names a
+    /// broken cache file. The eager load means a corrupt cache fails at
+    /// construction instead of mid-epoch (the lazy per-lookup path only
+    /// warns and degrades to default blocking). Tuned plans alter only
+    /// bit-free blocking, so the step stays bit-identical with or without
+    /// a cache.
+    pub fn new(graph: &Graph, plan: ExecPlan) -> Result<Self, RuntimeError> {
         assert_eq!(
             plan.forward_len,
             graph.len(),
             "plan was exported for a different graph"
         );
-        // Load SCNN_PLAN_CACHE (tuned kernel blocking, DESIGN.md §14)
-        // eagerly: every kernel lookup also loads it lazily, but failing
-        // here surfaces a broken cache file at construction instead of
-        // mid-epoch. Tuned plans alter only bit-free blocking, so the
-        // step stays bit-identical with or without a cache.
-        scnn_tensor::ensure_plan_cache_loaded();
+        scnn_tensor::try_ensure_plan_cache_loaded().map_err(RuntimeError::PlanCache)?;
         let consumers: Vec<Vec<usize>> = graph
             .consumers()
             .into_iter()
@@ -138,7 +170,7 @@ impl PlanRuntime {
             graph.nodes().iter().map(|n| n.out_shape.clone()).collect();
         let arena = Arc::new(HostArena::with_bytes(plan.layout.host_pool_bytes));
         let n_tso = plan.sizes.len();
-        PlanRuntime {
+        Ok(PlanRuntime {
             plan,
             consumers,
             node_tso,
@@ -157,33 +189,39 @@ impl PlanRuntime {
             offloads: 0,
             prefetches: 0,
             stats: StepStats::default(),
-        }
+        })
     }
 
     /// Convenience: export `plan` against `graph`/`tape`/`tso` and build
     /// the runtime in one go.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::Layout`] when the plan fails layout replay,
+    /// [`RuntimeError::PlanCache`] as in [`PlanRuntime::new`].
     pub fn from_plan(
         graph: &Graph,
         tape: &scnn_graph::Tape,
         plan: &MemoryPlan,
         tso: &TsoAssignment,
-    ) -> Result<Self, LayoutError> {
-        Ok(PlanRuntime::new(graph, export_plan(graph, tape, plan, tso)?))
+    ) -> Result<Self, RuntimeError> {
+        PlanRuntime::new(graph, export_plan(graph, tape, plan, tso)?)
     }
 
     /// Like [`PlanRuntime::from_plan`], with explicit [`LayoutOptions`] —
     /// the way to run on a workspace/offload-overlapped layout.
+    ///
+    /// # Errors
+    ///
+    /// As in [`PlanRuntime::from_plan`].
     pub fn from_plan_with(
         graph: &Graph,
         tape: &scnn_graph::Tape,
         plan: &MemoryPlan,
         tso: &TsoAssignment,
         opts: LayoutOptions,
-    ) -> Result<Self, LayoutError> {
-        Ok(PlanRuntime::new(
-            graph,
-            export_plan_with(graph, tape, plan, tso, opts)?,
-        ))
+    ) -> Result<Self, RuntimeError> {
+        PlanRuntime::new(graph, export_plan_with(graph, tape, plan, tso, opts)?)
     }
 
     /// The resolved plan this runtime executes.

@@ -211,7 +211,7 @@ fn plan_runtime_honors_the_micro_schedule_bit_exactly() {
     let exec_plan = export_plan_with(&graph, &tape, &plan_micro, &tso_micro, overlap)
         .expect("micro plan exports")
         .with_micro_schedule(Arc::new(schedule));
-    let mut rt = PlanRuntime::new(&graph, exec_plan);
+    let mut rt = PlanRuntime::new(&graph, exec_plan).expect("runtime builds");
     assert!(
         rt.plan().layout.device_general_bytes <= legacy,
         "micro plan grew the overlapped pool: {} vs {}",

@@ -98,7 +98,7 @@ fn runtime_peak_matches_static_layout_prediction() {
             let exec = scnn_hmms::export_plan(&graph, &tape, &plan, &tso).expect("plan exports");
             let predicted = exec.layout.device_general_bytes;
             let predicted_host = exec.layout.host_pool_bytes;
-            let mut rt = PlanRuntime::new(&graph, exec);
+            let mut rt = PlanRuntime::new(&graph, exec).expect("runtime builds");
             let mut params = ParamStore::init(&graph, &mut SplitRng::seed_from_u64(1));
             let mut bn = BnState::new();
             let mut rng = SplitRng::seed_from_u64(2);

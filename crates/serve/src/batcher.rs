@@ -1,0 +1,149 @@
+//! The dynamic batcher: a queue, a deadline/size admission policy, and
+//! one executor thread.
+//!
+//! Requests enter through [`Server::submit`] from any number of client
+//! threads. A single batcher thread blocks on the queue, and on the first
+//! arrival opens a batch window: it keeps admitting requests until the
+//! batch reaches [`BatchPolicy::max_batch`] or the deadline measured from
+//! the first admission expires, then runs the whole batch through the
+//! shared [`Engine`] and delivers each response on its per-request
+//! channel.
+//!
+//! One executor thread is deliberate: batches own the `scnn-par` worker
+//! pool and the planned-pool assertion for their duration, so concurrent
+//! batches would fight over both. Concurrency lives *inside* the batch —
+//! the engine interleaves every request's split-patch branches across the
+//! worker pool.
+//!
+//! Batch composition depends on arrival timing; response *values* do not:
+//! each slot computes purely from its own request bytes, so a request's
+//! logits are bit-identical whether it rode alone or in a full batch (the
+//! determinism tests pin this).
+
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use scnn_tensor::Tensor;
+
+use crate::engine::Engine;
+
+/// When the batcher closes a batch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BatchPolicy {
+    /// Close as soon as this many requests are admitted.
+    pub max_batch: usize,
+    /// Close this long after the first admission, full or not.
+    pub deadline: Duration,
+}
+
+impl Default for BatchPolicy {
+    fn default() -> Self {
+        BatchPolicy {
+            max_batch: 8,
+            deadline: Duration::from_millis(2),
+        }
+    }
+}
+
+struct Job {
+    input: Tensor,
+    reply: Sender<Vec<f32>>,
+}
+
+/// A running inference server: one queue, one batcher thread, one shared
+/// [`Engine`]. Dropping the server closes the queue and joins the thread
+/// after it drains in-flight work.
+pub struct Server {
+    tx: Option<Sender<Job>>,
+    worker: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Starts the batcher thread over `engine` with `policy`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `policy.max_batch` is zero.
+    pub fn start(engine: Arc<Engine>, policy: BatchPolicy) -> Server {
+        assert!(policy.max_batch > 0, "a batch holds at least one request");
+        let (tx, rx) = channel::<Job>();
+        let worker = std::thread::Builder::new()
+            .name("scnn-serve".into())
+            .spawn(move || Server::drive(&engine, policy, &rx))
+            .expect("batcher thread spawns");
+        Server {
+            tx: Some(tx),
+            worker: Some(worker),
+        }
+    }
+
+    fn drive(engine: &Engine, policy: BatchPolicy, rx: &Receiver<Job>) {
+        // Blocks until the first request opens a batch window; exits when
+        // every sender (the Server) is gone.
+        while let Ok(first) = rx.recv() {
+            let mut jobs = vec![first];
+            let deadline = Instant::now() + policy.deadline;
+            while jobs.len() < policy.max_batch {
+                let now = Instant::now();
+                if now >= deadline {
+                    break;
+                }
+                match rx.recv_timeout(deadline - now) {
+                    Ok(job) => jobs.push(job),
+                    Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => break,
+                }
+            }
+            let (inputs, replies): (Vec<Tensor>, Vec<Sender<Vec<f32>>>) =
+                jobs.into_iter().map(|j| (j.input, j.reply)).unzip();
+            let (logits, _stats) = engine.run_batch(&inputs);
+            for (reply, out) in replies.into_iter().zip(logits) {
+                // A client that dropped its receiver just loses the
+                // response; the server keeps serving.
+                let _ = reply.send(out);
+            }
+        }
+    }
+
+    /// Enqueues one request (a tensor of [`Engine::request_shape`]) and
+    /// returns the channel its logits will arrive on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the batcher thread has died — its panic is the real
+    /// failure and surfaces when the server drops.
+    pub fn submit(&self, input: Tensor) -> Receiver<Vec<f32>> {
+        let (reply, rx) = channel();
+        self.tx
+            .as_ref()
+            .expect("server is running")
+            .send(Job { input, reply })
+            .expect("batcher thread accepts requests");
+        rx
+    }
+
+    /// Convenience: submit and block for the logits.
+    ///
+    /// # Panics
+    ///
+    /// As in [`Server::submit`], plus if the batcher dies mid-request.
+    pub fn infer(&self, input: Tensor) -> Vec<f32> {
+        self.submit(input)
+            .recv()
+            .expect("batcher thread delivers a response")
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        // Closing the queue lets the batcher drain and exit; a panic on
+        // the batcher thread propagates here instead of vanishing.
+        drop(self.tx.take());
+        if let Some(worker) = self.worker.take() {
+            if let Err(payload) = worker.join() {
+                std::panic::resume_unwind(payload);
+            }
+        }
+    }
+}

@@ -1,0 +1,43 @@
+//! Split-pipelined inference serving: the paper's memory-system
+//! optimization applied to the serving workload.
+//!
+//! Training PRs built the stack bottom-up — tensors, kernels, the wave
+//! executor, HMMS planning, the plan-executing runtime. This crate turns
+//! it toward inference, where split-patch pipelining lets many concurrent
+//! requests share a small, *planned* activation pool:
+//!
+//! - [`Engine`] — forward-only execution of one graph under an inference
+//!   [`scnn_hmms::ExecPlan`] (liveness ends at the last forward read; no
+//!   offload, no gradients, params counted once), with frozen weights and
+//!   BN running statistics shared via `Arc` across all in-flight
+//!   requests. A batch of `R` requests runs the base wave schedule
+//!   interleaved across `R` slots ([`scnn_nn::Schedule::interleave`]), so
+//!   split-patch branches of different requests execute side by side on
+//!   the `scnn-par` pool — and the pool high-water is asserted equal to
+//!   `R ×` the planned layout bytes, every batch.
+//! - [`Server`] / [`BatchPolicy`] — a dynamic batcher: requests coalesce
+//!   under a deadline/size policy into batches; each response is
+//!   bit-identical regardless of which batch its request rode in.
+//! - [`Engine::max_concurrency`] — the serving counterpart of Fig. 10's
+//!   `max_batch_size` capacity search: the largest concurrency whose
+//!   planned footprint fits a device byte budget.
+//!
+//! ```no_run
+//! use std::sync::Arc;
+//! use scnn_nn::{BnState, ParamStore};
+//! use scnn_serve::{BatchPolicy, Engine, Server};
+//! # fn demo(graph: scnn_graph::Graph, params: ParamStore, bn: BnState, image: scnn_tensor::Tensor) {
+//! let engine = Engine::new(graph, Arc::new(params), Arc::new(bn)).expect("plan is legal");
+//! let server = Server::start(Arc::new(engine), BatchPolicy::default());
+//! let logits = server.infer(image);
+//! println!("top-1: {}", logits.iter().enumerate().fold((0, f32::MIN),
+//!     |best, (i, &v)| if v > best.1 { (i, v) } else { best }).0);
+//! # }
+//! ```
+
+pub mod batcher;
+pub mod engine;
+
+pub use batcher::{BatchPolicy, Server};
+pub use engine::{BatchStats, ConcurrencySearch, Engine};
+pub use scnn_runtime::RuntimeError;

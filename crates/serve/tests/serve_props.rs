@@ -1,0 +1,217 @@
+//! End-to-end properties of the serving runtime:
+//!
+//! - **Bit identity with training eval** — the engine's logits are
+//!   bitwise equal to a `Mode::Eval` pass through the training executor,
+//!   on split ResNet-18 and VGG-19, across `SCNN_THREADS` ∈ {1, 4} and
+//!   `SCNN_SIMD` ∈ {scalar, auto};
+//! - **Determinism across concurrency** — the same request bytes yield
+//!   identical logits at concurrency 1 and 64, alone or mixed with other
+//!   requests, and through the dynamic batcher;
+//! - **Planned pool** — the measured pool high-water of every batch
+//!   equals `slots × device_general_bytes` exactly;
+//! - **Capacity search** — `max_concurrency` agrees with the linear
+//!   footprint model and respects budget and limit.
+
+use std::sync::Arc;
+
+use scnn_core::{lower_unsplit, plan_split, SplitConfig};
+use scnn_graph::{Graph, NodeId, Op};
+use scnn_models::{resnet18, vgg19, ModelOptions};
+use scnn_nn::{BnState, BufferProvider, Executor, Mode, ParamStore};
+use scnn_rng::SplitRng;
+use scnn_serve::{BatchPolicy, Engine, Server};
+use scnn_tensor::{force_level, uniform, SimdLevel, Tensor};
+
+fn vgg_graph() -> Graph {
+    let desc = vgg19(&ModelOptions::cifar().with_width(0.125));
+    lower_unsplit(&desc, 1)
+}
+
+fn split_resnet_graph() -> Graph {
+    let desc = resnet18(&ModelOptions::cifar().with_width(0.25));
+    plan_split(&desc, &SplitConfig::new(0.5, 2, 2))
+        .expect("resnet splits")
+        .lower(&desc, 1)
+}
+
+fn request_for(graph: &Graph, seed: u64) -> Tensor {
+    let dims = graph.node(NodeId(0)).out_shape.clone();
+    uniform(&mut SplitRng::seed_from_u64(seed), &dims, -1.0, 1.0)
+}
+
+fn logits_node(graph: &Graph) -> usize {
+    graph
+        .nodes()
+        .iter()
+        .find(|n| matches!(n.op, Op::SoftmaxCrossEntropy))
+        .expect("graph has a loss node")
+        .inputs[0]
+        .0
+}
+
+/// Snapshots one node's freshly computed forward output — the reference
+/// logits a `Mode::Eval` pass through the training executor produces.
+struct CaptureLogits {
+    node: usize,
+    bits: Option<Vec<f32>>,
+}
+
+impl BufferProvider for CaptureLogits {
+    fn adopt(&mut self, node: usize, out: Tensor) -> Tensor {
+        if node == self.node {
+            self.bits = Some(out.as_slice().to_vec());
+        }
+        out
+    }
+}
+
+/// Trains one step (to populate BN running stats and de-trivialize
+/// weights), captures the training executor's eval logits for `request`,
+/// and builds the serving engine over the same frozen state.
+fn reference_and_engine(make: fn() -> Graph, seed: u64) -> (Vec<f32>, Engine, Tensor) {
+    let graph = make();
+    let request = request_for(&graph, seed);
+    let mut rng = SplitRng::seed_from_u64(seed + 1);
+    let mut params = ParamStore::init(&graph, &mut rng);
+    let mut bn = BnState::new();
+    let exec = Executor::new();
+    let labels = vec![3; request.dim(0)];
+    exec.run(&graph, &mut params, &mut bn, &request, &labels, Mode::Train, &mut rng);
+
+    let mut capture = CaptureLogits {
+        node: logits_node(&graph),
+        bits: None,
+    };
+    exec.run_with(
+        &graph,
+        &mut params,
+        &mut bn,
+        &request,
+        &labels,
+        Mode::Eval,
+        &mut rng,
+        &mut capture,
+    );
+    let reference = capture.bits.expect("eval pass computed the logits");
+    let engine = Engine::new(make(), Arc::new(params), Arc::new(bn)).expect("plan is legal");
+    (reference, engine, request)
+}
+
+#[test]
+fn logits_bitwise_equal_training_eval_across_threads_and_simd() {
+    for make in [split_resnet_graph as fn() -> Graph, vgg_graph] {
+        let (reference, engine, request) = reference_and_engine(make, 7);
+        let other = request_for(engine.graph(), 99);
+        let (other_ref, _) = engine.run_batch(std::slice::from_ref(&other));
+        for threads in [1usize, 4] {
+            scnn_par::with_threads(threads, || {
+                for level in [Some(SimdLevel::Scalar), None] {
+                    force_level(level);
+                    let (solo, _) = engine.run_batch(std::slice::from_ref(&request));
+                    assert_eq!(solo[0], reference, "solo logits drifted");
+                    // Mixed batch: slots compute from their own request
+                    // only, in submission order.
+                    let batch = [request.clone(), other.clone(), request.clone()];
+                    let (mixed, _) = engine.run_batch(&batch);
+                    assert_eq!(mixed[0], reference);
+                    assert_eq!(mixed[1], other_ref[0]);
+                    assert_eq!(mixed[2], reference);
+                }
+                force_level(None);
+            });
+        }
+    }
+}
+
+#[test]
+fn same_request_identical_at_concurrency_1_and_64() {
+    let (_, engine, request) = reference_and_engine(vgg_graph, 21);
+    let (solo, solo_stats) = engine.run_batch(std::slice::from_ref(&request));
+    assert_eq!(
+        solo_stats.pool_high_water,
+        engine.plan().layout.device_general_bytes
+    );
+
+    let batch: Vec<Tensor> = (0..64).map(|_| request.clone()).collect();
+    let (many, stats) = engine.run_batch(&batch);
+    assert_eq!(many.len(), 64);
+    for out in &many {
+        assert_eq!(out, &solo[0], "concurrency changed the bits");
+    }
+    assert_eq!(stats.pool_high_water, stats.planned_pool_bytes);
+    assert_eq!(
+        stats.planned_pool_bytes,
+        64 * engine.plan().layout.device_general_bytes
+    );
+}
+
+#[test]
+fn batcher_delivers_bit_identical_responses() {
+    let (_, engine, request) = reference_and_engine(vgg_graph, 33);
+    let (solo, _) = engine.run_batch(std::slice::from_ref(&request));
+    let server = Server::start(
+        Arc::new(engine),
+        BatchPolicy {
+            max_batch: 4,
+            deadline: std::time::Duration::from_millis(1),
+        },
+    );
+    // More clients than max_batch forces several batch windows; every
+    // response must still match the solo run exactly.
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..9)
+            .map(|_| {
+                let server = &server;
+                let request = request.clone();
+                s.spawn(move || server.infer(request))
+            })
+            .collect();
+        for h in handles {
+            assert_eq!(h.join().expect("client thread"), solo[0]);
+        }
+    });
+}
+
+#[test]
+fn max_concurrency_matches_the_linear_footprint_model() {
+    let (_, engine, _) = reference_and_engine(vgg_graph, 55);
+    let params = engine.plan().layout.device_param_bytes;
+    let pool = engine.plan().layout.device_general_bytes;
+    assert!(pool > 0, "a real model has a nonzero activation pool");
+
+    // Budget for exactly five and a half pools → five fit.
+    let five = engine
+        .max_concurrency(params + 5 * pool + pool / 2, 1024)
+        .expect("five fit");
+    assert_eq!(five.max_concurrency, 5);
+    assert_eq!(five.device_bytes, params + 5 * pool);
+    // The limit caps the search before the budget does.
+    let capped = engine.max_concurrency(usize::MAX / 2, 16).expect("limit caps");
+    assert_eq!(capped.max_concurrency, 16);
+    // Even one request over budget → no capacity.
+    assert!(engine.max_concurrency(params + pool - 1, 1024).is_none());
+}
+
+#[test]
+fn inference_pool_beats_training_and_holds_params_once() {
+    let graph = split_resnet_graph();
+    let tape = scnn_graph::Tape::new(&graph);
+    let tso = scnn_hmms::TsoAssignment::new(
+        &graph,
+        &vec![0; graph.len()],
+        scnn_hmms::TsoOptions::default(),
+    );
+    let profile = scnn_hmms::Profile::uniform(&graph, 1e-3, 30e9);
+    let train = scnn_hmms::plan_no_offload(&graph, &tape, &tso, &profile);
+    let train_layout = scnn_hmms::plan_layout(&graph, &train, &tso).expect("train plan lays out");
+
+    let mut rng = SplitRng::seed_from_u64(3);
+    let params = ParamStore::init(&graph, &mut rng);
+    let engine =
+        Engine::new(split_resnet_graph(), Arc::new(params), Arc::new(BnState::new()))
+            .expect("plan is legal");
+    let layout = &engine.plan().layout;
+    assert!(layout.device_general_bytes < train_layout.device_general_bytes);
+    assert_eq!(layout.device_param_bytes * 2, train_layout.device_param_bytes);
+    assert_eq!(layout.host_pool_bytes, 0, "inference never offloads");
+}

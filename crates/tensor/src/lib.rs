@@ -59,8 +59,8 @@ pub use linalg::{
 };
 pub use pad::Padding2d;
 pub use plan::{
-    clear_plans, ensure_plan_cache_loaded, install_plan, install_plans, lookup_plan, KernelPlan,
-    KernelPlans, PlanOp, PlanRecord,
+    clear_plans, install_plan, install_plans, lookup_plan, try_ensure_plan_cache_loaded,
+    KernelPlan, KernelPlans, PlanOp, PlanRecord,
 };
 pub use shape::Shape;
 pub use simd::{active_level, detected_level, force_level, SimdLevel};

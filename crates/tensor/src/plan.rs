@@ -314,19 +314,22 @@ fn registry() -> &'static RwLock<HashMap<PlanKey, KernelPlan>> {
     REGISTRY.get_or_init(|| RwLock::new(HashMap::new()))
 }
 
-/// Loads `SCNN_PLAN_CACHE` (if set) exactly once per process. A broken
-/// cache file panics — a tuned run must not silently degrade to defaults.
-fn ensure_env_loaded() {
-    static LOADED: OnceLock<()> = OnceLock::new();
+/// Loads `SCNN_PLAN_CACHE` (if set) exactly once per process, capturing
+/// failure as a value instead of panicking: a corrupt cache file must not
+/// be able to take down a long-lived process from inside an arbitrary
+/// kernel call. The first load attempt (success or failure) is what every
+/// later call sees.
+fn ensure_env_loaded() -> &'static Result<usize, String> {
+    static LOADED: OnceLock<Result<usize, String>> = OnceLock::new();
     LOADED.get_or_init(|| {
-        if let Ok(path) = std::env::var("SCNN_PLAN_CACHE") {
-            if !path.is_empty() {
-                let plans = KernelPlans::load(std::path::Path::new(&path))
-                    .unwrap_or_else(|e| panic!("SCNN_PLAN_CACHE: {e}"));
-                install_plans(&plans).unwrap_or_else(|e| panic!("SCNN_PLAN_CACHE: {e}"));
-            }
-        }
-    });
+        let path = match std::env::var("SCNN_PLAN_CACHE") {
+            Ok(p) if !p.is_empty() => p,
+            _ => return Ok(0),
+        };
+        let plans = KernelPlans::load(std::path::Path::new(&path))
+            .map_err(|e| format!("SCNN_PLAN_CACHE ({path}): {e}"))?;
+        install_plans(&plans).map_err(|e| format!("SCNN_PLAN_CACHE ({path}): {e}"))
+    })
 }
 
 /// Installs one tuned record into the process-global registry.
@@ -374,8 +377,18 @@ pub fn lookup_plan(
 
 /// Lookup under the *active* execution context (current ISA level, current
 /// `scnn_par::max_threads()`), falling back to the defaults on a miss.
+///
+/// A broken `SCNN_PLAN_CACHE` degrades to the built-in default blocking
+/// with a single warning on stderr — the lazy path never panics. Callers
+/// that must not silently degrade (a serving process, `PlanRuntime`)
+/// surface the stored error eagerly via [`try_ensure_plan_cache_loaded`].
 fn active_lookup(op: PlanOp, dims: &[usize]) -> KernelPlan {
-    ensure_env_loaded();
+    if let Err(e) = ensure_env_loaded() {
+        static WARNED: OnceLock<()> = OnceLock::new();
+        WARNED.get_or_init(|| {
+            eprintln!("scnn-tensor: {e}; continuing with default kernel plans");
+        });
+    }
     lookup_plan(op, dims, simd::active_level(), scnn_par::max_threads()).unwrap_or_default()
 }
 
@@ -411,11 +424,19 @@ pub(crate) fn conv_bwd_plan(g: &Conv2dGeometry, n: usize, oc: usize) -> KernelPl
     active_lookup(PlanOp::ConvBwd, &conv_plan_dims(g, n, oc))
 }
 
-/// Eagerly loads `SCNN_PLAN_CACHE` (idempotent). The lazy path inside
-/// every lookup makes this optional; `PlanRuntime` calls it at
-/// construction so a broken cache fails at startup, not mid-epoch.
-pub fn ensure_plan_cache_loaded() {
-    ensure_env_loaded();
+/// Eagerly loads `SCNN_PLAN_CACHE` (idempotent) and reports the outcome:
+/// how many records the cache installed (0 when the variable is unset or
+/// empty). The lazy path inside every lookup makes calling this optional;
+/// `PlanRuntime` and the serving runtime call it at construction so a
+/// broken cache fails at startup — as a value, not a panic — instead of
+/// degrading kernels mid-run.
+///
+/// # Errors
+///
+/// Returns the load error captured by the first attempt: an unreadable
+/// file, a parse failure, or a record that fails plan validation.
+pub fn try_ensure_plan_cache_loaded() -> Result<usize, String> {
+    ensure_env_loaded().clone()
 }
 
 /// Minimal strict cursor over one flat JSON object (the only shape the

@@ -19,13 +19,22 @@ cargo test -q --workspace --offline
 cargo clippy --workspace --all-targets --offline -- -D warnings
 
 # Smoke every bench binary: tiny shapes, one cold sample — proves the
-# full code path still runs and the emitted records parse.
+# full code path still runs and the emitted records parse. The serving
+# smoke additionally pins its deterministic memory records: the pool
+# high-water is planned (slots × device_general_bytes) and the resident
+# peak is sampled at wave barriers, so both are exact byte counts on any
+# host — pinned from both sides, they catch planner or engine drift even
+# when the timing gates below are skipped.
 tmp="$(mktemp -d)"
 trap 'rm -rf "$tmp"' EXIT
-for bench in kernels planning ablation memory; do
+declare -A smoke_gates=(
+  [serving]="--max-peak serve_pool/c64:2949120,serve_resident_peak/c64:30605312 --min-peak serve_pool/c64:2949120,serve_resident_peak/c64:30605312,capacity/max_concurrency:166"
+)
+for bench in kernels planning ablation memory serving; do
   SCNN_BENCH_DIR="$tmp" cargo bench -q -p scnn-bench --bench "$bench" --offline -- --smoke
+  # shellcheck disable=SC2086  # the gate spec is deliberately word-split
   cargo run -q --release -p scnn-bench --bin bench_check --offline -- \
-    --file "$tmp/BENCH_$bench.json"
+    --file "$tmp/BENCH_$bench.json" ${smoke_gates[$bench]:-}
 done
 
 # The kernel autotuner end to end (DESIGN.md §14): a smoke tune must
@@ -67,12 +76,20 @@ cargo run -q --release -p scnn-bench --bin bench_check --offline -- \
 # the PR 6 fixed-blocking median (4.90 ms) — the autotuner's headline win
 # — and matmul_512 gets its first absolute ceiling now that the explicit
 # AVX2 body owns that number.
+# The serving gates (DESIGN.md §15): the full-size pool and resident
+# peaks are deterministic like the planned-device pins, so they are
+# pinned exactly; the capacity search at the 64 MiB budget must not
+# shrink; and the p99 tail latencies get generous ceilings (~4-10× the
+# measured values) that catch a pathological serialization — a batcher
+# that stops coalescing, a pool that stops sharing — without flaking on
+# ordinary scheduler noise.
 declare -A abs_gates=(
   [kernels]="--max-median conv2d_fwd_8x16x32x32:5600000,conv2d_fwd_8x16x32x32_tuned:4900000,matmul_512:24000000 --max-peak conv2d_fwd_scratch_peak:1048576,conv2d_bwd_scratch_peak:2097152"
   [memory]="--max-peak train_step/hmms:15392768,planned_device/hmms:3300352,planned_device/hmms_micro:2707968,capacity/max_batch/legacy:13 --min-peak capacity/max_batch/micro:18"
+  [serving]="--max-peak serve_pool/c1:87040,serve_pool/c8:696320,serve_pool/c64:5570560,serve_resident_peak/c64:58654720 --min-peak serve_pool/c64:5570560,serve_resident_peak/c64:58654720,capacity/max_concurrency:738 --max-p99 serve_latency/c1:60000000,serve_latency/c8:250000000,serve_latency/c64:4000000000"
 )
 if [[ "${SCNN_VERIFY_SKIP_BENCH:-0}" != 1 ]]; then
-  for spec in kernels:0.25 planning:0.60 ablation:0.60 memory:0.60; do
+  for spec in kernels:0.25 planning:0.60 ablation:0.60 memory:0.60 serving:0.60; do
     bench="${spec%%:*}"
     tol="${spec##*:}"
     SCNN_BENCH_DIR="$tmp" cargo bench -q -p scnn-bench --bench "$bench" --offline

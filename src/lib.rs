@@ -11,6 +11,7 @@
 //! - [`models`], [`data`] — model zoo and synthetic datasets
 //! - [`dist`] — the distributed-training analytical model (§6.4)
 //! - [`runtime`] — the plan-executing memory runtime (HMMS made real)
+//! - [`serve`] — the split-pipelined inference serving runtime
 
 pub use scnn_core as core;
 pub use scnn_data as data;
@@ -22,4 +23,5 @@ pub use scnn_models as models;
 pub use scnn_nn as nn;
 pub use scnn_par as par;
 pub use scnn_runtime as runtime;
+pub use scnn_serve as serve;
 pub use scnn_tensor as tensor;
