@@ -21,8 +21,8 @@ use scnn_nn::kernels::{
 };
 use scnn_rng::SplitRng;
 use scnn_tensor::{
-    clear_plans, col2im, detected_level, force_level, im2col, install_plans, matmul, uniform,
-    Conv2dGeometry, KernelPlans, Padding2d, SimdLevel, Tensor,
+    clear_plans, col2im, conv2d_fwd_winograd, detected_level, force_level, im2col, install_plans,
+    matmul, uniform, Conv2dGeometry, KernelPlans, Padding2d, SimdLevel, Tensor,
 };
 
 #[cfg(feature = "heap-track")]
@@ -175,6 +175,17 @@ fn main() {
         conv2d_backward(&x, &w, false, &dy, &attrs)
     });
     g.bench("matmul_512_tuned", || matmul(&a2, &b2));
+
+    // The winograd F(2×2, 3×3) forward at the same shape, under the same
+    // cache (its `conv_winograd` record sizes the tile-batch staging).
+    // This path is epsilon-tolerant, not bitwise (DESIGN.md §16);
+    // verify.sh gates its median strictly below the tuned direct forward
+    // — the whole point of carrying a second algorithm.
+    let mut wy = vec![0.0f32; n * oc * geo.patch_count()];
+    g.bench("conv2d_fwd_8x16x32x32_winograd", || {
+        conv2d_fwd_winograd(&x, &w, None, &geo, &mut wy);
+        black_box(&mut wy);
+    });
     clear_plans();
 
     g.finish();

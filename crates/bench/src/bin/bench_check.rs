@@ -37,11 +37,18 @@
 //! bench_check --file ... --max-p99 serve_latency/c8:90000000
 //!     # the named record must carry p99_ns <= the bound — for
 //!     # latency-distribution records (serving tail latency)
+//! bench_check --file ... \
+//!     --max-ratio conv2d_fwd_8x16x32x32_winograd:conv2d_fwd_8x16x32x32_tuned:1.0
+//!     # the first record's fresh median divided by the second's must be
+//!     # <= the bound — a relative gate between two records of the SAME
+//!     # fresh run, immune to host speed (pins e.g. "winograd never
+//!     # slower than the tuned direct path" without an absolute number)
 //! ```
 //!
-//! All take comma-separated `name:bound` pairs; a missing record, a
-//! record without `peak_bytes` (for `--max-peak`/`--min-peak`), or one
-//! without `p99_ns` (for `--max-p99`) fails the gate.
+//! All take comma-separated `name:bound` pairs (`--max-ratio`:
+//! `name_a:name_b:ratio` triples); a missing record, a record without
+//! `peak_bytes` (for `--max-peak`/`--min-peak`), or one without `p99_ns`
+//! (for `--max-p99`) fails the gate.
 
 use scnn_bench::{Args, BenchRecord};
 
@@ -77,6 +84,7 @@ fn main() {
         "max-peak",
         "min-peak",
         "max-p99",
+        "max-ratio",
     ]);
     let Some(file) = args.str("file") else {
         eprintln!("usage: bench_check --file <BENCH_x.json> [--baseline <BENCH_x.json>] [--tolerance 0.25]");
@@ -170,6 +178,39 @@ fn main() {
         }
     }
 
+    for (name_a, name_b, bound) in parse_ratios(args.str("max-ratio")) {
+        let (a, b) = (
+            fresh.iter().find(|r| r.name == name_a),
+            fresh.iter().find(|r| r.name == name_b),
+        );
+        match (a, b) {
+            (None, _) => {
+                eprintln!("GATE: `{name_a}` (--max-ratio) was not measured");
+                failed = true;
+            }
+            (_, None) => {
+                eprintln!("GATE: `{name_b}` (--max-ratio) was not measured");
+                failed = true;
+            }
+            (Some(a), Some(b)) => {
+                let ratio = a.median_ns as f64 / b.median_ns.max(1) as f64;
+                if ratio > bound {
+                    eprintln!(
+                        "GATE: `{name_a}` / `{name_b}` median ratio {ratio:.3} \
+                         exceeds the {bound} bound ({} ns vs {} ns)",
+                        a.median_ns, b.median_ns
+                    );
+                    failed = true;
+                } else {
+                    println!(
+                        "{:<40} ratio {:.3} <= {}  ok  (vs {})",
+                        name_a, ratio, bound, name_b
+                    );
+                }
+            }
+        }
+    }
+
     let Some(baseline_path) = args.str("baseline") else {
         if failed {
             eprintln!("error: absolute gate violated in {file}");
@@ -213,11 +254,41 @@ fn main() {
     if failed {
         eprintln!(
             "error: gate violated (regression beyond {:.0}% against {baseline_path}, \
-             or an absolute --max-median/--max-peak/--min-peak/--max-p99 bound)",
+             or an absolute --max-median/--max-peak/--min-peak/--max-p99/--max-ratio bound)",
             tolerance * 100.0
         );
         std::process::exit(1);
     }
+}
+
+/// Parses `--max-ratio` specs: comma-separated `name_a:name_b:ratio`
+/// triples; `None` → no gates. The ratio bound is a float (e.g. `1.0`).
+fn parse_ratios(spec: Option<&str>) -> Vec<(String, String, f64)> {
+    let Some(spec) = spec else {
+        return Vec::new();
+    };
+    spec.split(',')
+        .filter(|s| !s.is_empty())
+        .map(|triple| {
+            let malformed = || -> ! {
+                eprintln!("error: --max-ratio expects name_a:name_b:ratio triples, got `{triple}`");
+                std::process::exit(2);
+            };
+            let Some((names, bound)) = triple.rsplit_once(':') else {
+                malformed();
+            };
+            let Some((name_a, name_b)) = names.rsplit_once(':') else {
+                malformed();
+            };
+            let Ok(bound) = bound.parse::<f64>() else {
+                malformed();
+            };
+            if name_a.is_empty() || name_b.is_empty() || !bound.is_finite() || bound <= 0.0 {
+                malformed();
+            }
+            (name_a.to_string(), name_b.to_string(), bound)
+        })
+        .collect()
 }
 
 /// Parses `name:bound[,name:bound...]` gate specs; `None` → no gates.

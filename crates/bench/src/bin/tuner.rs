@@ -1,6 +1,7 @@
 //! Offline kernel-autotuner driver (DESIGN.md §14): times the candidate
 //! grid for the proxy workload's hot shapes — the tiled conv
-//! forward/`dw` at 8×16×32×32 and the square GEMMs — and persists the
+//! forward/`dw` and the winograd forward at 8×16×32×32, plus the square
+//! GEMMs — and persists the
 //! winning [`KernelPlan`]s as a JSON-lines plan cache that
 //! `SCNN_PLAN_CACHE=<path>` (or `PlanRuntime`) loads at startup.
 //!
@@ -23,7 +24,7 @@
 //! else; retune per machine shape for real wins.
 
 use scnn_bench::Args;
-use scnn_tensor::tuner::{tune_conv_bwd, tune_conv_fwd, tune_matmul, TuneOutcome};
+use scnn_tensor::tuner::{tune_conv_bwd, tune_conv_fwd, tune_conv_winograd, tune_matmul, TuneOutcome};
 use scnn_tensor::{Conv2dGeometry, KernelPlans, Padding2d};
 use std::path::{Path, PathBuf};
 
@@ -92,6 +93,7 @@ fn main() {
     for outcome in [
         tune_conv_fwd(&g, n, oc, samples),
         tune_conv_bwd(&g, n, oc, samples),
+        tune_conv_winograd(&g, n, oc, samples),
         tune_matmul(msz, msz, msz, samples),
         tune_matmul(m2, m2, m2, samples),
     ] {

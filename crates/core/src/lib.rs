@@ -42,8 +42,9 @@ pub mod stochastic;
 pub mod transform;
 
 pub use cost::{
-    conv_engine_workspace, conv_micro_workspace, plan_joint_auto, plan_micro_schedule,
-    plan_split_auto, plan_split_stochastic_auto, split_cost, AutoSplit, JointAuto, SplitCost,
+    conv_engine_workspace, conv_micro_workspace, plan_joint_auto, plan_joint_auto_with,
+    plan_micro_schedule, plan_micro_schedule_with, plan_split_auto, plan_split_stochastic_auto,
+    split_cost, AutoSplit, CostOptions, JointAuto, SplitCost, WINOGRAD_WS_ENVELOPE,
 };
 pub use model::{Block, LayerDesc, ModelDesc, ShapeTrace};
 pub use scheme::{even_starts, input_starts, patch_paddings, SplitChoice, Window1d};

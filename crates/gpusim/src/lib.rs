@@ -30,7 +30,7 @@ mod device;
 
 pub use analysis::{offload_analysis, LayerFlow, OffloadAnalysis};
 pub use capacity::{max_batch_size, BatchSearch, CapacityError};
-pub use cost::{node_flops, profile_graph, CostModel};
+pub use cost::{node_flops, profile_graph, CostModel, MEASURED_WINOGRAD_SPEEDUP};
 pub use device::DeviceSpec;
 pub use sim::{simulate, SimResult};
 pub use timeline::{Interval, StreamKind, Timeline};

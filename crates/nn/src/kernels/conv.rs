@@ -12,17 +12,25 @@
 //!   nothing (1×1 kernels, tiny spatial outputs). Its intermediates now
 //!   live in reused workspace scratch instead of fresh `Vec`s.
 //!
-//! [`select_algo`] picks per geometry; `SCNN_CONV_ALGO=tiled|materialized`
-//! (read once) forces one path process-wide for A/B benching. Outputs and
-//! gradients are returned in pooled storage from [`Workspace::global`], so
+//! A third algorithm, [`ConvAlgo::Winograd`], is the opt-in F(2×2, 3×3)
+//! transform-domain fast path (`scnn_tensor::winograd`) for stride-1 3×3
+//! kernels: deterministic in itself but epsilon-equal (not bit-equal) to
+//! the pair above — DESIGN.md §16. It is never chosen automatically;
+//! it runs only when forced via `SCNN_CONV_ALGO=winograd` or handed down
+//! by a planner schedule built with `allow_transform_algos`.
+//!
+//! [`select_algo`] picks per geometry; `SCNN_CONV_ALGO` (read once)
+//! forces one path process-wide for A/B benching. Outputs and gradients
+//! are returned in pooled storage from [`Workspace::global`], so
 //! steady-state training steps recycle the same buffers.
 
 use std::sync::{Arc, OnceLock};
 
 use scnn_tensor::{
-    col2im_cols_range_into, conv2d_dw_single_block, conv2d_dw_tiled_acc, conv2d_dx_tiled,
-    conv2d_fwd_tiled, default_conv_algo, im2col_range_into, matmul_a_bt_into,
-    matmul_at_b_acc_into, matmul_at_b_seq_into, matmul_into, BufferRecycler, Conv2dGeometry,
+    col2im_cols_range_into, conv2d_dw_single_block, conv2d_dw_tiled_acc, conv2d_dw_winograd_acc,
+    conv2d_dx_tiled, conv2d_dx_winograd, conv2d_fwd_tiled, conv2d_fwd_winograd,
+    default_conv_algo, im2col_range_into, matmul_a_bt_into, matmul_at_b_acc_into,
+    matmul_at_b_seq_into, matmul_into, winograd_supported, BufferRecycler, Conv2dGeometry,
     Padding2d, PooledBuf, Tensor, Workspace,
 };
 
@@ -35,24 +43,38 @@ pub use scnn_tensor::ConvAlgo;
 const TILE: usize = 32;
 
 /// Geometry-based algorithm choice ([`default_conv_algo`]), honouring a
-/// `SCNN_CONV_ALGO` override.
+/// `SCNN_CONV_ALGO` override (`tiled|materialized|winograd|auto`, read
+/// once).
 ///
-/// # Panics
-///
-/// Panics on an unrecognized `SCNN_CONV_ALGO` value.
+/// An unrecognized value warns once on stderr with the accepted set and
+/// degrades to `auto` — the same degrade style as a broken
+/// `SCNN_PLAN_CACHE`. A forced `winograd` is honoured only where the
+/// geometry has a winograd fast path ([`winograd_supported`]); elsewhere
+/// it falls back to the geometry default instead of panicking deep in the
+/// kernel, so one env var can blanket a whole heterogeneous model.
+/// `auto` never selects winograd: the transform path is epsilon-equal,
+/// not bit-equal, so it stays opt-in (module docs).
 pub fn select_algo(g: &Conv2dGeometry) -> ConvAlgo {
     static OVERRIDE: OnceLock<Option<ConvAlgo>> = OnceLock::new();
     let forced = OVERRIDE.get_or_init(|| match std::env::var("SCNN_CONV_ALGO") {
         Ok(v) if v.eq_ignore_ascii_case("tiled") => Some(ConvAlgo::Tiled),
         Ok(v) if v.eq_ignore_ascii_case("materialized") => Some(ConvAlgo::Materialized),
+        Ok(v) if v.eq_ignore_ascii_case("winograd") => Some(ConvAlgo::Winograd),
         Ok(v) if v.is_empty() || v.eq_ignore_ascii_case("auto") => None,
-        Ok(v) => panic!("SCNN_CONV_ALGO must be tiled|materialized|auto, got {v:?}"),
+        Ok(v) => {
+            eprintln!(
+                "scnn-nn: ignoring unrecognized SCNN_CONV_ALGO={v:?} \
+                 (accepted: tiled|materialized|winograd|auto); using auto selection"
+            );
+            None
+        }
         Err(_) => None,
     });
-    if let Some(a) = forced {
-        return *a;
+    match forced {
+        Some(ConvAlgo::Winograd) if !winograd_supported(g) => default_conv_algo(g),
+        Some(a) => *a,
+        None => default_conv_algo(g),
     }
-    default_conv_algo(g)
 }
 
 /// Static attributes of a convolution node.
@@ -121,7 +143,9 @@ pub fn conv2d_forward(x: &Tensor, w: &Tensor, b: Option<&Tensor>, attrs: &ConvAt
 }
 
 /// [`conv2d_forward`] with an explicit algorithm (`None` = [`select_algo`]).
-/// Both algorithms return identical bits — tests pin this.
+/// The direct algorithms (tiled, materialized) return identical bits —
+/// tests pin this; [`ConvAlgo::Winograd`] agrees to epsilon only
+/// (DESIGN.md §16) and is never chosen implicitly.
 pub fn conv2d_forward_with(
     x: &Tensor,
     w: &Tensor,
@@ -166,6 +190,12 @@ pub fn conv2d_forward_micro(
     match algo {
         ConvAlgo::Tiled => {
             conv2d_fwd_tiled(&xc, w, b.map(Tensor::as_slice), &g, &mut out);
+        }
+        // Like the tiled engine, the winograd staging is already
+        // batch-independent (plan-sized tile batches), so `micro` has
+        // nothing to chunk.
+        ConvAlgo::Winograd => {
+            conv2d_fwd_winograd(&xc, w, b.map(Tensor::as_slice), &g, &mut out);
         }
         ConvAlgo::Materialized => {
             let plen = g.patch_len();
@@ -304,6 +334,17 @@ pub fn conv2d_backward_micro(
             }
             // dx scratch is one patch row per thread — nothing to chunk.
             conv2d_dx_tiled(dy, w, &g, &mut dx, off_h, off_w);
+        }
+        // Winograd chunking shrinks the per-image transform-domain
+        // partials like the tiled path's, but chunk boundaries are
+        // epsilon-only (the inverse transform runs per call), which is
+        // why planner schedules pair winograd with full batch only.
+        ConvAlgo::Winograd => {
+            for b0 in (0..n).step_by(u.max(1)) {
+                let bn = u.min(n - b0);
+                conv2d_dw_winograd_acc(&xc, dy, &g, b0, bn, &mut dw, b0 == 0);
+            }
+            conv2d_dx_winograd(dy, w, &g, &mut dx, off_h, off_w);
         }
         ConvAlgo::Materialized => {
             let dsrc = dy.as_slice();
@@ -483,7 +524,7 @@ mod tests {
         // h: 6-1+1=6 padded → 4 outputs; w: 6+1-2=5 → 3 outputs.
         assert_eq!(y.shape().dims(), &[1, 2, 4, 3]);
         let dy = Tensor::ones(y.shape().dims());
-        for algo in [ConvAlgo::Tiled, ConvAlgo::Materialized] {
+        for algo in [ConvAlgo::Tiled, ConvAlgo::Materialized, ConvAlgo::Winograd] {
             let g = conv2d_backward_with(&x, &w, false, &dy, &a, Some(algo));
             assert_eq!(g.dx.shape(), x.shape());
             check(&x, &g.dx, 0.05, |xx| conv2d_forward(xx, &w, None, &a).sum());

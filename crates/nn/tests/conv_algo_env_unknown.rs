@@ -1,0 +1,39 @@
+//! Unknown `SCNN_CONV_ALGO` values degrade to auto selection.
+//!
+//! `select_algo` reads the override once per process, so this binary
+//! holds exactly one test and sets the env before the first
+//! `algo = None` dispatch (companion to `conv_algo_env_winograd.rs`).
+
+use scnn_nn::kernels::{conv2d_forward_with, ConvAlgo, ConvAttrs};
+use scnn_rng::SplitRng;
+use scnn_tensor::{uniform, Padding2d};
+
+#[test]
+fn unknown_value_warns_and_degrades_to_auto() {
+    std::env::set_var("SCNN_CONV_ALGO", "definitely-not-an-algo");
+
+    let mut rng = SplitRng::seed_from_u64(0x3107);
+    let at = ConvAttrs {
+        kh: 3,
+        kw: 3,
+        sh: 1,
+        sw: 1,
+        pad: Padding2d::symmetric(1),
+    };
+    let x = uniform(&mut rng, &[2, 3, 8, 8], -1.0, 1.0);
+    let w = uniform(&mut rng, &[4, 3, 3, 3], -0.5, 0.5);
+    let b = uniform(&mut rng, &[4], -0.1, 0.1);
+
+    // Auto selection on this geometry is the tiled engine; the broken
+    // override must leave that choice (and its bits) untouched.
+    let tiled = conv2d_forward_with(&x, &w, Some(&b), &at, Some(ConvAlgo::Tiled));
+    let auto = conv2d_forward_with(&x, &w, Some(&b), &at, None);
+    assert_eq!(auto.shape(), tiled.shape());
+    for (i, (x, y)) in auto.as_slice().iter().zip(tiled.as_slice()).enumerate() {
+        assert_eq!(
+            x.to_bits(),
+            y.to_bits(),
+            "unknown SCNN_CONV_ALGO: element {i}: {x} vs {y}"
+        );
+    }
+}

@@ -1,0 +1,60 @@
+//! `SCNN_CONV_ALGO=winograd` opt-in semantics (DESIGN.md §16).
+//!
+//! `select_algo` reads the override once per process, so this binary
+//! holds exactly one test and sets the env before the first
+//! `algo = None` dispatch. The epsilon/bit-stability sweep lives in
+//! `winograd_props.rs`; the unknown-value degrade in
+//! `conv_algo_env_unknown.rs`.
+
+use scnn_nn::kernels::{conv2d_forward_with, ConvAlgo, ConvAttrs};
+use scnn_rng::SplitRng;
+use scnn_tensor::{uniform, Padding2d, Tensor};
+
+fn bits_equal(what: &str, a: &Tensor, b: &Tensor) {
+    assert_eq!(a.shape(), b.shape(), "{what}: shape mismatch");
+    for (i, (x, y)) in a.as_slice().iter().zip(b.as_slice()).enumerate() {
+        assert_eq!(x.to_bits(), y.to_bits(), "{what}: element {i}: {x} vs {y}");
+    }
+}
+
+#[test]
+fn forced_winograd_routes_the_transform_path_and_degrades_off_it() {
+    std::env::set_var("SCNN_CONV_ALGO", "winograd");
+
+    let mut rng = SplitRng::seed_from_u64(0x3107);
+    let at = ConvAttrs {
+        kh: 3,
+        kw: 3,
+        sh: 1,
+        sw: 1,
+        pad: Padding2d::symmetric(1),
+    };
+    let x = uniform(&mut rng, &[2, 3, 8, 8], -1.0, 1.0);
+    let w = uniform(&mut rng, &[4, 3, 3, 3], -0.5, 0.5);
+    let b = uniform(&mut rng, &[4], -0.1, 0.1);
+
+    // The env opt-in is the explicit algorithm's exact bits — the
+    // override routes the same dispatch arm, no silent divergence.
+    let wino = conv2d_forward_with(&x, &w, Some(&b), &at, Some(ConvAlgo::Winograd));
+    bits_equal(
+        "env winograd vs explicit winograd",
+        &conv2d_forward_with(&x, &w, Some(&b), &at, None),
+        &wino,
+    );
+
+    // Forced winograd on an unsupported geometry (stride 2) falls back
+    // to the default engine rather than panicking, so one env var can
+    // blanket a heterogeneous model.
+    let at2 = ConvAttrs {
+        kh: 3,
+        kw: 3,
+        sh: 2,
+        sw: 2,
+        pad: Padding2d::symmetric(1),
+    };
+    bits_equal(
+        "env winograd, unsupported geometry",
+        &conv2d_forward_with(&x, &w, Some(&b), &at2, None),
+        &conv2d_forward_with(&x, &w, Some(&b), &at2, Some(ConvAlgo::Tiled)),
+    );
+}

@@ -356,6 +356,14 @@ impl Engine {
     /// One node's forward pass, `Mode::Eval` semantics — kernel-for-kernel
     /// identical to the training executor's eval arms, so logits are
     /// bitwise equal to an eval pass through [`scnn_nn::Executor`].
+    ///
+    /// Conv nodes pass `algo = None`, deferring to the same
+    /// `SCNN_CONV_ALGO` selection the executor's unscheduled arm uses —
+    /// including the opt-in `winograd` fast path, which mirrors through
+    /// here unchanged. Forcing it trades the bitwise-logits guarantee for
+    /// epsilon agreement (DESIGN.md §16); the default (`auto`) never
+    /// selects a transform algorithm, so the contract above holds
+    /// whenever the operator has not explicitly opted out of it.
     fn forward_node(
         &self,
         id: usize,

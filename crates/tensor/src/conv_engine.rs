@@ -38,9 +38,14 @@ use crate::simd::{add_assign, axpy, dot8, dot8_x4, dot8_x8};
 use crate::Tensor;
 use scnn_par::{scratch, DisjointMut};
 
-/// Which convolution implementation to run. Both produce identical bits;
-/// the choice is purely a locality/footprint trade. The executing kernels
-/// live in `scnn-nn`, but the enum is defined here so the planner
+/// Which convolution implementation to run. `Tiled` and `Materialized`
+/// produce identical bits — the choice between them is purely a
+/// locality/footprint trade. `Winograd` is the opt-in transform-domain
+/// fast path: deterministic in itself (same bits at any thread count,
+/// ISA, or kernel plan) but **outside the bit-identity contract** with
+/// the direct pair — its reduction runs in the transform domain, so
+/// results agree only within epsilon (DESIGN.md §16). The executing
+/// kernels live in `scnn-nn`, but the enum is defined here so the planner
 /// (`scnn-core`) can reason about per-algorithm workspace without a
 /// dependency on the executor crate.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -49,6 +54,10 @@ pub enum ConvAlgo {
     Tiled,
     /// `im2col` + GEMM over workspace scratch (reference path).
     Materialized,
+    /// Winograd F(2×2, 3×3) transform-domain convolution
+    /// (`crate::winograd`); stride-1 3×3 kernels only, epsilon-equal to
+    /// the direct algorithms, never chosen by [`default_conv_algo`].
+    Winograd,
 }
 
 /// The geometry-based default algorithm choice (no override applied).

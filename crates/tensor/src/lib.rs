@@ -41,6 +41,7 @@ mod slice;
 mod storage;
 mod tensor;
 pub mod tuner;
+pub mod winograd;
 mod workspace;
 
 pub use conv_engine::{
@@ -66,4 +67,8 @@ pub use shape::Shape;
 pub use simd::{active_level, detected_level, force_level, SimdLevel};
 pub use storage::{BufferRecycler, PooledBuf};
 pub use tensor::Tensor;
+pub use winograd::{
+    conv2d_dw_winograd_acc, conv2d_dx_winograd, conv2d_fwd_winograd,
+    conv2d_winograd_workspace_bytes, winograd_supported,
+};
 pub use workspace::Workspace;

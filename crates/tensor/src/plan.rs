@@ -117,6 +117,11 @@ pub enum PlanOp {
     ConvFwd,
     /// Tiled conv `dw` reduction; dims as [`PlanOp::ConvFwd`].
     ConvBwd,
+    /// Winograd F(2×2, 3×3) forward tile-batch blocking; dims as
+    /// [`PlanOp::ConvFwd`]. `panel_bytes` sizes the per-thread transform
+    /// staging (bit-free for this op too: the tile-batch width never
+    /// changes any reduction order — see `crate::winograd`).
+    ConvWinograd,
 }
 
 impl PlanOp {
@@ -126,6 +131,7 @@ impl PlanOp {
             PlanOp::Matmul => "matmul",
             PlanOp::ConvFwd => "conv_fwd",
             PlanOp::ConvBwd => "conv_bwd",
+            PlanOp::ConvWinograd => "conv_winograd",
         }
     }
 
@@ -135,6 +141,7 @@ impl PlanOp {
             "matmul" => Some(PlanOp::Matmul),
             "conv_fwd" => Some(PlanOp::ConvFwd),
             "conv_bwd" => Some(PlanOp::ConvBwd),
+            "conv_winograd" => Some(PlanOp::ConvWinograd),
             _ => None,
         }
     }
@@ -422,6 +429,11 @@ pub(crate) fn conv_fwd_plan(g: &Conv2dGeometry, n: usize, oc: usize) -> KernelPl
 /// Plan for the tiled conv `dw` reduction at this geometry/batch.
 pub(crate) fn conv_bwd_plan(g: &Conv2dGeometry, n: usize, oc: usize) -> KernelPlan {
     active_lookup(PlanOp::ConvBwd, &conv_plan_dims(g, n, oc))
+}
+
+/// Plan for the Winograd F(2×2, 3×3) forward at this geometry/batch.
+pub(crate) fn conv_winograd_plan(g: &Conv2dGeometry, n: usize, oc: usize) -> KernelPlan {
+    active_lookup(PlanOp::ConvWinograd, &conv_plan_dims(g, n, oc))
 }
 
 /// Eagerly loads `SCNN_PLAN_CACHE` (idempotent) and reports the outcome:

@@ -102,13 +102,17 @@ pub fn detected_level() -> SimdLevel {
 }
 
 /// The `SCNN_SIMD` environment knob, read once: `Some(level)` for an
-/// explicit `scalar`/`avx2`, `None` for `auto`/unset.
+/// explicit `scalar`/`avx2`, `None` for `auto`/unset. An unrecognized
+/// value warns once with the accepted values and degrades to auto
+/// detection — the same contract as a stale plan cache (DESIGN.md §14):
+/// a misspelled knob must not take the process down, but it must not be
+/// silent either.
 ///
 /// # Panics
 ///
-/// Panics on an unrecognized value, or on `avx2` when the host cannot
-/// execute it — a forced-but-impossible knob must fail loudly, not
-/// silently fall back and invalidate an A/B measurement.
+/// Panics on `avx2` when the host cannot execute it — a
+/// forced-but-impossible knob must still fail loudly, not silently fall
+/// back and invalidate an A/B measurement.
 fn env_level() -> Option<SimdLevel> {
     static ENV: OnceLock<Option<SimdLevel>> = OnceLock::new();
     *ENV.get_or_init(|| match std::env::var("SCNN_SIMD") {
@@ -121,7 +125,15 @@ fn env_level() -> Option<SimdLevel> {
             Some(SimdLevel::Avx2)
         }
         Ok(v) if v.is_empty() || v.eq_ignore_ascii_case("auto") => None,
-        Ok(v) => panic!("SCNN_SIMD must be scalar|avx2|auto, got {v:?}"),
+        Ok(v) => {
+            // The OnceLock evaluates this arm at most once per process, so
+            // the warning cannot repeat per kernel call.
+            eprintln!(
+                "scnn-tensor: ignoring unrecognized SCNN_SIMD={v:?} \
+                 (accepted: scalar|avx2|auto); using auto detection"
+            );
+            None
+        }
         Err(_) => None,
     })
 }
@@ -376,6 +388,93 @@ pub(crate) fn add_assign(y: &mut [f32], x: &[f32]) {
     }
 }
 
+/// `dst[i] = a[i] + b[i]` — the Winograd transform combinator: the
+/// F(2×2, 3×3) input/output transforms are pure ±1 linear combinations of
+/// tile planes, evaluated as whole-row adds/subs over the tile-batch
+/// dimension. Elementwise, hence width-independent bits.
+///
+/// # Panics
+///
+/// Panics if the slices' lengths differ.
+#[inline]
+pub(crate) fn vadd(dst: &mut [f32], a: &[f32], b: &[f32]) {
+    assert_eq!(a.len(), dst.len(), "vadd operand length mismatch");
+    assert_eq!(b.len(), dst.len(), "vadd operand length mismatch");
+    #[cfg(target_arch = "x86_64")]
+    if use_avx2() {
+        // Safety: AVX2+FMA presence established; equal lengths asserted.
+        unsafe { avx2::vadd(dst, a, b) };
+        return;
+    }
+    for ((o, &x), &y) in dst.iter_mut().zip(a).zip(b) {
+        *o = x + y;
+    }
+}
+
+/// `dst[i] = a[i] - b[i]` — see [`vadd`].
+///
+/// # Panics
+///
+/// Panics if the slices' lengths differ.
+#[inline]
+pub(crate) fn vsub(dst: &mut [f32], a: &[f32], b: &[f32]) {
+    assert_eq!(a.len(), dst.len(), "vsub operand length mismatch");
+    assert_eq!(b.len(), dst.len(), "vsub operand length mismatch");
+    #[cfg(target_arch = "x86_64")]
+    if use_avx2() {
+        // Safety: AVX2+FMA presence established; equal lengths asserted.
+        unsafe { avx2::vsub(dst, a, b) };
+        return;
+    }
+    for ((o, &x), &y) in dst.iter_mut().zip(a).zip(b) {
+        *o = x - y;
+    }
+}
+
+/// `y[i] += a[0]·x0[i] + a[1]·x1[i] + a[2]·x2[i] + a[3]·x3[i]` — the
+/// Winograd Hadamard-accumulate body: the transform-domain channel
+/// reduction `M[ξν] += Σ_c U[ξν,c] ⊙ V[ξν,c]` sweeps four channels per
+/// pass so the `y` row is read and written once per quad instead of once
+/// per channel.
+///
+/// Each output element evaluates the fixed chain
+/// `(((y + a0·x0) + a1·x1) + a2·x2) + a3·x3` with separate mul and add
+/// (never `fmadd`) in both bodies, so the quad is bit-identical across
+/// ISAs — and bit-identical to four sequential [`axpy`] calls, which is
+/// how callers fold a `< 4` channel tail without changing the reduction
+/// order.
+///
+/// # Panics
+///
+/// Panics if any operand length differs from `y`'s.
+#[inline]
+pub(crate) fn axpy4(a: [f32; 4], xs: [&[f32]; 4], y: &mut [f32]) {
+    for x in &xs {
+        assert_eq!(x.len(), y.len(), "axpy4 operand length mismatch");
+    }
+    #[cfg(target_arch = "x86_64")]
+    if use_avx2() {
+        // Safety: AVX2+FMA presence established; equal lengths asserted.
+        unsafe { avx2::axpy4(a, xs, y) };
+        return;
+    }
+    axpy4_scalar(a, xs, y);
+}
+
+/// Portable body of [`axpy4`]; standalone (like [`dot8_x8_scalar`]) so
+/// the four-row sweep keeps its autovectorization out of large callers.
+#[inline(never)]
+fn axpy4_scalar(a: [f32; 4], xs: [&[f32]; 4], y: &mut [f32]) {
+    for (i, o) in y.iter_mut().enumerate() {
+        let mut acc = *o;
+        acc += a[0] * xs[0][i];
+        acc += a[1] * xs[1][i];
+        acc += a[2] * xs[2][i];
+        acc += a[3] * xs[3][i];
+        *o = acc;
+    }
+}
+
 /// The AVX2+FMA bodies. Every function here is `unsafe` with the same
 /// contract: the caller has verified AVX2+FMA support and equal slice
 /// lengths. Arithmetic is `mul` + `add` (never `fmadd`) — see the module
@@ -385,7 +484,7 @@ mod avx2 {
     use super::{lane_sum, LANES};
     use core::arch::x86_64::{
         __m256, _mm256_add_ps, _mm256_loadu_ps, _mm256_mul_ps, _mm256_set1_ps, _mm256_setzero_ps,
-        _mm256_storeu_ps,
+        _mm256_storeu_ps, _mm256_sub_ps,
     };
 
     /// Spills one accumulator register back to the scalar lane array, so
@@ -531,6 +630,72 @@ mod avx2 {
             y[p] += x[p];
         }
     }
+
+    #[target_feature(enable = "avx2,fma")]
+    pub(super) unsafe fn vadd(dst: &mut [f32], a: &[f32], b: &[f32]) {
+        let n = dst.len();
+        let blocks = n / LANES;
+        unsafe {
+            for ci in 0..blocks {
+                let base = ci * LANES;
+                let va = _mm256_loadu_ps(a.as_ptr().add(base));
+                let vb = _mm256_loadu_ps(b.as_ptr().add(base));
+                _mm256_storeu_ps(dst.as_mut_ptr().add(base), _mm256_add_ps(va, vb));
+            }
+        }
+        for p in blocks * LANES..n {
+            dst[p] = a[p] + b[p];
+        }
+    }
+
+    #[target_feature(enable = "avx2,fma")]
+    pub(super) unsafe fn vsub(dst: &mut [f32], a: &[f32], b: &[f32]) {
+        let n = dst.len();
+        let blocks = n / LANES;
+        unsafe {
+            for ci in 0..blocks {
+                let base = ci * LANES;
+                let va = _mm256_loadu_ps(a.as_ptr().add(base));
+                let vb = _mm256_loadu_ps(b.as_ptr().add(base));
+                _mm256_storeu_ps(dst.as_mut_ptr().add(base), _mm256_sub_ps(va, vb));
+            }
+        }
+        for p in blocks * LANES..n {
+            dst[p] = a[p] - b[p];
+        }
+    }
+
+    #[target_feature(enable = "avx2,fma")]
+    pub(super) unsafe fn axpy4(a: [f32; 4], xs: [&[f32]; 4], y: &mut [f32]) {
+        let n = y.len();
+        let blocks = n / LANES;
+        unsafe {
+            let va = [
+                _mm256_set1_ps(a[0]),
+                _mm256_set1_ps(a[1]),
+                _mm256_set1_ps(a[2]),
+                _mm256_set1_ps(a[3]),
+            ];
+            let xp = [xs[0].as_ptr(), xs[1].as_ptr(), xs[2].as_ptr(), xs[3].as_ptr()];
+            for ci in 0..blocks {
+                let base = ci * LANES;
+                let mut vy = _mm256_loadu_ps(y.as_ptr().add(base));
+                for j in 0..4 {
+                    let vx = _mm256_loadu_ps(xp[j].add(base));
+                    vy = _mm256_add_ps(vy, _mm256_mul_ps(va[j], vx));
+                }
+                _mm256_storeu_ps(y.as_mut_ptr().add(base), vy);
+            }
+        }
+        for p in blocks * LANES..n {
+            let mut acc = y[p];
+            acc += a[0] * xs[0][p];
+            acc += a[1] * xs[1][p];
+            acc += a[2] * xs[2][p];
+            acc += a[3] * xs[3][p];
+            y[p] = acc;
+        }
+    }
 }
 
 #[cfg(test)]
@@ -601,6 +766,52 @@ mod tests {
                 axpy(0.37, &x, &mut y);
                 add_assign(&mut y, &x);
                 y.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+            });
+        }
+    }
+
+    #[test]
+    fn vadd_vsub_are_elementwise_identical() {
+        for n in [0, 1, 5, 8, 13, 256] {
+            let a = fill(n, 21);
+            let b = fill(n, 22);
+            assert_levels_agree(|| {
+                let mut s = vec![0.0f32; n];
+                let mut d = vec![0.0f32; n];
+                vadd(&mut s, &a, &b);
+                vsub(&mut d, &a, &b);
+                for i in 0..n {
+                    assert_eq!(s[i].to_bits(), (a[i] + b[i]).to_bits());
+                    assert_eq!(d[i].to_bits(), (a[i] - b[i]).to_bits());
+                }
+                (
+                    s.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    d.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                )
+            });
+        }
+    }
+
+    #[test]
+    fn axpy4_matches_sequential_axpys_bitwise() {
+        for n in [0, 1, 7, 8, 9, 64, 251] {
+            let xs: Vec<Vec<f32>> = (0..4).map(|j| fill(n, 31 + j)).collect();
+            let y0 = fill(n, 40);
+            let a = [0.7f32, -1.3, 0.01, 2.5];
+            assert_levels_agree(|| {
+                let mut quad = y0.clone();
+                axpy4(a, std::array::from_fn(|j| xs[j].as_slice()), &mut quad);
+                // The documented contract: one quad == four sequential
+                // axpys, so channel tails can fall back to axpy without
+                // changing the reduction order.
+                let mut seq = y0.clone();
+                for (j, x) in xs.iter().enumerate() {
+                    axpy(a[j], x, &mut seq);
+                }
+                for i in 0..n {
+                    assert_eq!(quad[i].to_bits(), seq[i].to_bits(), "elem {i} n={n}");
+                }
+                quad.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
             });
         }
     }

@@ -124,6 +124,27 @@ fn panel_candidates() -> Vec<KernelPlan> {
         .collect()
 }
 
+/// [`panel_candidates`] widened downward with a {16, 32, 48} KiB slice.
+///
+/// The small budgets exercise the dw pack *sub-tile height*: below
+/// ~64 KiB the per-block patch panel no longer covers a whole `KC` row
+/// block, so the pack height `st = panel/(4·(plen+oc))` becomes the
+/// active blocking knob (at the reference bench shape the full grid
+/// spans `st ∈ {23, 46, 69, 93, 186, KC, KC, KC}`). The axis is
+/// *grid-only*: candidates still differ in `panel_bytes` alone — no new
+/// plan field, every candidate bit-identical. The winograd forward uses
+/// the same grid to size its tile-batch staging, where small budgets map
+/// to proportionally small tile blocks.
+fn wide_panel_candidates() -> Vec<KernelPlan> {
+    [16usize, 32, 48, 64, 128, 256, 384, 512]
+        .iter()
+        .map(|&kib| KernelPlan {
+            panel_bytes: kib * 1024,
+            ..KernelPlan::default()
+        })
+        .collect()
+}
+
 /// Tunes `matmul_into` at `[m, k] · [k, n]`.
 pub fn tune_matmul(m: usize, k: usize, n: usize, samples: usize) -> TuneOutcome {
     let av = fill(m * k, 11);
@@ -176,9 +197,42 @@ pub fn tune_conv_bwd(g: &Conv2dGeometry, n: usize, oc: usize, samples: usize) ->
     run_trials(
         PlanOp::ConvBwd,
         conv_plan_dims(g, n, oc).to_vec(),
-        panel_candidates(),
+        wide_panel_candidates(),
         samples,
         |kp| conv_engine::conv2d_dw_tiled_acc_plan(kp, &x, &dy, g, 0, n, &mut dw, true),
+    )
+}
+
+/// Tunes the winograd F(2×2, 3×3) forward for geometry `g` at batch `n`,
+/// `oc` output channels. The candidate axis is the per-thread transform
+/// staging budget (`panel_bytes` → tile-batch size): bit-free within the
+/// winograd path itself, whose output is epsilon-equal — not bit-equal —
+/// to the direct engines (DESIGN.md §16).
+///
+/// # Panics
+///
+/// If `g` is not a stride-1 3×3 geometry
+/// ([`crate::winograd_supported`]).
+pub fn tune_conv_winograd(g: &Conv2dGeometry, n: usize, oc: usize, samples: usize) -> TuneOutcome {
+    assert!(
+        crate::winograd::winograd_supported(g),
+        "winograd tuning requires a stride-1 3x3 geometry"
+    );
+    let x = Tensor::from_vec(fill(n * g.in_c * g.in_h * g.in_w, 31), &[n, g.in_c, g.in_h, g.in_w]);
+    let w = Tensor::from_vec(fill(oc * g.patch_len(), 37), &[oc, g.in_c, g.kh, g.kw]);
+    let mut out = vec![0.0f32; n * oc * g.patch_count()];
+    let max_panel = wide_panel_candidates()
+        .iter()
+        .map(|p| p.panel_bytes)
+        .max()
+        .unwrap_or_default();
+    scnn_par::scratch::warm(max_panel / 4);
+    run_trials(
+        PlanOp::ConvWinograd,
+        conv_plan_dims(g, n, oc).to_vec(),
+        wide_panel_candidates(),
+        samples,
+        |kp| crate::winograd::conv2d_fwd_winograd_plan(kp, &x, &w, None, g, &mut out),
     )
 }
 
@@ -203,10 +257,29 @@ mod tests {
     #[test]
     fn conv_tuning_smoke_produces_installable_records() {
         let g = Conv2dGeometry::new(3, 8, 8, 3, 3, 1, 1, Padding2d::symmetric(1));
-        for out in [tune_conv_fwd(&g, 2, 4, 1), tune_conv_bwd(&g, 2, 4, 1)] {
+        for out in [
+            tune_conv_fwd(&g, 2, 4, 1),
+            tune_conv_bwd(&g, 2, 4, 1),
+            tune_conv_winograd(&g, 2, 4, 1),
+        ] {
             out.record.plan.validate().unwrap();
             assert_eq!(out.record.dims.len(), 9);
             crate::plan::install_plan(&out.record).unwrap();
+        }
+    }
+
+    #[test]
+    fn bwd_grid_carries_the_sub_tile_height_slice() {
+        // The widened grid must keep the legacy budgets and add the
+        // low-budget slice that varies the dw pack sub-tile height.
+        let kib: Vec<usize> = wide_panel_candidates()
+            .iter()
+            .map(|p| p.panel_bytes / 1024)
+            .collect();
+        assert_eq!(kib, vec![16, 32, 48, 64, 128, 256, 384, 512]);
+        for p in wide_panel_candidates() {
+            p.validate().unwrap();
+            assert_eq!(p.kc, KernelPlan::reduction_kc());
         }
     }
 }
