@@ -1,6 +1,6 @@
-//! Serving-path benchmark: request latency, throughput and memory of the
-//! `scnn-serve` runtime on a split ResNet-18, at several concurrency
-//! levels. Results land in `BENCH_serving.json`:
+//! Serving-path benchmark: request latency, throughput, memory and
+//! overload behavior of the `scnn-serve` runtime on a split ResNet-18.
+//! Results land in `BENCH_serving.json`:
 //!
 //! - `serve_latency/c{N}` — per-request wall latency through the dynamic
 //!   batcher with `N` closed-loop clients; `median_ns` is the p50 and
@@ -13,13 +13,26 @@
 //!   sides (`--max-peak` + `--min-peak` at the same value);
 //! - `serve_resident_peak/c{N}` — peak physically resident activation
 //!   bytes of that batch (deterministic: sampled at wave barriers);
+//! - `serve_pool_replicated/r{R}` — summed pool high-water of `R` engine
+//!   replicas each running a `C`-slot batch concurrently: the replica
+//!   axis of the capacity model, `R × C × pool` exactly (params are
+//!   shared and not in this number), pinned two-sided by verify;
 //! - `capacity/max_concurrency` — the Fig. 10-style search: the largest
-//!   concurrency whose planned footprint fits a fixed device budget.
+//!   concurrency whose planned footprint fits a fixed device budget;
+//! - `capacity/max_concurrency_r{R}` — the same search with `R` replicas
+//!   sharing the budget (`params + R × C × pool ≤ budget`);
+//! - `overload/shed`, `overload/admitted_latency`,
+//!   `overload/queue_depth_peak` — a burst of `8 × queue_capacity`
+//!   simultaneous submissions against a bounded queue: how many were
+//!   shed at the door (verify wants `> 0`), the exact client-side
+//!   latency of every *admitted* request (p99 gated under the class
+//!   deadline), and the queue-depth high-water (gated `≤ capacity`).
 //!
 //! Flags: `--smoke` (tiny model, few requests), `--concurrency 1,8,64`
-//! (comma-separated levels), `--deadline-us 2000` (batcher deadline).
+//! (comma-separated levels), `--deadline-us 2000` (batch-close window).
 
-use std::sync::Arc;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Barrier};
 use std::time::{Duration, Instant};
 
 use scnn_bench::{Args, BenchGroup};
@@ -28,7 +41,9 @@ use scnn_graph::{Graph, NodeId};
 use scnn_models::{resnet18, ModelOptions};
 use scnn_nn::{BnState, Executor, Mode, ParamStore};
 use scnn_rng::SplitRng;
-use scnn_serve::{BatchPolicy, Engine, Server};
+use scnn_serve::{
+    BatchPolicy, ClassPolicy, Engine, ServeError, Server, ServerConfig, SloClass,
+};
 use scnn_tensor::{uniform, Tensor};
 
 fn request(graph: &Graph, seed: u64) -> Tensor {
@@ -36,11 +51,24 @@ fn request(graph: &Graph, seed: u64) -> Tensor {
     uniform(&mut SplitRng::seed_from_u64(seed), &dims, -1.0, 1.0)
 }
 
+/// Closed-loop policy: `window` closes batches, deadlines far out of the
+/// measurement's way (nothing should shed or expire in the latency runs).
+fn closed_loop_policy(max_batch: usize, window: Duration) -> BatchPolicy {
+    BatchPolicy {
+        max_batch,
+        interactive: ClassPolicy {
+            window,
+            deadline: Duration::from_secs(60),
+        },
+        ..BatchPolicy::default()
+    }
+}
+
 fn main() {
     let args = Args::parse(&["smoke", "bench", "concurrency", "deadline-us"]);
     let smoke = args.bool("smoke");
     let levels = args.usize_list("concurrency", &[1, 8, 64]);
-    let deadline = Duration::from_micros(args.u64("deadline-us", 2_000));
+    let window = Duration::from_micros(args.u64("deadline-us", 2_000));
     let mut g = BenchGroup::new("serving");
 
     let (width, reqs_per_client) = if smoke { (0.125, 2) } else { (0.25, 8) };
@@ -79,13 +107,16 @@ fn main() {
 
         // Latency and throughput through the dynamic batcher: `c`
         // closed-loop clients, each sending its requests back to back.
+        // Capacity `c` means a client population of `c` can never shed.
         let server = Server::start(
             engine.clone(),
-            BatchPolicy {
-                max_batch: c,
-                deadline,
+            ServerConfig {
+                queue_capacity: c,
+                policy: closed_loop_policy(c, window),
+                ..ServerConfig::default()
             },
-        );
+        )
+        .expect("config is legal");
         let started = Instant::now();
         let latencies: Vec<u128> = std::thread::scope(|s| {
             let handles: Vec<_> = (0..c)
@@ -98,7 +129,7 @@ fn main() {
                             let req =
                                 request(engine.graph(), (client * 1_000 + r) as u64);
                             let t = Instant::now();
-                            let logits = server.infer(req);
+                            let logits = server.infer(req).expect("closed loop never sheds");
                             assert!(!logits.is_empty(), "a response carries logits");
                             mine.push(t.elapsed().as_nanos());
                         }
@@ -112,7 +143,8 @@ fn main() {
                 .collect()
         });
         let wall = started.elapsed();
-        drop(server);
+        let snapshot = server.shutdown().expect("no replica died");
+        assert_eq!(snapshot.total_shed(), 0, "closed loop never overflows");
         let total = c * reqs_per_client;
         let rps = total as f64 / wall.as_secs_f64();
         g.record_latency(&format!("serve_latency/c{c}"), &latencies);
@@ -120,8 +152,114 @@ fn main() {
         println!("  c={c}: {total} requests in {wall:?} — {rps:.1} req/s");
     }
 
+    // Replica axis of the memory model: R engines, each running its own
+    // C-slot batch concurrently. Every run_batch call asserts its own
+    // pool high-water equals the plan, so the sum is R × C × pool
+    // exactly — params are shared across replicas and not in this sum.
+    let replica_batch = 8usize;
+    for replicas in [2usize, 4] {
+        let pooled: usize = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..replicas)
+                .map(|r| {
+                    let engine = engine.clone();
+                    s.spawn(move || {
+                        let batch: Vec<Tensor> = (0..replica_batch)
+                            .map(|i| request(engine.graph(), (5_000 + r * 100 + i) as u64))
+                            .collect();
+                        engine.run_batch(&batch).1.pool_high_water
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("replica thread")).sum()
+        });
+        let planned = replicas * replica_batch * engine.plan().layout.device_general_bytes;
+        assert_eq!(pooled, planned, "replica pools must sum to the plan");
+        g.record_bytes(&format!("serve_pool_replicated/r{replicas}"), pooled);
+        println!(
+            "  r={replicas}×c{replica_batch}: summed pool high-water {pooled} B (planned {planned} B)"
+        );
+    }
+
+    // Overload: a burst of 8 × capacity simultaneous submissions against
+    // a bounded queue and one replica. Admission must shed the overflow
+    // at the door (never block), and every admitted request must still
+    // complete under the interactive deadline.
+    // The 10 s interactive deadline is the SLO the verify gate pins the
+    // admitted p99 under — generous against the ~0.1-1 s measured tails,
+    // tight enough to catch a wedged batcher.
+    let capacity = 8usize;
+    let burst = 8 * capacity;
+    let class_deadline = Duration::from_secs(10);
+    let server = Arc::new(
+        Server::start(
+            engine.clone(),
+            ServerConfig {
+                queue_capacity: capacity,
+                policy: BatchPolicy {
+                    max_batch: capacity,
+                    interactive: ClassPolicy {
+                        window: Duration::from_millis(1),
+                        deadline: class_deadline,
+                    },
+                    ..BatchPolicy::default()
+                },
+                ..ServerConfig::default()
+            },
+        )
+        .expect("config is legal"),
+    );
+    let start = Arc::new(Barrier::new(burst));
+    let shed = Arc::new(AtomicUsize::new(0));
+    let admitted: Vec<u128> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..burst)
+            .map(|i| {
+                let server = server.clone();
+                let start = start.clone();
+                let shed = shed.clone();
+                let engine = engine.clone();
+                s.spawn(move || {
+                    let req = request(engine.graph(), 9_000 + i as u64);
+                    start.wait();
+                    let t = Instant::now();
+                    match server.infer(req) {
+                        Ok(_) => Some(t.elapsed().as_nanos()),
+                        Err(ServeError::Overloaded) => {
+                            shed.fetch_add(1, Ordering::Relaxed);
+                            None
+                        }
+                        Err(e) => panic!("burst saw an unexpected verdict: {e}"),
+                    }
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .filter_map(|h| h.join().expect("burst thread"))
+            .collect()
+    });
+    let server = Arc::into_inner(server).expect("burst threads joined");
+    let snapshot = server.shutdown().expect("no replica died");
+    let shed = shed.load(Ordering::Relaxed);
+    assert_eq!(snapshot.total_shed() as usize, shed);
+    assert_eq!(admitted.len() + shed, burst);
+    assert!(shed > 0, "an 8x burst against a bounded queue must shed");
+    assert!(
+        snapshot.queue_depth_peak <= capacity,
+        "the queue is bounded by construction"
+    );
+    let _ = snapshot.class(SloClass::Interactive).p99_ns; // server-side view, not gated
+    g.record_bytes("overload/shed", shed);
+    g.record_bytes("overload/queue_depth_peak", snapshot.queue_depth_peak);
+    g.record_latency("overload/admitted_latency", &admitted);
+    println!(
+        "  overload: burst {burst} vs capacity {capacity} — {} admitted, {shed} shed, depth peak {}",
+        admitted.len(),
+        snapshot.queue_depth_peak
+    );
+
     // Capacity search at a fixed device budget — the serving counterpart
-    // of the memory bench's Fig. 10 `max_batch_size` records.
+    // of the memory bench's Fig. 10 `max_batch_size` records — and its
+    // replica-sharing variants (params once, R pools in the same budget).
     let budget = if smoke { 8 << 20 } else { 64 << 20 };
     let cap = engine
         .max_concurrency(budget, 4096)
@@ -133,6 +271,20 @@ fn main() {
         cap.max_concurrency,
         cap.device_bytes
     );
+    for replicas in [2usize, 4] {
+        let cap_r = engine
+            .max_concurrency_replicated(budget, replicas, 4096)
+            .expect("at least one request per replica fits the budget");
+        g.record_bytes(
+            &format!("capacity/max_concurrency_r{replicas}"),
+            cap_r.max_concurrency,
+        );
+        println!(
+            "  capacity {} MiB / {replicas} replicas: max per-replica concurrency {}",
+            budget >> 20,
+            cap_r.max_concurrency
+        );
+    }
 
     g.finish();
 }

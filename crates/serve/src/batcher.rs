@@ -1,149 +1,364 @@
-//! The dynamic batcher: a queue, a deadline/size admission policy, and
-//! one executor thread.
+//! The server facade: bounded admission in front, `R` replica dispatch
+//! threads behind, and a `Result`-based client API in between.
 //!
 //! Requests enter through [`Server::submit`] from any number of client
-//! threads. A single batcher thread blocks on the queue, and on the first
-//! arrival opens a batch window: it keeps admitting requests until the
-//! batch reaches [`BatchPolicy::max_batch`] or the deadline measured from
-//! the first admission expires, then runs the whole batch through the
-//! shared [`Engine`] and delivers each response on its per-request
-//! channel.
+//! threads (in-process or via the [`crate::SocketServer`] front-end).
+//! Admission is bounded and non-blocking: a full queue sheds with
+//! [`ServeError::Overloaded`] instead of buffering without limit, and a
+//! shape mismatch is rejected with [`ServeError::BadRequest`] before it
+//! can panic an engine replica. Each replica coalesces admitted requests
+//! into batches under the per-class window policy and runs them on the
+//! shared engine; concurrency *within* a batch lives in the planned pool,
+//! concurrency *across* batches lives in the replicas — planned
+//! footprint `params + R × C × pool`, cross-checked against the memory
+//! budget at startup so a misconfigured `max_batch` can never silently
+//! outgrow the plan.
 //!
-//! One executor thread is deliberate: batches own the `scnn-par` worker
-//! pool and the planned-pool assertion for their duration, so concurrent
-//! batches would fight over both. Concurrency lives *inside* the batch —
-//! the engine interleaves every request's split-patch branches across the
-//! worker pool.
-//!
-//! Batch composition depends on arrival timing; response *values* do not:
-//! each slot computes purely from its own request bytes, so a request's
-//! logits are bit-identical whether it rode alone or in a full batch (the
-//! determinism tests pin this).
+//! Every failure is a value: the PR 8 API `expect`ed the batcher thread
+//! alive and panicked every client when it was not; now a dead replica
+//! surfaces as [`ServeError::EngineDown`] on each pending request, the
+//! server stops admitting, and the original panic payload re-throws when
+//! the server is dropped (or is reported by [`Server::shutdown`]).
 
-use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
-use std::sync::Arc;
+use std::panic::resume_unwind;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{channel, Receiver};
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
+use std::time::Instant;
 
 use scnn_tensor::Tensor;
 
+use crate::admission::{OverBudget, ServeError, ServerConfig, SloClass};
+use crate::dispatch::{replica_loop, BatchRunner};
 use crate::engine::Engine;
+use crate::metrics::{Metrics, MetricsSnapshot};
+use crate::queue::{AdmissionQueue, Job};
 
-/// When the batcher closes a batch.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub struct BatchPolicy {
-    /// Close as soon as this many requests are admitted.
-    pub max_batch: usize,
-    /// Close this long after the first admission, full or not.
-    pub deadline: Duration,
+/// State shared between the admission path and the replica threads.
+pub(crate) struct Shared {
+    /// The bounded admission queue.
+    pub queue: AdmissionQueue,
+    /// Server-wide counters and histograms.
+    pub metrics: Arc<Metrics>,
+    /// Set when a replica contained an engine panic; admission then
+    /// returns [`ServeError::EngineDown`].
+    failed: AtomicBool,
+    /// First contained panic payload, re-thrown when the server drops.
+    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
 }
 
-impl Default for BatchPolicy {
-    fn default() -> Self {
-        BatchPolicy {
-            max_batch: 8,
-            deadline: Duration::from_millis(2),
+impl Shared {
+    /// Records a contained engine panic: keeps the first payload, flips
+    /// the failed flag, and closes the queue (the caller drains it).
+    pub fn fail(&self, payload: Box<dyn std::any::Any + Send>) {
+        self.panic.lock().unwrap().get_or_insert(payload);
+        self.failed.store(true, Ordering::SeqCst);
+        self.queue.close();
+    }
+}
+
+/// The response side of one submitted request.
+///
+/// Dropping the handle without reading it marks the request *abandoned*:
+/// if it is still queued at its batch's admission close, the replica
+/// skips it (counted in [`MetricsSnapshot`]) instead of computing logits
+/// for a channel nobody reads.
+pub struct ResponseHandle {
+    rx: Receiver<Result<Vec<f32>, ServeError>>,
+    abandoned: Arc<AtomicBool>,
+    received: bool,
+}
+
+impl ResponseHandle {
+    /// Blocks for the response.
+    ///
+    /// # Errors
+    ///
+    /// Whatever the server decided about this request —
+    /// [`ServeError::DeadlineExceeded`] if it expired in queue,
+    /// [`ServeError::EngineDown`] if the replica running it died (also
+    /// returned when the reply channel vanished without a verdict).
+    pub fn recv(mut self) -> Result<Vec<f32>, ServeError> {
+        self.received = true;
+        match self.rx.recv() {
+            Ok(verdict) => verdict,
+            // The replica died between admission and reply; its panic is
+            // stored on the server and re-throws at drop.
+            Err(_) => Err(ServeError::EngineDown),
         }
     }
 }
 
-struct Job {
-    input: Tensor,
-    reply: Sender<Vec<f32>>,
+impl Drop for ResponseHandle {
+    fn drop(&mut self) {
+        if !self.received {
+            self.abandoned.store(true, Ordering::Relaxed);
+        }
+    }
 }
 
-/// A running inference server: one queue, one batcher thread, one shared
-/// [`Engine`]. Dropping the server closes the queue and joins the thread
-/// after it drains in-flight work.
+/// A running inference server (see module docs). Dropping it stops
+/// admission, drains in-flight work, joins every replica, and re-throws
+/// the first contained engine panic, if any — use [`Server::shutdown`] to
+/// receive that failure as a value instead.
 pub struct Server {
-    tx: Option<Sender<Job>>,
-    worker: Option<JoinHandle<()>>,
+    shared: Arc<Shared>,
+    replicas: Vec<JoinHandle<()>>,
+    request_shape: Vec<usize>,
+    /// Effective per-replica batch bound (post-clamp).
+    max_batch: usize,
+    replica_count: usize,
+}
+
+/// Warns once per process when a server clamps an over-budget
+/// `max_batch` — repeated server starts with the same bad config should
+/// not spam stderr.
+fn warn_clamped_once(requested: usize, fits: usize) {
+    static WARNED: AtomicBool = AtomicBool::new(false);
+    if !WARNED.swap(true, Ordering::Relaxed) {
+        eprintln!(
+            "scnn-serve: max_batch {requested} exceeds the planned memory budget; \
+             clamped to {fits} (params + replicas × max_batch × pool must fit budget_bytes)"
+        );
+    }
 }
 
 impl Server {
-    /// Starts the batcher thread over `engine` with `policy`.
+    /// Starts `config.replicas` dispatch threads over `engine`.
     ///
-    /// # Panics
+    /// When [`ServerConfig::budget_bytes`] is set, the planned deployment
+    /// footprint `params + replicas × max_batch × pool` is cross-checked
+    /// against it (the serving Fig. 10 bound, via
+    /// [`Engine::max_concurrency_replicated`]); an over-budget
+    /// `max_batch` is rejected or clamped per
+    /// [`ServerConfig::on_over_budget`].
     ///
-    /// Panics when `policy.max_batch` is zero.
-    pub fn start(engine: Arc<Engine>, policy: BatchPolicy) -> Server {
-        assert!(policy.max_batch > 0, "a batch holds at least one request");
-        let (tx, rx) = channel::<Job>();
-        let worker = std::thread::Builder::new()
-            .name("scnn-serve".into())
-            .spawn(move || Server::drive(&engine, policy, &rx))
-            .expect("batcher thread spawns");
-        Server {
-            tx: Some(tx),
-            worker: Some(worker),
-        }
+    /// # Errors
+    ///
+    /// [`ServeError::InvalidConfig`] for structurally invalid configs,
+    /// [`ServeError::OverBudget`] when the policy cannot fit the budget.
+    pub fn start(engine: Arc<Engine>, config: ServerConfig) -> Result<Server, ServeError> {
+        Server::start_with_runner(engine, config)
     }
 
-    fn drive(engine: &Engine, policy: BatchPolicy, rx: &Receiver<Job>) {
-        // Blocks until the first request opens a batch window; exits when
-        // every sender (the Server) is gone.
-        while let Ok(first) = rx.recv() {
-            let mut jobs = vec![first];
-            let deadline = Instant::now() + policy.deadline;
-            while jobs.len() < policy.max_batch {
-                let now = Instant::now();
-                if now >= deadline {
-                    break;
+    /// [`Server::start`] generalized over the [`BatchRunner`] seam — for
+    /// stub engines in tests (and any caller proxying batches elsewhere).
+    /// The budget cross-check applies whenever the runner reports
+    /// [`BatchRunner::planned_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// As [`Server::start`].
+    pub fn start_with_runner(
+        runner: Arc<dyn BatchRunner>,
+        mut config: ServerConfig,
+    ) -> Result<Server, ServeError> {
+        config.validate()?;
+        if let (Some(budget), Some((params, pool))) = (config.budget_bytes, runner.planned_bytes())
+        {
+            let fits = per_replica_fit(budget, config.replicas, params, pool);
+            if fits < config.policy.max_batch {
+                match config.on_over_budget {
+                    OverBudget::Clamp if fits >= 1 => {
+                        warn_clamped_once(config.policy.max_batch, fits);
+                        config.policy.max_batch = fits;
+                    }
+                    _ => {
+                        return Err(ServeError::OverBudget {
+                            requested: config.policy.max_batch,
+                            fits,
+                        })
+                    }
                 }
-                match rx.recv_timeout(deadline - now) {
-                    Ok(job) => jobs.push(job),
-                    Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => break,
-                }
-            }
-            let (inputs, replies): (Vec<Tensor>, Vec<Sender<Vec<f32>>>) =
-                jobs.into_iter().map(|j| (j.input, j.reply)).unzip();
-            let (logits, _stats) = engine.run_batch(&inputs);
-            for (reply, out) in replies.into_iter().zip(logits) {
-                // A client that dropped its receiver just loses the
-                // response; the server keeps serving.
-                let _ = reply.send(out);
             }
         }
+
+        let metrics = Arc::new(Metrics::new());
+        let shared = Arc::new(Shared {
+            queue: AdmissionQueue::new(config.queue_capacity, metrics.clone()),
+            metrics,
+            failed: AtomicBool::new(false),
+            panic: Mutex::new(None),
+        });
+        let request_shape = runner.request_shape();
+        let replicas = (0..config.replicas)
+            .map(|r| {
+                let shared = shared.clone();
+                let runner = runner.clone();
+                let policy = config.policy;
+                let threads = config.worker_threads;
+                std::thread::Builder::new()
+                    .name(format!("scnn-serve-r{r}"))
+                    .spawn(move || replica_loop(&shared, &runner, &policy, threads))
+                    .expect("replica thread spawns")
+            })
+            .collect();
+        Ok(Server {
+            shared,
+            replicas,
+            request_shape,
+            max_batch: config.policy.max_batch,
+            replica_count: config.replicas,
+        })
     }
 
-    /// Enqueues one request (a tensor of [`Engine::request_shape`]) and
-    /// returns the channel its logits will arrive on.
+    /// Enqueues one request and returns the handle its response arrives
+    /// on. Never blocks and never panics: a full queue sheds, a wrong
+    /// shape is rejected, a failed engine reports itself — all as values.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the batcher thread has died — its panic is the real
-    /// failure and surfaces when the server drops.
-    pub fn submit(&self, input: Tensor) -> Receiver<Vec<f32>> {
+    /// [`ServeError::BadRequest`] on a shape mismatch,
+    /// [`ServeError::Overloaded`] when the admission queue is full,
+    /// [`ServeError::EngineDown`] after a replica died,
+    /// [`ServeError::ShuttingDown`] once the server is dropping.
+    pub fn submit(&self, input: Tensor, class: SloClass) -> Result<ResponseHandle, ServeError> {
+        if self.shared.failed.load(Ordering::SeqCst) {
+            return Err(ServeError::EngineDown);
+        }
+        if input.shape().dims() != self.request_shape {
+            return Err(ServeError::BadRequest(format!(
+                "request shape {:?} does not match engine input {:?}",
+                input.shape().dims(),
+                self.request_shape
+            )));
+        }
+        self.shared.metrics.submitted(class);
         let (reply, rx) = channel();
-        self.tx
-            .as_ref()
-            .expect("server is running")
-            .send(Job { input, reply })
-            .expect("batcher thread accepts requests");
-        rx
+        let abandoned = Arc::new(AtomicBool::new(false));
+        let job = Job {
+            input,
+            class,
+            submitted: Instant::now(),
+            reply,
+            abandoned: abandoned.clone(),
+        };
+        match self.shared.queue.offer(job) {
+            Ok(()) => Ok(ResponseHandle {
+                rx,
+                abandoned,
+                received: false,
+            }),
+            Err(e) => {
+                if e == ServeError::Overloaded {
+                    self.shared.metrics.shed(class);
+                }
+                Err(e)
+            }
+        }
     }
 
-    /// Convenience: submit and block for the logits.
+    /// Submits as [`SloClass::Interactive`] and blocks for the logits.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// As in [`Server::submit`], plus if the batcher dies mid-request.
-    pub fn infer(&self, input: Tensor) -> Vec<f32> {
-        self.submit(input)
-            .recv()
-            .expect("batcher thread delivers a response")
+    /// As [`Server::submit`] plus anything the dispatch decided
+    /// ([`ServeError::DeadlineExceeded`], [`ServeError::EngineDown`]).
+    pub fn infer(&self, input: Tensor) -> Result<Vec<f32>, ServeError> {
+        self.infer_class(input, SloClass::Interactive)
+    }
+
+    /// Submits under an explicit class and blocks for the logits.
+    ///
+    /// # Errors
+    ///
+    /// As [`Server::infer`].
+    pub fn infer_class(&self, input: Tensor, class: SloClass) -> Result<Vec<f32>, ServeError> {
+        self.submit(input, class)?.recv()
+    }
+
+    /// Point-in-time metrics snapshot.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.shared.metrics.snapshot()
+    }
+
+    /// Current admission-queue depth (bounded by the configured
+    /// capacity).
+    pub fn queue_depth(&self) -> usize {
+        self.shared.queue.depth()
+    }
+
+    /// Effective per-replica batch bound — the configured `max_batch`,
+    /// possibly clamped by the budget cross-check at startup.
+    pub fn max_batch(&self) -> usize {
+        self.max_batch
+    }
+
+    /// Number of replica dispatch threads.
+    pub fn replicas(&self) -> usize {
+        self.replica_count
+    }
+
+    /// Shape every request tensor must have (the engine's input shape).
+    pub fn request_shape(&self) -> &[usize] {
+        &self.request_shape
+    }
+
+    /// Graceful shutdown: stops admission, lets the replicas drain every
+    /// admitted request, joins them, and returns the final metrics.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::EngineDown`] when a replica contained an engine
+    /// panic during the server's lifetime — returned as a value here
+    /// (the payload is discarded), where a plain drop would re-throw it.
+    pub fn shutdown(mut self) -> Result<MetricsSnapshot, ServeError> {
+        self.shared.queue.close();
+        for handle in self.replicas.drain(..) {
+            let _ = handle.join();
+        }
+        let failed = self.shared.failed.load(Ordering::SeqCst);
+        // Taking the payload keeps Drop from re-throwing it.
+        let _ = self.shared.panic.lock().unwrap().take();
+        if failed {
+            Err(ServeError::EngineDown)
+        } else {
+            Ok(self.shared.metrics.snapshot())
+        }
     }
 }
 
 impl Drop for Server {
     fn drop(&mut self) {
-        // Closing the queue lets the batcher drain and exit; a panic on
-        // the batcher thread propagates here instead of vanishing.
-        drop(self.tx.take());
-        if let Some(worker) = self.worker.take() {
-            if let Err(payload) = worker.join() {
-                std::panic::resume_unwind(payload);
+        self.shared.queue.close();
+        for handle in self.replicas.drain(..) {
+            let _ = handle.join();
+        }
+        // A contained engine panic is the real failure; re-throw it here
+        // so it cannot vanish (shutdown() reports it as a value instead).
+        let payload = self.shared.panic.lock().unwrap().take();
+        if let Some(payload) = payload {
+            if !std::thread::panicking() {
+                resume_unwind(payload);
             }
         }
+    }
+}
+
+/// Largest per-replica batch such that
+/// `params + replicas × batch × pool ≤ budget` (0 when not even one
+/// fits). The closed form of the [`Engine::max_concurrency_replicated`]
+/// search, usable with any [`BatchRunner`] that reports its layout.
+fn per_replica_fit(budget: usize, replicas: usize, params: usize, pool: usize) -> usize {
+    if budget < params || pool == 0 {
+        return if budget >= params { usize::MAX } else { 0 };
+    }
+    (budget - params) / (replicas * pool)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_replica_fit_matches_the_linear_model() {
+        // params 100, pool 10: budget 175 fits 7 at R=1, 3 at R=2.
+        assert_eq!(per_replica_fit(175, 1, 100, 10), 7);
+        assert_eq!(per_replica_fit(175, 2, 100, 10), 3);
+        assert_eq!(per_replica_fit(99, 1, 100, 10), 0);
+        assert_eq!(per_replica_fit(105, 1, 100, 10), 0);
+        // Zero-pool degenerate: anything fits once params do.
+        assert_eq!(per_replica_fit(100, 4, 100, 0), usize::MAX);
     }
 }

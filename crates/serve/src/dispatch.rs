@@ -1,0 +1,159 @@
+//! Replica dispatch: `R` engine replicas pulling batches from the one
+//! shared admission queue.
+//!
+//! Each replica is one thread running [`replica_loop`]: block for the job
+//! that opens a batch window, coalesce follow-ups under the per-class
+//! window policy, filter dead work at admission close (abandoned clients,
+//! expired deadlines), run the survivors through the engine, deliver.
+//! Replicas never share a batch, so each `run` call owns its own planned
+//! pool accounting — the deployment's planned footprint is
+//! `params + R × C × pool` ([`scnn_hmms::StaticLayout::serving_device_bytes`]),
+//! with the frozen parameters shared across replicas through the engine's
+//! `Arc`s. Concurrent replicas are safe by the repo's threading contract:
+//! work decomposition is a pure function of problem size, every
+//! reduction order is fixed per task, and the `scnn-par` pool accepts
+//! jobs from any number of submitting threads — so logits stay
+//! bit-identical at every replica count (pinned by test).
+//!
+//! A panic inside the engine is contained here: the replica marks the
+//! server failed, drains the queue replying [`ServeError::EngineDown`] to
+//! every parked client, and stores the payload for the server to re-throw
+//! at drop — clients see an error value, never a poisoned channel panic
+//! (the PR 8 API panicked in `submit`/`infer`; DESIGN.md §15).
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+use std::time::Instant;
+
+use scnn_tensor::Tensor;
+
+use crate::admission::{BatchPolicy, ServeError};
+use crate::batcher::Shared;
+use crate::engine::Engine;
+use crate::queue::{Job, Pop};
+
+/// The engine seam the dispatcher drives: anything that can turn a batch
+/// of request tensors into one logits vector per request.
+///
+/// [`Engine`] is the production implementation. Tests substitute stub
+/// runners (blocking gates, panic injectors, call counters) to pin the
+/// dispatch behavior — shedding, abandonment, failure containment —
+/// deterministically, without a model in the loop.
+pub trait BatchRunner: Send + Sync + 'static {
+    /// Shape every request tensor must have; [`crate::Server::submit`]
+    /// rejects mismatches with [`ServeError::BadRequest`] before
+    /// admission, so a malformed request can never panic a replica.
+    fn request_shape(&self) -> Vec<usize>;
+
+    /// Runs one batch; must return exactly one output per request, in
+    /// order. A panic here is contained by the replica loop (see module
+    /// docs).
+    fn run(&self, requests: &[Tensor]) -> Vec<Vec<f32>>;
+
+    /// Planned `(param_bytes, pool_bytes_per_slot)` of this runner's
+    /// memory layout, when it has one. `Some` enables the
+    /// [`crate::ServerConfig::budget_bytes`] capacity cross-check at
+    /// startup; the default `None` skips it.
+    fn planned_bytes(&self) -> Option<(usize, usize)> {
+        None
+    }
+}
+
+impl BatchRunner for Engine {
+    fn request_shape(&self) -> Vec<usize> {
+        Engine::request_shape(self).to_vec()
+    }
+
+    fn run(&self, requests: &[Tensor]) -> Vec<Vec<f32>> {
+        self.run_batch(requests).0
+    }
+
+    fn planned_bytes(&self) -> Option<(usize, usize)> {
+        let layout = &self.plan().layout;
+        Some((layout.device_param_bytes, layout.device_general_bytes))
+    }
+}
+
+/// Body of one replica thread (see module docs). Returns when the queue
+/// closes (graceful) or after containing an engine panic (failure).
+pub(crate) fn replica_loop(
+    shared: &Arc<Shared>,
+    runner: &Arc<dyn BatchRunner>,
+    policy: &BatchPolicy,
+    worker_threads: Option<usize>,
+) {
+    let body = || match worker_threads {
+        Some(n) => scnn_par::with_threads(n, || drive(shared, runner.as_ref(), policy)),
+        None => drive(shared, runner.as_ref(), policy),
+    };
+    if let Err(payload) = catch_unwind(AssertUnwindSafe(body)) {
+        // Contain the failure: no new admissions, every parked client
+        // gets an error value, the payload re-throws at server drop.
+        shared.fail(payload);
+        for job in shared.queue.drain() {
+            let _ = job.reply.send(Err(ServeError::EngineDown));
+        }
+    }
+}
+
+fn drive(shared: &Shared, runner: &dyn BatchRunner, policy: &BatchPolicy) {
+    loop {
+        let first = match shared.queue.pop_blocking() {
+            Pop::Job(job) => job,
+            Pop::Closed => return,
+            Pop::TimedOut => unreachable!("blocking pop never times out"),
+        };
+        // The first admission opens the batch window; every later
+        // admission can only pull the close time *forward* (an
+        // interactive request joining a batch-class window shortens it).
+        let mut close_at = Instant::now() + policy.class(first.class).window;
+        let mut jobs: Vec<Job> = vec![*first];
+        while jobs.len() < policy.max_batch {
+            match shared.queue.pop_deadline(close_at) {
+                Pop::Job(job) => {
+                    close_at = close_at.min(Instant::now() + policy.class(job.class).window);
+                    jobs.push(*job);
+                }
+                Pop::TimedOut | Pop::Closed => break,
+            }
+        }
+
+        // Admission close: drop work nobody is waiting for. Abandoned
+        // jobs (client dropped its handle) are skipped silently; jobs
+        // past their class deadline get an explicit error — both *before*
+        // the engine burns a slot on them.
+        let now = Instant::now();
+        let mut batch: Vec<Job> = Vec::with_capacity(jobs.len());
+        for job in jobs {
+            if job.is_abandoned() {
+                shared.metrics.abandoned(job.class);
+            } else if now.duration_since(job.submitted) > policy.class(job.class).deadline {
+                shared.metrics.expired(job.class);
+                let _ = job.reply.send(Err(ServeError::DeadlineExceeded));
+            } else {
+                batch.push(job);
+            }
+        }
+        if batch.is_empty() {
+            continue;
+        }
+
+        let mut inputs: Vec<Tensor> = Vec::with_capacity(batch.len());
+        let mut pending = Vec::with_capacity(batch.len());
+        for job in batch {
+            inputs.push(job.input);
+            pending.push((job.class, job.submitted, job.reply));
+        }
+        let outputs = runner.run(&inputs);
+        assert_eq!(
+            outputs.len(),
+            pending.len(),
+            "runner must return one output per request"
+        );
+        shared.metrics.batch_ran(pending.len());
+        for ((class, submitted, reply), out) in pending.into_iter().zip(outputs) {
+            shared.metrics.completed(class, submitted.elapsed());
+            let _ = reply.send(Ok(out));
+        }
+    }
+}

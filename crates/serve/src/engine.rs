@@ -160,8 +160,16 @@ impl Engine {
     /// Planned device bytes when `concurrency` slots are in flight:
     /// frozen parameters (shared once) plus one general pool per slot.
     pub fn device_bytes_at(&self, concurrency: usize) -> usize {
-        self.plan.layout.device_param_bytes
-            + concurrency * self.plan.layout.device_general_bytes
+        self.device_bytes_replicated(1, concurrency)
+    }
+
+    /// Planned device bytes for `replicas` engine replicas each running
+    /// batches of `concurrency` slots: `params + R × C × pool`
+    /// ([`scnn_hmms::StaticLayout::serving_device_bytes`]). Parameters
+    /// are shared across replicas through this engine's `Arc`s; each
+    /// replica's batch owns its own planned activation pool.
+    pub fn device_bytes_replicated(&self, replicas: usize, concurrency: usize) -> usize {
+        self.plan.layout.serving_device_bytes(replicas, concurrency)
     }
 
     /// Largest concurrency (≤ `limit`) whose planned footprint fits
@@ -170,8 +178,24 @@ impl Engine {
     /// Fig. 10 `max_batch_size` search. `None` when even one request does
     /// not fit.
     pub fn max_concurrency(&self, budget_bytes: usize, limit: usize) -> Option<ConcurrencySearch> {
-        let fits = |c: usize| self.device_bytes_at(c) <= budget_bytes;
-        if limit == 0 || !fits(1) {
+        self.max_concurrency_replicated(budget_bytes, 1, limit)
+    }
+
+    /// [`Engine::max_concurrency`] with the replica axis: the largest
+    /// *per-replica* batch (≤ `limit`) such that `replicas` concurrent
+    /// batches of that size fit `budget_bytes`. This is the search
+    /// [`crate::Server::start`] cross-checks a configured `max_batch`
+    /// against, so a policy can never silently plan more pool bytes than
+    /// the budget covers. `None` when even one request per replica does
+    /// not fit.
+    pub fn max_concurrency_replicated(
+        &self,
+        budget_bytes: usize,
+        replicas: usize,
+        limit: usize,
+    ) -> Option<ConcurrencySearch> {
+        let fits = |c: usize| self.device_bytes_replicated(replicas, c) <= budget_bytes;
+        if limit == 0 || replicas == 0 || !fits(1) {
             return None;
         }
         let mut lo = 1;
@@ -191,7 +215,7 @@ impl Engine {
         }
         Some(ConcurrencySearch {
             max_concurrency: lo,
-            device_bytes: self.device_bytes_at(lo),
+            device_bytes: self.device_bytes_replicated(replicas, lo),
         })
     }
 

@@ -1,5 +1,6 @@
 //! Split-pipelined inference serving: the paper's memory-system
-//! optimization applied to the serving workload.
+//! optimization applied to the serving workload, hardened for real
+//! traffic.
 //!
 //! Training PRs built the stack bottom-up — tensors, kernels, the wave
 //! executor, HMMS planning, the plan-executing runtime. This crate turns
@@ -10,34 +11,62 @@
 //!   [`scnn_hmms::ExecPlan`] (liveness ends at the last forward read; no
 //!   offload, no gradients, params counted once), with frozen weights and
 //!   BN running statistics shared via `Arc` across all in-flight
-//!   requests. A batch of `R` requests runs the base wave schedule
-//!   interleaved across `R` slots ([`scnn_nn::Schedule::interleave`]), so
+//!   requests. A batch of `C` requests runs the base wave schedule
+//!   interleaved across `C` slots ([`scnn_nn::Schedule::interleave`]), so
 //!   split-patch branches of different requests execute side by side on
 //!   the `scnn-par` pool — and the pool high-water is asserted equal to
-//!   `R ×` the planned layout bytes, every batch.
-//! - [`Server`] / [`BatchPolicy`] — a dynamic batcher: requests coalesce
-//!   under a deadline/size policy into batches; each response is
-//!   bit-identical regardless of which batch its request rode in.
+//!   `C ×` the planned layout bytes, every batch.
+//! - [`Server`] — bounded admission in front of `R` replica dispatch
+//!   threads. Admission sheds ([`ServeError::Overloaded`]) instead of
+//!   queueing without bound; requests carry an [`SloClass`] whose window
+//!   feeds the batch-close policy and whose deadline drops
+//!   expired-in-queue work; every client API returns `Result` — one
+//!   engine panic becomes [`ServeError::EngineDown`] values, never a
+//!   cascade of client panics. Planned footprint:
+//!   `params + R × C × pool`, cross-checked against
+//!   [`ServerConfig::budget_bytes`] at startup.
+//! - [`SocketServer`] / [`SocketClient`] — a std-only, length-prefixed
+//!   TCP/Unix-socket front-end, so external processes submit tensors and
+//!   read back logits that are bit-exactly the in-process response.
+//! - [`Metrics`] — per-class latency histograms, queue-depth gauge,
+//!   shed/completed/expired/abandoned counters; snapshot via
+//!   [`Server::metrics`], exported by the `serving` bench and gated in
+//!   `scripts/verify.sh`.
 //! - [`Engine::max_concurrency`] — the serving counterpart of Fig. 10's
-//!   `max_batch_size` capacity search: the largest concurrency whose
-//!   planned footprint fits a device byte budget.
+//!   `max_batch_size` capacity search, with a replica-aware form
+//!   ([`Engine::max_concurrency_replicated`]).
 //!
 //! ```no_run
 //! use std::sync::Arc;
 //! use scnn_nn::{BnState, ParamStore};
-//! use scnn_serve::{BatchPolicy, Engine, Server};
+//! use scnn_serve::{Engine, Server, ServerConfig};
 //! # fn demo(graph: scnn_graph::Graph, params: ParamStore, bn: BnState, image: scnn_tensor::Tensor) {
 //! let engine = Engine::new(graph, Arc::new(params), Arc::new(bn)).expect("plan is legal");
-//! let server = Server::start(Arc::new(engine), BatchPolicy::default());
-//! let logits = server.infer(image);
-//! println!("top-1: {}", logits.iter().enumerate().fold((0, f32::MIN),
-//!     |best, (i, &v)| if v > best.1 { (i, v) } else { best }).0);
+//! let server = Server::start(
+//!     Arc::new(engine),
+//!     ServerConfig { replicas: 2, ..ServerConfig::default() },
+//! )
+//! .expect("config is legal");
+//! match server.infer(image) {
+//!     Ok(logits) => println!("top-1: {}", logits.iter().enumerate().fold((0, f32::MIN),
+//!         |best, (i, &v)| if v > best.1 { (i, v) } else { best }).0),
+//!     Err(e) => eprintln!("request failed: {e}"), // shed, expired, engine down…
+//! }
 //! # }
 //! ```
 
+pub mod admission;
 pub mod batcher;
+pub mod dispatch;
 pub mod engine;
+pub mod metrics;
+mod queue;
+pub mod socket;
 
-pub use batcher::{BatchPolicy, Server};
+pub use admission::{BatchPolicy, ClassPolicy, OverBudget, ServeError, ServerConfig, SloClass};
+pub use batcher::{ResponseHandle, Server};
+pub use dispatch::BatchRunner;
 pub use engine::{BatchStats, ConcurrencySearch, Engine};
+pub use metrics::{ClassSnapshot, Metrics, MetricsSnapshot};
 pub use scnn_runtime::RuntimeError;
+pub use socket::{ListenAddr, SocketClient, SocketServer, MAX_FRAME_BYTES};

@@ -1,0 +1,458 @@
+//! Length-prefixed socket front-end: external processes submit request
+//! tensors and read logits over TCP or a Unix-domain socket, std-only.
+//!
+//! # Wire protocol
+//!
+//! Both directions speak the same frame: a 1-byte tag, a 4-byte
+//! little-endian payload length, then the payload.
+//!
+//! ```text
+//! request  frame: [class: u8] [len: u32 LE] [payload: len bytes]
+//!     class   0 = Interactive, 1 = Batch
+//!     payload the request tensor's f32 values, little-endian, in the
+//!             engine's input-shape order — len must equal
+//!             4 × product(request_shape)
+//! response frame: [status: u8] [len: u32 LE] [payload: len bytes]
+//!     status  0 = OK          payload = logits, f32 little-endian
+//!             1 = Overloaded  payload = utf-8 error message
+//!             2 = BadRequest            "
+//!             3 = DeadlineExceeded      "
+//!             4 = EngineDown            "
+//!             5 = ShuttingDown          "
+//!             6 = Protocol              "
+//! ```
+//!
+//! A connection carries any number of request/response pairs, strictly in
+//! order (submit the next request after reading the previous response).
+//! Each connection gets its own handler thread; handlers share the
+//! [`Server`]'s bounded admission queue with in-process clients, so a
+//! burst over the socket sheds exactly like a burst in process —
+//! `Overloaded` comes back as a status frame, not a dropped connection.
+//!
+//! Responses are the same bytes an in-process [`Server::infer`] returns —
+//! the socket layer moves them, bit-exact, and the round-trip equality is
+//! pinned by test.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+#[cfg(unix)]
+use std::os::unix::net::{UnixListener, UnixStream};
+#[cfg(unix)]
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use scnn_tensor::Tensor;
+
+use crate::admission::{ServeError, SloClass};
+use crate::batcher::Server;
+
+/// Upper bound on any frame payload this implementation will read —
+/// protects both sides from a corrupt length prefix allocating gigabytes.
+pub const MAX_FRAME_BYTES: usize = 64 << 20;
+
+/// Status byte of a response frame.
+const STATUS_OK: u8 = 0;
+
+fn status_of(err: &ServeError) -> u8 {
+    match err {
+        ServeError::Overloaded => 1,
+        ServeError::BadRequest(_) => 2,
+        ServeError::DeadlineExceeded => 3,
+        ServeError::EngineDown => 4,
+        ServeError::ShuttingDown => 5,
+        // Config errors never reach a connection; anything else is a
+        // protocol-level failure.
+        _ => 6,
+    }
+}
+
+fn error_for(status: u8, message: String) -> ServeError {
+    match status {
+        1 => ServeError::Overloaded,
+        2 => ServeError::BadRequest(message),
+        3 => ServeError::DeadlineExceeded,
+        4 => ServeError::EngineDown,
+        5 => ServeError::ShuttingDown,
+        _ => ServeError::Protocol(message),
+    }
+}
+
+fn io_err(e: std::io::Error) -> ServeError {
+    ServeError::Io(e.to_string())
+}
+
+/// Writes one `[tag][len][payload]` frame.
+fn write_frame(w: &mut impl Write, tag: u8, payload: &[u8]) -> std::io::Result<()> {
+    debug_assert!(payload.len() <= MAX_FRAME_BYTES);
+    w.write_all(&[tag])?;
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Reads one frame; `Ok(None)` on clean EOF at a frame boundary.
+fn read_frame(r: &mut impl Read) -> std::io::Result<Option<(u8, Vec<u8>)>> {
+    let mut tag = [0u8; 1];
+    match r.read_exact(&mut tag) {
+        Ok(()) => {}
+        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    let mut len = [0u8; 4];
+    r.read_exact(&mut len)?;
+    let len = u32::from_le_bytes(len) as usize;
+    if len > MAX_FRAME_BYTES {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("frame of {len} bytes exceeds the {MAX_FRAME_BYTES}-byte cap"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    Ok(Some((tag[0], payload)))
+}
+
+fn f32s_to_bytes(values: &[f32]) -> Vec<u8> {
+    let mut bytes = Vec::with_capacity(values.len() * 4);
+    for v in values {
+        bytes.extend_from_slice(&v.to_le_bytes());
+    }
+    bytes
+}
+
+fn bytes_to_f32s(bytes: &[u8]) -> Option<Vec<f32>> {
+    if !bytes.len().is_multiple_of(4) {
+        return None;
+    }
+    Some(
+        bytes
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes(c.try_into().expect("chunk of 4")))
+            .collect(),
+    )
+}
+
+/// One request/response exchange on the server side of a connection.
+/// Returns `false` when the connection should close (EOF or write
+/// failure).
+fn serve_one(server: &Server, stream: &mut (impl Read + Write)) -> bool {
+    let (tag, payload) = match read_frame(stream) {
+        Ok(Some(frame)) => frame,
+        Ok(None) => return false,
+        Err(e) => {
+            // Best-effort protocol error before closing; the length cap
+            // and short reads both land here.
+            let _ = write_frame(stream, 6, e.to_string().as_bytes());
+            return false;
+        }
+    };
+    let class = match tag {
+        0 => SloClass::Interactive,
+        1 => SloClass::Batch,
+        _ => {
+            let msg = format!("unknown request class tag {tag}");
+            return write_frame(stream, 6, msg.as_bytes()).is_ok();
+        }
+    };
+    let verdict = match bytes_to_f32s(&payload) {
+        None => Err(ServeError::BadRequest(
+            "payload length is not a multiple of 4".into(),
+        )),
+        Some(values) => {
+            let shape = server.request_shape().to_vec();
+            let expect: usize = shape.iter().product();
+            if values.len() != expect {
+                Err(ServeError::BadRequest(format!(
+                    "payload holds {} f32s, engine input {:?} needs {}",
+                    values.len(),
+                    shape,
+                    expect
+                )))
+            } else {
+                server.infer_class(Tensor::from_vec(values, &shape), class)
+            }
+        }
+    };
+    match verdict {
+        Ok(logits) => write_frame(stream, STATUS_OK, &f32s_to_bytes(&logits)).is_ok(),
+        Err(e) => write_frame(stream, status_of(&e), e.to_string().as_bytes()).is_ok(),
+    }
+}
+
+/// Where a [`SocketServer`] is listening.
+#[derive(Clone, Debug)]
+pub enum ListenAddr {
+    /// A TCP socket address (use port 0 to let the OS pick, then read it
+    /// back here).
+    Tcp(SocketAddr),
+    /// A Unix-domain socket path (removed again on drop).
+    #[cfg(unix)]
+    Unix(PathBuf),
+}
+
+impl std::fmt::Display for ListenAddr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ListenAddr::Tcp(a) => write!(f, "tcp://{a}"),
+            #[cfg(unix)]
+            ListenAddr::Unix(p) => write!(f, "unix://{}", p.display()),
+        }
+    }
+}
+
+enum Listener {
+    Tcp(TcpListener),
+    #[cfg(unix)]
+    Unix(UnixListener),
+}
+
+/// The accept loop plus per-connection handler threads over one
+/// [`Server`]. Dropping it stops accepting new connections; established
+/// connections run until their peer closes (each holds its own
+/// `Arc<Server>`).
+pub struct SocketServer {
+    addr: ListenAddr,
+    stop: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl SocketServer {
+    /// Binds a TCP listener on `addr` and starts accepting.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn bind_tcp(server: Arc<Server>, addr: impl ToSocketAddrs) -> std::io::Result<SocketServer> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        SocketServer::spawn(server, Listener::Tcp(listener), ListenAddr::Tcp(local))
+    }
+
+    /// Binds a Unix-domain listener at `path` and starts accepting. The
+    /// socket file is removed when the `SocketServer` drops.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure (including "address already in use"
+    /// when the path exists).
+    #[cfg(unix)]
+    pub fn bind_unix(server: Arc<Server>, path: impl AsRef<Path>) -> std::io::Result<SocketServer> {
+        let path = path.as_ref().to_path_buf();
+        let listener = UnixListener::bind(&path)?;
+        SocketServer::spawn(server, Listener::Unix(listener), ListenAddr::Unix(path))
+    }
+
+    fn spawn(
+        server: Arc<Server>,
+        listener: Listener,
+        addr: ListenAddr,
+    ) -> std::io::Result<SocketServer> {
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept = {
+            let stop = stop.clone();
+            std::thread::Builder::new()
+                .name("scnn-serve-accept".into())
+                .spawn(move || accept_loop(&server, &listener, &stop))?
+        };
+        Ok(SocketServer {
+            addr,
+            stop,
+            accept: Some(accept),
+        })
+    }
+
+    /// The bound address — for TCP with port 0, the OS-assigned port.
+    pub fn addr(&self) -> &ListenAddr {
+        &self.addr
+    }
+
+    /// The bound TCP address, when this is a TCP front-end.
+    pub fn tcp_addr(&self) -> Option<SocketAddr> {
+        match self.addr {
+            ListenAddr::Tcp(a) => Some(a),
+            #[cfg(unix)]
+            ListenAddr::Unix(_) => None,
+        }
+    }
+}
+
+/// A connection handler: drains request/response pairs until the peer
+/// closes. Boxed so TCP and Unix accept arms share one spawn path.
+type ConnHandler = Box<dyn FnOnce(&Server) + Send>;
+
+fn accept_loop(server: &Arc<Server>, listener: &Listener, stop: &AtomicBool) {
+    loop {
+        // Accept is blocking; drop() wakes it with a throwaway connection
+        // after setting the stop flag.
+        let conn: Option<ConnHandler> = match listener {
+            Listener::Tcp(l) => match l.accept() {
+                Ok((mut stream, _)) => Some(Box::new(move |srv| {
+                    while serve_one(srv, &mut stream) {}
+                })),
+                Err(_) => None,
+            },
+            #[cfg(unix)]
+            Listener::Unix(l) => match l.accept() {
+                Ok((mut stream, _)) => Some(Box::new(move |srv| {
+                    while serve_one(srv, &mut stream) {}
+                })),
+                Err(_) => None,
+            },
+        };
+        if stop.load(Ordering::SeqCst) {
+            return;
+        }
+        if let Some(handle_conn) = conn {
+            let server = server.clone();
+            // Handler threads are detached: they exit when the peer
+            // closes, and they keep the Server alive through their Arc.
+            let _ = std::thread::Builder::new()
+                .name("scnn-serve-conn".into())
+                .spawn(move || handle_conn(&server));
+        }
+    }
+}
+
+impl Drop for SocketServer {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Wake the blocking accept with a throwaway connection.
+        match &self.addr {
+            ListenAddr::Tcp(a) => {
+                let _ = TcpStream::connect(a);
+            }
+            #[cfg(unix)]
+            ListenAddr::Unix(p) => {
+                let _ = UnixStream::connect(p);
+            }
+        }
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        #[cfg(unix)]
+        if let ListenAddr::Unix(p) = &self.addr {
+            let _ = std::fs::remove_file(p);
+        }
+    }
+}
+
+/// A minimal client for the frame protocol, generic over the byte stream
+/// so the same code drives TCP and Unix sockets.
+pub struct SocketClient<S: Read + Write> {
+    stream: S,
+}
+
+impl SocketClient<TcpStream> {
+    /// Connects over TCP.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the connect failure.
+    pub fn connect_tcp(addr: impl ToSocketAddrs) -> std::io::Result<Self> {
+        Ok(SocketClient {
+            stream: TcpStream::connect(addr)?,
+        })
+    }
+}
+
+#[cfg(unix)]
+impl SocketClient<UnixStream> {
+    /// Connects over a Unix-domain socket.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the connect failure.
+    pub fn connect_unix(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        Ok(SocketClient {
+            stream: UnixStream::connect(path)?,
+        })
+    }
+}
+
+impl<S: Read + Write> SocketClient<S> {
+    /// Wraps an already-connected byte stream.
+    pub fn over(stream: S) -> Self {
+        SocketClient { stream }
+    }
+
+    /// Sends `input` (the engine's request tensor, flattened) under
+    /// `class` and blocks for the logits.
+    ///
+    /// # Errors
+    ///
+    /// The server's verdict decoded from the status byte
+    /// ([`ServeError::Overloaded`], [`ServeError::BadRequest`], …),
+    /// [`ServeError::Io`] on transport failure, or
+    /// [`ServeError::Protocol`] on a malformed response frame.
+    pub fn infer(&mut self, input: &[f32], class: SloClass) -> Result<Vec<f32>, ServeError> {
+        let tag = match class {
+            SloClass::Interactive => 0,
+            SloClass::Batch => 1,
+        };
+        write_frame(&mut self.stream, tag, &f32s_to_bytes(input)).map_err(io_err)?;
+        let (status, payload) = read_frame(&mut self.stream)
+            .map_err(io_err)?
+            .ok_or_else(|| ServeError::Io("connection closed before the response".into()))?;
+        if status == STATUS_OK {
+            bytes_to_f32s(&payload).ok_or_else(|| {
+                ServeError::Protocol("OK payload length is not a multiple of 4".into())
+            })
+        } else {
+            let message = String::from_utf8_lossy(&payload).into_owned();
+            Err(error_for(status, message))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_round_trip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, 3, &[1, 2, 3, 4]).unwrap();
+        let mut r = &buf[..];
+        let (tag, payload) = read_frame(&mut r).unwrap().expect("one frame");
+        assert_eq!((tag, payload.as_slice()), (3, &[1u8, 2, 3, 4][..]));
+        assert!(read_frame(&mut r).unwrap().is_none(), "clean EOF after");
+    }
+
+    #[test]
+    fn f32_codec_round_trips_bit_exactly() {
+        let values = [0.0f32, -1.5, f32::MIN_POSITIVE, 1.0e30, -0.0];
+        let decoded = bytes_to_f32s(&f32s_to_bytes(&values)).unwrap();
+        for (a, b) in values.iter().zip(&decoded) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        assert!(bytes_to_f32s(&[0, 1, 2]).is_none(), "ragged payload");
+    }
+
+    #[test]
+    fn oversize_frame_is_rejected_not_allocated() {
+        let mut buf = vec![0u8]; // tag
+        buf.extend_from_slice(&(u32::MAX).to_le_bytes());
+        let err = read_frame(&mut &buf[..]).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn status_codes_round_trip_to_errors() {
+        for e in [
+            ServeError::Overloaded,
+            ServeError::BadRequest("m".into()),
+            ServeError::DeadlineExceeded,
+            ServeError::EngineDown,
+            ServeError::ShuttingDown,
+        ] {
+            let status = status_of(&e);
+            let back = error_for(status, match &e {
+                ServeError::BadRequest(m) => m.clone(),
+                _ => String::new(),
+            });
+            assert_eq!(back, e);
+        }
+    }
+}

@@ -1,0 +1,353 @@
+//! Admission-control and failure-containment properties of the server,
+//! pinned deterministically through stub [`BatchRunner`]s (no model in
+//! the loop):
+//!
+//! - **Bounded shedding** — with the one replica wedged inside `run`, a
+//!   burst of `capacity + k` submissions admits exactly `capacity` and
+//!   sheds exactly `k` with [`ServeError::Overloaded`]; nothing blocks;
+//! - **Abandoned work is skipped** — jobs whose client dropped the
+//!   [`scnn_serve::ResponseHandle`] never reach the engine;
+//! - **Deadline expiry** — a request queued past its class deadline is
+//!   answered [`ServeError::DeadlineExceeded`] without running;
+//! - **Panic containment** — an engine panic becomes
+//!   [`ServeError::EngineDown`] values on every pending and subsequent
+//!   request, and [`scnn_serve::Server::shutdown`] reports the failure as
+//!   a value instead of re-throwing;
+//! - **Budget cross-check** — `params + replicas × max_batch × pool` is
+//!   validated against `budget_bytes` at startup: reject by default,
+//!   clamp-with-warning on request.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+use scnn_serve::{
+    BatchPolicy, BatchRunner, ClassPolicy, OverBudget, ServeError, Server, ServerConfig, SloClass,
+};
+use scnn_tensor::Tensor;
+
+/// A batch policy with a tight interactive window (fast batch close).
+/// `None` means a deadline long enough that gate-wedged requests never
+/// expire even on a fully loaded CI host — only the explicit-deadline
+/// test exercises expiry.
+fn policy_of(max_batch: usize, interactive_deadline: Option<Duration>) -> BatchPolicy {
+    BatchPolicy {
+        max_batch,
+        interactive: ClassPolicy {
+            window: Duration::from_millis(1),
+            deadline: interactive_deadline.unwrap_or(Duration::from_secs(300)),
+        },
+        ..BatchPolicy::default()
+    }
+}
+
+const SHAPE: [usize; 2] = [1, 4];
+
+fn request(tag: f32) -> Tensor {
+    Tensor::from_vec(vec![tag; 4], &SHAPE)
+}
+
+/// Reusable barrier: `run` parks on it until the test opens it.
+struct Gate {
+    open: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl Gate {
+    fn new() -> Self {
+        Gate {
+            open: Mutex::new(false),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn wait(&self) {
+        let mut open = self.open.lock().unwrap();
+        while !*open {
+            open = self.cv.wait(open).unwrap();
+        }
+    }
+
+    fn release(&self) {
+        *self.open.lock().unwrap() = true;
+        self.cv.notify_all();
+    }
+}
+
+/// Echoes each request's payload back as its logits; optionally parks on
+/// a gate first so tests can wedge the replica deterministically.
+struct StubRunner {
+    gate: Option<Arc<Gate>>,
+    entered: AtomicUsize,
+    requests_run: AtomicUsize,
+    planned: Option<(usize, usize)>,
+}
+
+impl StubRunner {
+    fn gated(gate: Arc<Gate>) -> Self {
+        StubRunner {
+            gate: Some(gate),
+            entered: AtomicUsize::new(0),
+            requests_run: AtomicUsize::new(0),
+            planned: None,
+        }
+    }
+
+    fn with_layout(params: usize, pool: usize) -> Self {
+        StubRunner {
+            gate: None,
+            entered: AtomicUsize::new(0),
+            requests_run: AtomicUsize::new(0),
+            planned: Some((params, pool)),
+        }
+    }
+
+    /// Spins until `run` has been entered at least `n` times — the only
+    /// way a test can know the replica is wedged inside the gate.
+    fn await_entered(&self, n: usize) {
+        while self.entered.load(Ordering::SeqCst) < n {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+}
+
+impl BatchRunner for StubRunner {
+    fn request_shape(&self) -> Vec<usize> {
+        SHAPE.to_vec()
+    }
+
+    fn run(&self, requests: &[Tensor]) -> Vec<Vec<f32>> {
+        self.entered.fetch_add(1, Ordering::SeqCst);
+        if let Some(gate) = &self.gate {
+            gate.wait();
+        }
+        self.requests_run.fetch_add(requests.len(), Ordering::SeqCst);
+        requests.iter().map(|r| r.as_slice().to_vec()).collect()
+    }
+
+    fn planned_bytes(&self) -> Option<(usize, usize)> {
+        self.planned
+    }
+}
+
+/// Panics on every batch — the engine failure the PR 8 API turned into a
+/// client-side panic cascade.
+struct PanicRunner;
+
+impl BatchRunner for PanicRunner {
+    fn request_shape(&self) -> Vec<usize> {
+        SHAPE.to_vec()
+    }
+
+    fn run(&self, _requests: &[Tensor]) -> Vec<Vec<f32>> {
+        panic!("injected engine failure");
+    }
+}
+
+/// One-replica server over `runner` with `max_batch` and `capacity`,
+/// tight interactive window so wedged-replica tests drain fast.
+fn server_over(
+    runner: Arc<StubRunner>,
+    max_batch: usize,
+    capacity: usize,
+) -> Server {
+    Server::start_with_runner(
+        runner,
+        ServerConfig {
+            queue_capacity: capacity,
+            policy: policy_of(max_batch, None),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("config is legal")
+}
+
+#[test]
+fn burst_beyond_capacity_sheds_exactly_the_overflow() {
+    let gate = Arc::new(Gate::new());
+    let runner = Arc::new(StubRunner::gated(gate.clone()));
+    let capacity = 8;
+    let server = server_over(runner.clone(), 1, capacity);
+
+    // Wedge the replica: its first batch parks inside run(), leaving the
+    // queue entirely to us.
+    let plug = server.submit(request(0.0), SloClass::Interactive).expect("admitted");
+    runner.await_entered(1);
+
+    // 4× burst: the queue admits exactly `capacity`, sheds the rest —
+    // and submit() returns immediately every time (shedding never blocks).
+    let mut admitted = Vec::new();
+    let mut shed = 0;
+    for i in 0..4 * capacity {
+        match server.submit(request(1.0 + i as f32), SloClass::Interactive) {
+            Ok(handle) => admitted.push(handle),
+            Err(ServeError::Overloaded) => shed += 1,
+            Err(e) => panic!("unexpected admission verdict: {e}"),
+        }
+    }
+    assert_eq!(admitted.len(), capacity);
+    assert_eq!(shed, 3 * capacity);
+    assert_eq!(server.queue_depth(), capacity);
+
+    gate.release();
+    assert_eq!(plug.recv().expect("plug ran"), vec![0.0; 4]);
+    for handle in admitted {
+        handle.recv().expect("admitted requests all complete");
+    }
+    let m = server.shutdown().expect("no replica died");
+    assert_eq!(m.total_shed(), 3 * capacity as u64);
+    assert_eq!(m.total_completed(), 1 + capacity as u64);
+    assert_eq!(m.class(SloClass::Interactive).submitted, 1 + 4 * capacity as u64);
+    assert!(m.queue_depth_peak <= capacity, "bounded queue never overgrows");
+}
+
+#[test]
+fn abandoned_requests_never_reach_the_engine() {
+    let gate = Arc::new(Gate::new());
+    let runner = Arc::new(StubRunner::gated(gate.clone()));
+    let server = server_over(runner.clone(), 16, 16);
+
+    let plug = server.submit(request(0.0), SloClass::Interactive).expect("admitted");
+    runner.await_entered(1);
+
+    // Three clients give up (drop their handles) while queued; one stays.
+    for i in 0..3 {
+        let handle = server
+            .submit(request(10.0 + i as f32), SloClass::Interactive)
+            .expect("admitted");
+        drop(handle);
+    }
+    let kept = server.submit(request(7.0), SloClass::Interactive).expect("admitted");
+
+    gate.release();
+    assert_eq!(plug.recv().expect("plug ran"), vec![0.0; 4]);
+    assert_eq!(kept.recv().expect("kept request ran"), vec![7.0; 4]);
+
+    let m = server.shutdown().expect("no replica died");
+    assert_eq!(m.total_abandoned(), 3);
+    assert_eq!(m.total_completed(), 2);
+    // The engine only ever saw the plug and the kept request.
+    assert_eq!(runner.requests_run.load(Ordering::SeqCst), 2);
+}
+
+#[test]
+fn queued_past_deadline_is_dropped_with_an_error_value() {
+    let gate = Arc::new(Gate::new());
+    let runner = Arc::new(StubRunner::gated(gate.clone()));
+    let server = Server::start_with_runner(
+        runner.clone(),
+        ServerConfig {
+            policy: policy_of(4, Some(Duration::from_millis(5))),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("config is legal");
+
+    // Batch-class plug (lax deadline) wedges the replica…
+    let plug = server.submit(request(0.0), SloClass::Batch).expect("admitted");
+    runner.await_entered(1);
+    // …while an interactive request ages past its 5 ms SLO in queue.
+    let stale = server.submit(request(1.0), SloClass::Interactive).expect("admitted");
+    std::thread::sleep(Duration::from_millis(20));
+    gate.release();
+
+    assert_eq!(plug.recv().expect("plug ran"), vec![0.0; 4]);
+    assert_eq!(stale.recv(), Err(ServeError::DeadlineExceeded));
+    let m = server.shutdown().expect("no replica died");
+    assert_eq!(m.class(SloClass::Interactive).expired, 1);
+    assert_eq!(runner.requests_run.load(Ordering::SeqCst), 1, "expired work never ran");
+}
+
+#[test]
+fn engine_panic_becomes_error_values_not_client_panics() {
+    let server = Server::start_with_runner(
+        Arc::new(PanicRunner),
+        ServerConfig::default(),
+    )
+    .expect("config is legal");
+
+    // The doomed request gets a verdict, not a poisoned-channel panic.
+    let verdict = server.infer(request(1.0));
+    assert_eq!(verdict, Err(ServeError::EngineDown));
+
+    // Admission now refuses outright.
+    match server.submit(request(2.0), SloClass::Interactive) {
+        Err(ServeError::EngineDown) => {}
+        Err(e) => panic!("expected EngineDown at admission, got {e:?}"),
+        Ok(_) => panic!("expected EngineDown at admission, got an admitted handle"),
+    }
+
+    // shutdown() reports the contained panic as a value; the payload is
+    // consumed, so dropping the server afterwards must not re-throw.
+    assert_eq!(server.shutdown().err(), Some(ServeError::EngineDown));
+}
+
+#[test]
+fn over_budget_max_batch_is_rejected_by_default() {
+    // params 100, pool 10 per slot: a 175-byte budget fits 7 slots.
+    let runner = Arc::new(StubRunner::with_layout(100, 10));
+    let err = Server::start_with_runner(
+        runner,
+        ServerConfig {
+            policy: policy_of(8, None),
+            budget_bytes: Some(175),
+            ..ServerConfig::default()
+        },
+    )
+    .err()
+    .expect("8 > 7 must not start");
+    assert_eq!(err, ServeError::OverBudget { requested: 8, fits: 7 });
+}
+
+#[test]
+fn over_budget_max_batch_clamps_when_asked() {
+    let runner = Arc::new(StubRunner::with_layout(100, 10));
+    // Two replicas halve the per-replica fit: (175 − 100) / (2 × 10) = 3.
+    let server = Server::start_with_runner(
+        runner,
+        ServerConfig {
+            replicas: 2,
+            policy: policy_of(8, None),
+            budget_bytes: Some(175),
+            on_over_budget: OverBudget::Clamp,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("clamp mode starts");
+    assert_eq!(server.max_batch(), 3);
+    assert_eq!(server.replicas(), 2);
+    drop(server);
+
+    // Clamping cannot conjure capacity: when not even one request per
+    // replica fits, clamp mode still refuses to start.
+    let runner = Arc::new(StubRunner::with_layout(100, 10));
+    let err = Server::start_with_runner(
+        runner,
+        ServerConfig {
+            policy: policy_of(8, None),
+            budget_bytes: Some(105),
+            on_over_budget: OverBudget::Clamp,
+            ..ServerConfig::default()
+        },
+    )
+    .err()
+    .expect("zero-fit cannot clamp");
+    assert_eq!(err, ServeError::OverBudget { requested: 8, fits: 0 });
+}
+
+#[test]
+fn wrong_shape_is_rejected_before_admission() {
+    let runner = Arc::new(StubRunner::with_layout(0, 0));
+    let server = Server::start_with_runner(runner.clone(), ServerConfig::default())
+        .expect("config is legal");
+    let wrong = Tensor::from_vec(vec![1.0; 6], &[1, 6]);
+    match server.submit(wrong, SloClass::Interactive) {
+        Err(ServeError::BadRequest(m)) => assert!(m.contains("[1, 6]")),
+        Err(e) => panic!("expected BadRequest, got {e:?}"),
+        Ok(_) => panic!("expected BadRequest, got an admitted handle"),
+    }
+    // The reject happened before admission: nothing submitted, nothing run.
+    let m = server.shutdown().expect("no replica died");
+    assert_eq!(m.class(SloClass::Interactive).submitted, 0);
+    assert_eq!(runner.requests_run.load(Ordering::SeqCst), 0);
+}

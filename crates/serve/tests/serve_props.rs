@@ -13,13 +13,30 @@
 //!   footprint model and respects budget and limit.
 
 use std::sync::Arc;
+use std::time::Duration;
 
 use scnn_core::{lower_unsplit, plan_split, SplitConfig};
 use scnn_graph::{Graph, NodeId, Op};
 use scnn_models::{resnet18, vgg19, ModelOptions};
 use scnn_nn::{BnState, BufferProvider, Executor, Mode, ParamStore};
 use scnn_rng::SplitRng;
-use scnn_serve::{BatchPolicy, Engine, Server};
+use scnn_serve::{BatchPolicy, ClassPolicy, Engine, Server, ServerConfig};
+
+/// A batch policy with a tight interactive window, so batcher tests
+/// close their windows quickly, and a deadline long enough that no
+/// request expires even on a fully loaded CI host — these tests check
+/// bit-identity, not SLO expiry (overload_props covers deadlines with
+/// a deterministically wedged runner).
+fn quick_policy(max_batch: usize) -> BatchPolicy {
+    BatchPolicy {
+        max_batch,
+        interactive: ClassPolicy {
+            window: Duration::from_millis(1),
+            deadline: Duration::from_secs(300),
+        },
+        ..BatchPolicy::default()
+    }
+}
 use scnn_tensor::{force_level, uniform, SimdLevel, Tensor};
 
 fn vgg_graph() -> Graph {
@@ -151,11 +168,12 @@ fn batcher_delivers_bit_identical_responses() {
     let (solo, _) = engine.run_batch(std::slice::from_ref(&request));
     let server = Server::start(
         Arc::new(engine),
-        BatchPolicy {
-            max_batch: 4,
-            deadline: std::time::Duration::from_millis(1),
+        ServerConfig {
+            policy: quick_policy(4),
+            ..ServerConfig::default()
         },
-    );
+    )
+    .expect("config is legal");
     // More clients than max_batch forces several batch windows; every
     // response must still match the solo run exactly.
     std::thread::scope(|s| {
@@ -167,9 +185,56 @@ fn batcher_delivers_bit_identical_responses() {
             })
             .collect();
         for h in handles {
-            assert_eq!(h.join().expect("client thread"), solo[0]);
+            assert_eq!(h.join().expect("client thread").expect("admitted"), solo[0]);
         }
     });
+    let m = server.metrics();
+    assert_eq!(m.total_completed(), 9);
+    assert_eq!(m.total_shed(), 0, "closed-loop clients never overflow");
+}
+
+/// The replica axis must not perturb a single bit: the same request
+/// bytes produce the same logits whether one replica or four pull from
+/// the queue, at one worker thread or four — the serving extension of
+/// the repo-wide determinism contract (DESIGN.md §15).
+#[test]
+fn logits_bitwise_identical_across_replica_and_thread_counts() {
+    let (reference, engine, request) = reference_and_engine(vgg_graph, 44);
+    let engine = Arc::new(engine);
+    for replicas in [1usize, 2, 4] {
+        for threads in [1usize, 4] {
+            let server = Server::start(
+                engine.clone(),
+                ServerConfig {
+                    replicas,
+                    worker_threads: Some(threads),
+                    policy: quick_policy(3),
+                    queue_capacity: 32,
+                    ..ServerConfig::default()
+                },
+            )
+            .expect("config is legal");
+            assert_eq!(server.replicas(), replicas);
+            std::thread::scope(|s| {
+                let handles: Vec<_> = (0..10)
+                    .map(|_| {
+                        let server = &server;
+                        let request = request.clone();
+                        s.spawn(move || server.infer(request))
+                    })
+                    .collect();
+                for h in handles {
+                    assert_eq!(
+                        h.join().expect("client thread").expect("admitted"),
+                        reference,
+                        "replicas={replicas} threads={threads} changed bits"
+                    );
+                }
+            });
+            let m = server.shutdown().expect("no replica died");
+            assert_eq!(m.total_completed(), 10);
+        }
+    }
 }
 
 #[test]

@@ -1,0 +1,113 @@
+//! Socket front-end properties: a request submitted over TCP or a
+//! Unix-domain socket yields the exact bytes an in-process
+//! [`Server::infer`] returns — the frame codec moves logits, it never
+//! touches them — and protocol violations come back as status frames,
+//! not dropped connections.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use scnn_core::lower_unsplit;
+use scnn_graph::{Graph, NodeId};
+use scnn_models::{vgg19, ModelOptions};
+use scnn_nn::{BnState, ParamStore};
+use scnn_rng::SplitRng;
+use scnn_serve::{
+    BatchPolicy, ClassPolicy, Engine, ServeError, Server, ServerConfig, SloClass, SocketClient,
+    SocketServer,
+};
+use scnn_tensor::{uniform, Tensor};
+
+fn small_graph() -> Graph {
+    let desc = vgg19(&ModelOptions::cifar().with_width(0.125));
+    lower_unsplit(&desc, 1)
+}
+
+/// Builds a serving stack over freshly initialized (untrained) weights —
+/// socket tests pin byte movement, not model quality.
+fn running_server() -> (Arc<Server>, Tensor) {
+    let graph = small_graph();
+    let request = {
+        let dims = graph.node(NodeId(0)).out_shape.clone();
+        uniform(&mut SplitRng::seed_from_u64(11), &dims, -1.0, 1.0)
+    };
+    let mut rng = SplitRng::seed_from_u64(12);
+    let params = ParamStore::init(&graph, &mut rng);
+    let engine = Engine::new(small_graph(), Arc::new(params), Arc::new(BnState::new()))
+        .expect("plan is legal");
+    // Deadlines long enough that no request expires on a loaded CI
+    // host — these tests pin byte movement, not SLO behavior.
+    let lenient = ClassPolicy {
+        window: Duration::from_millis(1),
+        deadline: Duration::from_secs(300),
+    };
+    let config = ServerConfig {
+        policy: BatchPolicy {
+            interactive: lenient,
+            batch: lenient,
+            ..BatchPolicy::default()
+        },
+        ..ServerConfig::default()
+    };
+    let server = Server::start(Arc::new(engine), config).expect("config is legal");
+    (Arc::new(server), request)
+}
+
+#[test]
+fn tcp_round_trip_is_bitwise_equal_to_in_process() {
+    let (server, request) = running_server();
+    let reference = server.infer(request.clone()).expect("in-process inference");
+
+    let front = SocketServer::bind_tcp(server.clone(), "127.0.0.1:0").expect("bind");
+    let addr = front.tcp_addr().expect("tcp front-end");
+    let mut client = SocketClient::connect_tcp(addr).expect("connect");
+
+    // Several exchanges on one connection, both classes.
+    for class in [SloClass::Interactive, SloClass::Batch, SloClass::Interactive] {
+        let logits = client.infer(request.as_slice(), class).expect("socket inference");
+        assert_eq!(logits.len(), reference.len());
+        for (a, b) in logits.iter().zip(&reference) {
+            assert_eq!(a.to_bits(), b.to_bits(), "socket changed the bits");
+        }
+    }
+}
+
+#[cfg(unix)]
+#[test]
+fn unix_socket_round_trip_is_bitwise_equal_to_in_process() {
+    let (server, request) = running_server();
+    let reference = server.infer(request.clone()).expect("in-process inference");
+
+    let path = std::env::temp_dir().join(format!("scnn-serve-test-{}.sock", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    let front = SocketServer::bind_unix(server.clone(), &path).expect("bind");
+    let mut client = SocketClient::connect_unix(&path).expect("connect");
+    let logits = client
+        .infer(request.as_slice(), SloClass::Interactive)
+        .expect("socket inference");
+    for (a, b) in logits.iter().zip(&reference) {
+        assert_eq!(a.to_bits(), b.to_bits(), "unix socket changed the bits");
+    }
+    drop(client);
+    drop(front);
+    assert!(!path.exists(), "socket file removed on drop");
+}
+
+#[test]
+fn wrong_payload_size_is_a_bad_request_status_not_a_hangup() {
+    let (server, request) = running_server();
+    let front = SocketServer::bind_tcp(server.clone(), "127.0.0.1:0").expect("bind");
+    let mut client = SocketClient::connect_tcp(front.tcp_addr().unwrap()).expect("connect");
+
+    // Half a request's worth of floats: decoded fine, wrong element count.
+    let half = vec![0.5f32; request.as_slice().len() / 2];
+    match client.infer(&half, SloClass::Interactive) {
+        Err(ServeError::BadRequest(m)) => assert!(m.contains("f32s")),
+        other => panic!("expected BadRequest status, got {other:?}"),
+    }
+    // The connection survived the rejection: a well-formed request on the
+    // same stream still completes.
+    client
+        .infer(request.as_slice(), SloClass::Interactive)
+        .expect("connection still serves after a rejected frame");
+}

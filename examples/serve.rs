@@ -16,7 +16,7 @@ use split_cnn::core::{plan_split, SplitConfig};
 use split_cnn::graph::NodeId;
 use split_cnn::models::{resnet18, ModelOptions};
 use split_cnn::nn::{BnState, Executor, Mode, ParamStore};
-use split_cnn::serve::{BatchPolicy, Engine, Server};
+use split_cnn::serve::{Engine, Server, ServerConfig, SloClass};
 use split_cnn::tensor::uniform;
 
 fn main() {
@@ -67,25 +67,41 @@ fn main() {
     );
     assert!(outs.iter().all(|o| o == &solo[0]), "concurrency changed bits");
 
-    // The dynamic batcher: concurrent clients, coalesced under a
-    // deadline/size policy, every response bitwise equal to the solo run.
-    let server = Server::start(
-        engine.clone(),
-        BatchPolicy {
-            max_batch: 8,
-            deadline: Duration::from_millis(2),
-        },
+    // The hardened server: two engine replicas behind one bounded
+    // admission queue, a per-class window/deadline policy, and the
+    // planned footprint params + R × C × pool cross-checked against a
+    // memory budget at startup — a misconfigured max_batch is an error
+    // value here, not a silent overshoot at runtime.
+    let mut config = ServerConfig {
+        replicas: 2,
+        queue_capacity: 32,
+        budget_bytes: Some(budget),
+        ..ServerConfig::default()
+    };
+    config.policy.max_batch = 8;
+    config.policy.interactive.window = Duration::from_millis(2);
+    let server = Server::start(engine.clone(), config).expect("policy fits the budget");
+    println!(
+        "server: {} replicas × max_batch {} behind a {}-slot queue ({} B planned)",
+        server.replicas(),
+        server.max_batch(),
+        32,
+        engine.device_bytes_replicated(server.replicas(), server.max_batch()),
     );
     std::thread::scope(|s| {
         let handles: Vec<_> = (0..12)
-            .map(|_| {
+            .map(|i| {
                 let server = &server;
                 let image = image.clone();
-                s.spawn(move || server.infer(image))
+                // Mix SLO classes: interactive requests shrink any batch
+                // window they join; batch-class requests let batches fill.
+                let class = if i % 3 == 0 { SloClass::Batch } else { SloClass::Interactive };
+                s.spawn(move || server.infer_class(image, class))
             })
             .collect();
         for h in handles {
-            assert_eq!(h.join().expect("client"), solo[0], "batching changed bits");
+            let logits = h.join().expect("client").expect("admitted");
+            assert_eq!(logits, solo[0], "batching changed bits");
         }
     });
     let top1 = solo[0]
@@ -93,5 +109,15 @@ fn main() {
         .enumerate()
         .fold((0, f32::MIN), |best, (i, &v)| if v > best.1 { (i, v) } else { best })
         .0;
-    println!("12 batched clients served; all responses bit-identical (top-1 class {top1})");
+    let metrics = server.shutdown().expect("no replica died");
+    println!(
+        "12 batched clients served; all responses bit-identical (top-1 class {top1})"
+    );
+    println!(
+        "metrics: {} completed over {} batches, {} shed, interactive p99 ≤ {} ns",
+        metrics.total_completed(),
+        metrics.batches,
+        metrics.total_shed(),
+        metrics.class(SloClass::Interactive).p99_ns.unwrap_or(0)
+    );
 }

@@ -1,0 +1,87 @@
+//! The socket front-end end to end, in one process: stand up a serving
+//! stack over a split ResNet-18, bind the length-prefixed TCP front-end
+//! on a loopback port, and drive it with [`SocketClient`] — then show
+//! that the bytes that came back over the wire are exactly the bytes an
+//! in-process `infer` returns, and that a malformed frame is answered
+//! with a status frame instead of a dropped connection.
+//!
+//! ```text
+//! cargo run --release --example serve_socket
+//! ```
+//!
+//! An external client in any language speaks the same frames: send
+//! `[class: u8][len: u32 LE][len bytes of f32 LE]` (class 0 =
+//! interactive, 1 = batch), read back `[status: u8][len: u32 LE]
+//! [payload]` where status 0 carries f32 LE logits and anything else a
+//! UTF-8 error message.
+
+use std::sync::Arc;
+
+use scnn_rng::SplitRng;
+use split_cnn::core::{plan_split, SplitConfig};
+use split_cnn::graph::NodeId;
+use split_cnn::models::{resnet18, ModelOptions};
+use split_cnn::nn::{BnState, Executor, Mode, ParamStore};
+use split_cnn::serve::{
+    Engine, ServeError, Server, ServerConfig, SloClass, SocketClient, SocketServer,
+};
+use split_cnn::tensor::uniform;
+
+fn main() {
+    let desc = resnet18(&ModelOptions::cifar().with_width(0.25));
+    let split = plan_split(&desc, &SplitConfig::new(0.5, 2, 2)).expect("resnet splits");
+    let graph = split.lower(&desc, 1);
+
+    let mut rng = SplitRng::seed_from_u64(42);
+    let mut params = ParamStore::init(&graph, &mut rng);
+    let mut bn = BnState::new();
+    let dims = graph.node(NodeId(0)).out_shape.clone();
+    let image = uniform(&mut rng, &dims, -1.0, 1.0);
+    Executor::new().run(&graph, &mut params, &mut bn, &image, &[3], Mode::Train, &mut rng);
+    let engine = Arc::new(
+        Engine::new(split.lower(&desc, 1), Arc::new(params), Arc::new(bn))
+            .expect("plan is legal"),
+    );
+
+    let server = Arc::new(
+        Server::start(engine, ServerConfig::default()).expect("config is legal"),
+    );
+    let reference = server.infer(image.clone()).expect("in-process inference");
+
+    // Port 0: the OS picks, the front-end reports it back.
+    let front = SocketServer::bind_tcp(server.clone(), "127.0.0.1:0").expect("bind");
+    println!("listening on {}", front.addr());
+
+    let mut client =
+        SocketClient::connect_tcp(front.tcp_addr().expect("tcp front-end")).expect("connect");
+    let logits = client
+        .infer(image.as_slice(), SloClass::Interactive)
+        .expect("socket inference");
+    assert_eq!(logits, reference, "the wire must not change a bit");
+    println!(
+        "socket round-trip: {} logits, bitwise equal to the in-process response",
+        logits.len()
+    );
+
+    // A malformed request (wrong element count) is a BadRequest status
+    // frame; the connection stays up and keeps serving.
+    match client.infer(&[1.0, 2.0, 3.0], SloClass::Interactive) {
+        Err(ServeError::BadRequest(msg)) => println!("malformed frame rejected: {msg}"),
+        other => panic!("expected BadRequest, got {other:?}"),
+    }
+    let again = client
+        .infer(image.as_slice(), SloClass::Batch)
+        .expect("connection survives a rejected frame");
+    assert_eq!(again, reference);
+    println!("connection kept serving after the rejection; shutting down");
+
+    drop(client);
+    drop(front);
+    let metrics = server.metrics();
+    println!(
+        "served {} requests ({} over the socket), shed {}",
+        metrics.total_completed(),
+        metrics.total_completed() - 1,
+        metrics.total_shed()
+    );
+}

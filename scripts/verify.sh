@@ -28,7 +28,7 @@ cargo clippy --workspace --all-targets --offline -- -D warnings
 tmp="$(mktemp -d)"
 trap 'rm -rf "$tmp"' EXIT
 declare -A smoke_gates=(
-  [serving]="--max-peak serve_pool/c64:2949120,serve_resident_peak/c64:30605312 --min-peak serve_pool/c64:2949120,serve_resident_peak/c64:30605312,capacity/max_concurrency:166"
+  [serving]="--max-peak serve_pool/c64:2949120,serve_resident_peak/c64:30605312,serve_pool_replicated/r2:737280,serve_pool_replicated/r4:1474560,overload/queue_depth_peak:8 --min-peak serve_pool/c64:2949120,serve_resident_peak/c64:30605312,serve_pool_replicated/r2:737280,serve_pool_replicated/r4:1474560,capacity/max_concurrency:166,capacity/max_concurrency_r2:83,capacity/max_concurrency_r4:41,overload/shed:1 --max-p99 overload/admitted_latency:10000000000"
 )
 for bench in kernels planning ablation memory serving; do
   SCNN_BENCH_DIR="$tmp" cargo bench -q -p scnn-bench --bench "$bench" --offline -- --smoke
@@ -83,15 +83,20 @@ cargo run -q --release -p scnn-bench --bin bench_check --offline -- \
 # survives on hosts where both medians drift together.
 # The serving gates (DESIGN.md §15): the full-size pool and resident
 # peaks are deterministic like the planned-device pins, so they are
-# pinned exactly; the capacity search at the 64 MiB budget must not
-# shrink; and the p99 tail latencies get generous ceilings (~4-10× the
-# measured values) that catch a pathological serialization — a batcher
-# that stops coalescing, a pool that stops sharing — without flaking on
-# ordinary scheduler noise.
+# pinned exactly — including the replica-scaled pools (R × C × pool,
+# two-sided); the capacity searches (single-engine and per-replica) at
+# the 64 MiB budget must not shrink; and the p99 tail latencies get
+# generous ceilings (~4-10× the measured values) that catch a
+# pathological serialization — a batcher that stops coalescing, a pool
+# that stops sharing — without flaking on ordinary scheduler noise.
+# The overload smoke rides in both gate sets: an 8× burst against the
+# bounded queue must shed (shed ≥ 1), must never overflow the bound
+# (queue_depth_peak ≤ capacity), and every admitted request must finish
+# with its p99 under the 10 s interactive deadline the bench configures.
 declare -A abs_gates=(
   [kernels]="--max-median conv2d_fwd_8x16x32x32:5600000,conv2d_fwd_8x16x32x32_tuned:4900000,conv2d_fwd_8x16x32x32_winograd:4500000,matmul_512:24000000 --max-peak conv2d_fwd_scratch_peak:1048576,conv2d_bwd_scratch_peak:2097152 --max-ratio conv2d_fwd_8x16x32x32_winograd:conv2d_fwd_8x16x32x32_tuned:1.0"
   [memory]="--max-peak train_step/hmms:15392768,planned_device/hmms:3300352,planned_device/hmms_micro:2707968,capacity/max_batch/legacy:13 --min-peak capacity/max_batch/micro:18"
-  [serving]="--max-peak serve_pool/c1:87040,serve_pool/c8:696320,serve_pool/c64:5570560,serve_resident_peak/c64:58654720 --min-peak serve_pool/c64:5570560,serve_resident_peak/c64:58654720,capacity/max_concurrency:738 --max-p99 serve_latency/c1:60000000,serve_latency/c8:250000000,serve_latency/c64:4000000000"
+  [serving]="--max-peak serve_pool/c1:87040,serve_pool/c8:696320,serve_pool/c64:5570560,serve_resident_peak/c64:58654720,serve_pool_replicated/r2:1392640,serve_pool_replicated/r4:2785280,overload/queue_depth_peak:8 --min-peak serve_pool/c64:5570560,serve_resident_peak/c64:58654720,serve_pool_replicated/r2:1392640,serve_pool_replicated/r4:2785280,capacity/max_concurrency:738,capacity/max_concurrency_r2:369,capacity/max_concurrency_r4:184,overload/shed:1 --max-p99 serve_latency/c1:60000000,serve_latency/c8:250000000,serve_latency/c64:4000000000,overload/admitted_latency:10000000000"
 )
 if [[ "${SCNN_VERIFY_SKIP_BENCH:-0}" != 1 ]]; then
   for spec in kernels:0.25 planning:0.60 ablation:0.60 memory:0.60 serving:0.60; do
